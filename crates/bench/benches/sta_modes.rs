@@ -1,0 +1,59 @@
+//! Macro-benchmarks: full analyses per mode — the runtime columns of the
+//! paper's Tables 1–3, at benchable scale.
+//!
+//! The paper's complexity claims to verify: one-step keeps the BFS linear
+//! with two waveform calculations per arc (≈2x a plain pass), the iterative
+//! refinement costs at least three passes' worth, and Esperance brings the
+//! iterative cost down.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtalk::prelude::*;
+use xtalk_bench::{build_design, Design};
+
+fn design() -> Design {
+    // ~200 cells: large enough to have real couplings, small enough for
+    // statistically meaningful Criterion runs.
+    build_design(&GeneratorConfig::small(4242))
+}
+
+fn bench_sta_modes(c: &mut Criterion) {
+    let d = design();
+    let sta = Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics).expect("sta");
+
+    let mut group = c.benchmark_group("sta_modes");
+    group.sample_size(10);
+    for mode in [
+        AnalysisMode::BestCase,
+        AnalysisMode::StaticDoubled,
+        AnalysisMode::WorstCase,
+        AnalysisMode::OneStep,
+        AnalysisMode::Iterative { esperance: false },
+        AnalysisMode::Iterative { esperance: true },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.to_string().replace(' ', "_")),
+            &mode,
+            |b, &mode| b.iter(|| black_box(sta.analyze(mode).expect("analysis").longest_delay)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let d = design();
+    c.bench_function("timing_graph_build", |b| {
+        b.iter(|| {
+            let sta =
+                Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics).expect("sta");
+            black_box(sta.graph().arc_count())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_sta_modes, bench_graph_build
+}
+criterion_main!(benches);

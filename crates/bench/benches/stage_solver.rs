@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the waveform kernel: one transistor-level stage
+//! solution per coupling treatment (the inner loop of every analysis, and
+//! the quantitative content of the paper's Fig. 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtalk::prelude::*;
+use xtalk::wave::stage::{Coupling, Load, StageSolver};
+
+fn bench_stage_solver(c: &mut Criterion) {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let solver = StageSolver::new(&process);
+    let input = Waveform::ramp(0.0, 0.2e-9, process.vdd, 0.0).expect("ramp");
+
+    let mut group = c.benchmark_group("stage_solver");
+    for (name, mode) in [
+        ("grounded", CouplingMode::Grounded),
+        ("doubled", CouplingMode::Doubled),
+        ("active", CouplingMode::Active),
+    ] {
+        let inv = library.cell("INVX1").expect("inv");
+        group.bench_with_input(BenchmarkId::new("invx1", name), &mode, |b, &mode| {
+            b.iter(|| {
+                let load = Load {
+                    cground: 30e-15,
+                    couplings: vec![Coupling::new(10e-15, mode)],
+                };
+                let r = solver
+                    .solve(&inv.stages[0], 0, black_box(&input), &[], load)
+                    .expect("solve");
+                black_box(r.wave.end_time())
+            })
+        });
+    }
+
+    // Stacked pull-down: internal-node Newton cost.
+    let rising = Waveform::ramp(0.0, 0.2e-9, 0.0, process.vdd).expect("ramp");
+    for cell_name in ["NAND2X1", "NAND3X1", "NAND4X1"] {
+        let cell = library.cell(cell_name).expect("cell");
+        let sides = vec![process.vdd; cell.inputs.len()];
+        group.bench_function(BenchmarkId::new("stack", cell_name), |b| {
+            b.iter(|| {
+                let r = solver
+                    .solve(
+                        &cell.stages[0],
+                        0,
+                        black_box(&rising),
+                        &sides,
+                        Load::grounded(40e-15),
+                    )
+                    .expect("solve");
+                black_box(r.wave.end_time())
+            })
+        });
+    }
+
+    // Many aggressors: snap-event handling cost.
+    for n_caps in [1usize, 4, 16] {
+        let inv = library.cell("INVX1").expect("inv");
+        group.bench_with_input(
+            BenchmarkId::new("aggressors", n_caps),
+            &n_caps,
+            |b, &n| {
+                b.iter(|| {
+                    let load = Load {
+                        cground: 30e-15,
+                        couplings: (0..n)
+                            .map(|k| {
+                                Coupling::new(2e-15 + k as f64 * 0.5e-15, CouplingMode::Active)
+                            })
+                            .collect(),
+                    };
+                    let r = solver
+                        .solve(&inv.stages[0], 0, black_box(&input), &[], load)
+                        .expect("solve");
+                    black_box(r.snaps.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_stage_solver
+}
+criterion_main!(benches);

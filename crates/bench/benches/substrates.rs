@@ -1,0 +1,197 @@
+//! Benchmarks of the substrate systems: device tables, network DC solves,
+//! netlist parsing, placement/routing/extraction, SPEF I/O, logic and
+//! transient simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtalk::prelude::*;
+use xtalk::sim::circuit::{Circuit, Drive, NodeRef};
+use xtalk::sim::transient::{simulate, SimOptions};
+use xtalk::sim::LogicSim;
+use xtalk::tech::cell::Network;
+use xtalk::tech::mosfet::DeviceType;
+use xtalk::wave::network::{NetworkEval, WarmStart};
+
+fn bench_device_table(c: &mut Criterion) {
+    let p = Process::c05um();
+    let t = p.table(DeviceType::Nmos);
+    c.bench_function("table_ids_lookup", |b| {
+        let mut x = 0.1f64;
+        b.iter(|| {
+            x = (x * 1.618).fract();
+            black_box(t.ids(3.3 * x, 3.3 * (1.0 - x), 2.0e-6))
+        })
+    });
+    c.bench_function("table_derivs_lookup", |b| {
+        let mut x = 0.1f64;
+        b.iter(|| {
+            x = (x * 1.618).fract();
+            black_box(t.derivs(3.3 * x, 3.3 * (1.0 - x), 2.0e-6))
+        })
+    });
+}
+
+fn bench_network_solve(c: &mut Criterion) {
+    let p = Process::c05um();
+    let ev = NetworkEval::new(&p, DeviceType::Nmos);
+    let um = 1.0e-6;
+    let stack4 = Network::Series(vec![
+        Network::device(0, 8.0 * um, 0.5 * um),
+        Network::device(1, 8.0 * um, 0.5 * um),
+        Network::device(2, 8.0 * um, 0.5 * um),
+        Network::device(3, 8.0 * um, 0.5 * um),
+    ]);
+    c.bench_function("network_stack4_dc", |b| {
+        let mut warm = WarmStart::new();
+        let gates = [3.3, 3.3, 3.3, 2.5];
+        let mut v = 0.3f64;
+        b.iter(|| {
+            v = (v * 1.618).fract() * 3.3;
+            black_box(ev.current(&stack4, v, 0.0, &gates, &mut warm).i)
+        })
+    });
+}
+
+fn bench_netlist_formats(c: &mut Criterion) {
+    let p = Process::c05um();
+    let l = Library::c05um(&p);
+    let nl = xtalk::netlist::generator::generate(&GeneratorConfig::medium(99), &l)
+        .expect("generate");
+    let bench_text = xtalk::netlist::bench::write(&nl, &l).expect("write");
+    let verilog_text = xtalk::netlist::verilog::write(&nl, &l).expect("write");
+
+    let mut group = c.benchmark_group("formats");
+    group.sample_size(20);
+    group.bench_function("bench_parse_2k_cells", |b| {
+        b.iter(|| {
+            black_box(
+                xtalk::netlist::bench::parse(&bench_text, &l)
+                    .expect("parse")
+                    .gate_count(),
+            )
+        })
+    });
+    group.bench_function("verilog_parse_2k_cells", |b| {
+        b.iter(|| {
+            black_box(
+                xtalk::netlist::verilog::parse(&verilog_text, &l)
+                    .expect("parse")
+                    .gate_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_physical_flow(c: &mut Criterion) {
+    let p = Process::c05um();
+    let l = Library::c05um(&p);
+    let nl = xtalk::netlist::generator::generate(&GeneratorConfig::medium(98), &l)
+        .expect("generate");
+
+    let mut group = c.benchmark_group("physical");
+    group.sample_size(20);
+    group.bench_function("place_2k_cells", |b| {
+        b.iter(|| black_box(xtalk::layout::place::place(&nl, &l, &p).rows))
+    });
+    let placement = xtalk::layout::place::place(&nl, &l, &p);
+    group.bench_function("route_2k_cells", |b| {
+        b.iter(|| black_box(xtalk::layout::route::route(&nl, &placement, &p).total_wirelength()))
+    });
+    let routes = xtalk::layout::route::route(&nl, &placement, &p);
+    group.bench_function("extract_2k_cells", |b| {
+        b.iter(|| black_box(xtalk::layout::extract::extract(&nl, &routes, &p).coupling_count()))
+    });
+    let parasitics = xtalk::layout::extract::extract(&nl, &routes, &p);
+    group.bench_function("spef_write_2k_cells", |b| {
+        b.iter(|| black_box(xtalk::layout::spef::write(&nl, &parasitics).len()))
+    });
+    let spef = xtalk::layout::spef::write(&nl, &parasitics);
+    group.bench_function("spef_parse_2k_cells", |b| {
+        b.iter(|| {
+            black_box(
+                xtalk::layout::spef::parse(&spef, &nl)
+                    .expect("parse")
+                    .coupling_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let p = Process::c05um();
+    let l = Library::c05um(&p);
+    let nl = xtalk::netlist::generator::generate(&GeneratorConfig::medium(97), &l)
+        .expect("generate");
+
+    c.bench_function("logic_sim_cycle_2k_cells", |b| {
+        let mut sim = LogicSim::new(&nl, &l).expect("sim");
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let n = nl.primary_inputs().count();
+            let bits: Vec<bool> = (0..n).map(|i| (k >> (i % 60)) & 1 == 1).collect();
+            let out = sim.run_vector(bits);
+            sim.clock();
+            black_box(out.len())
+        })
+    });
+
+    // Transient: a 5-stage inverter chain.
+    let mut group = c.benchmark_group("transient");
+    group.sample_size(10);
+    for stages in [2usize, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("inv_chain", stages),
+            &stages,
+            |b, &stages| {
+                b.iter(|| {
+                    let inv = l.cell("INVX1").expect("inv");
+                    let mut circuit = Circuit::new();
+                    let mut prev = circuit.add_node(
+                        "in",
+                        Drive::Pwl(
+                            Waveform::ramp(0.5e-9, 0.2e-9, p.vdd, 0.0).expect("ramp"),
+                        ),
+                        0.0,
+                        p.vdd,
+                    );
+                    for k in 0..stages {
+                        let v0 = if k % 2 == 0 { 0.0 } else { p.vdd };
+                        let out = circuit.add_node(format!("n{k}"), Drive::Free, 15e-15, v0);
+                        circuit.instantiate_cell(
+                            inv,
+                            &[NodeRef::Node(prev)],
+                            NodeRef::Node(out),
+                            None,
+                            &l,
+                            &p,
+                            &format!("u{k}"),
+                        );
+                        prev = out;
+                    }
+                    let tr = simulate(
+                        &circuit,
+                        &p,
+                        &SimOptions {
+                            t_stop: 4e-9,
+                            ..SimOptions::default()
+                        },
+                    )
+                    .expect("simulate");
+                    black_box(tr.steps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_device_table, bench_network_solve, bench_netlist_formats,
+        bench_physical_flow, bench_simulators
+}
+criterion_main!(benches);

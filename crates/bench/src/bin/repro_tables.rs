@@ -1,0 +1,158 @@
+//! Reproduces the paper's Tables 1–3 (and the §6 comparison claims).
+//!
+//! For each circuit the five analyses are run and reported as in the paper
+//! — longest-path delay plus runtime — and the longest path is validated by
+//! transistor-level transient simulation with adversarially aligned
+//! aggressor sources ("Simulation" row).
+//!
+//! ```text
+//! cargo run --release -p xtalk-bench --bin repro_tables -- [s35932|s38417|s38584|all|quick] [--no-sim]
+//! ```
+//!
+//! `quick` uses 1/10-scale stand-ins of the three circuits for a fast smoke
+//! run; the default is `quick`. Pass explicit circuit names (or `all`) for
+//! the full-size reproduction used in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use xtalk::prelude::*;
+use xtalk_bench::{
+    build_design, path_wire_delay, run_mode, simulate_spec, to_sim_spec, Design,
+};
+
+fn scaled(config: &GeneratorConfig, factor: usize) -> GeneratorConfig {
+    let mut c = config.clone();
+    c.name = format!("{}_q{}", c.name, factor);
+    c.flip_flops = (c.flip_flops / factor).max(8);
+    c.comb_gates = (c.comb_gates / factor).max(50);
+    c.primary_outputs = (c.primary_outputs / factor).max(4);
+    c
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let no_sim = args.iter().any(|a| a == "--no-sim");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let names = if names.is_empty() { vec!["quick"] } else { names };
+
+    let mut configs: Vec<(String, GeneratorConfig)> = Vec::new();
+    for name in names {
+        match name {
+            "s35932" => configs.push(("Table 1".into(), GeneratorConfig::s35932_like())),
+            "s38417" => configs.push(("Table 2".into(), GeneratorConfig::s38417_like())),
+            "s38584" => configs.push(("Table 3".into(), GeneratorConfig::s38584_like())),
+            "all" => {
+                configs.push(("Table 1".into(), GeneratorConfig::s35932_like()));
+                configs.push(("Table 2".into(), GeneratorConfig::s38417_like()));
+                configs.push(("Table 3".into(), GeneratorConfig::s38584_like()));
+            }
+            "quick" => {
+                configs.push(("Table 1 (1/10)".into(), scaled(&GeneratorConfig::s35932_like(), 10)));
+                configs.push(("Table 2 (1/10)".into(), scaled(&GeneratorConfig::s38417_like(), 10)));
+                configs.push(("Table 3 (1/10)".into(), scaled(&GeneratorConfig::s38584_like(), 10)));
+            }
+            other => {
+                eprintln!("unknown circuit `{other}` (use s35932|s38417|s38584|all|quick)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    for (title, config) in configs {
+        run_table(&title, &config, no_sim);
+    }
+}
+
+fn run_table(title: &str, config: &GeneratorConfig, no_sim: bool) {
+    eprintln!(">> building {} ({} cells)...", config.name, config.total_cells());
+    let design = build_design(config);
+    println!(
+        "{title}: {} ({} cells, {} FFs, {} coupling caps, {:.1} mm wire; prep {:.1}s)",
+        config.name,
+        design.netlist.gate_count(),
+        design.netlist.flip_flop_count(),
+        design.parasitics.coupling_count() / 2,
+        design.wirelength * 1e3,
+        design.prep_seconds,
+    );
+    println!(
+        "{:<24} {:>12} {:>8} {:>10}",
+        "Analysis", "Delay [ns]", "Passes", "CPU [s]"
+    );
+
+    let modes = [
+        AnalysisMode::BestCase,
+        AnalysisMode::StaticDoubled,
+        AnalysisMode::WorstCase,
+        AnalysisMode::OneStep,
+        AnalysisMode::Iterative { esperance: false },
+        AnalysisMode::Iterative { esperance: true },
+    ];
+    let mut reports = Vec::new();
+    for mode in modes {
+        eprintln!(">>   {mode}...");
+        let r = run_mode(&design, mode);
+        println!(
+            "{:<24} {:>12.3} {:>8} {:>10.2}",
+            mode.to_string(),
+            r.longest_delay * 1e9,
+            r.passes,
+            r.runtime.as_secs_f64()
+        );
+        reports.push(r);
+    }
+
+    // The paper's §6 comparison numbers.
+    let best = reports[0].longest_delay;
+    let iter = reports[4].longest_delay;
+    let wire = path_wire_delay(&design, &reports[4]);
+    println!(
+        "wire delay on critical path: {:.2} ns;  coupling impact (iterative - best): {:.2} ns",
+        wire * 1e9,
+        (iter - best) * 1e9
+    );
+
+    if !no_sim {
+        simulate_row(&design, &reports);
+    }
+    println!();
+}
+
+fn simulate_row(design: &Design, reports: &[xtalk::sta::ModeReport]) {
+    // Validate the iterative analysis's longest path by simulation, as the
+    // paper does ("piecewise linear sources ... iteratively adjusted").
+    let iterative = &reports[4];
+    let Some(spec) = to_sim_spec(design, iterative, 6) else {
+        println!("Simulation: no combinational span on the critical path");
+        return;
+    };
+    let started = Instant::now();
+    eprintln!(">>   simulating the critical path ({} gates, {} aggressors)...",
+        spec.spec.gates.len(), spec.spec.aggressors.len());
+    match simulate_spec(design, &spec, 2) {
+        Some(sim) => {
+            let span_start = iterative.longest_delay - spec.sta_delay;
+            println!(
+                "{:<24} {:>12.3} {:>8} {:>10.2}   (quiet {:.3} ns, {} transients)",
+                "Simulation (aligned)",
+                (sim.aligned + span_start) * 1e9,
+                "-",
+                started.elapsed().as_secs_f64(),
+                (sim.quiet + span_start) * 1e9,
+                sim.sims
+            );
+            let safe = reports[2].longest_delay; // worst case
+            let covered = sim.aligned + span_start <= safe * 1.02;
+            println!(
+                "bound check: simulation {} the worst-case bound ({:.3} ns)",
+                if covered { "respects" } else { "VIOLATES" },
+                safe * 1e9
+            );
+        }
+        None => println!("Simulation: transient failed to converge"),
+    }
+}

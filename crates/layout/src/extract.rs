@@ -1,0 +1,332 @@
+//! Parasitic extraction: ground caps, coupling caps, Elmore resistances.
+//!
+//! Two nets couple where their segments run in parallel on *adjacent tracks*
+//! of the same layer; the coupling capacitance is the overlap length times
+//! the layer's `cc_per_m`. Ground capacitance and wire resistance follow
+//! from total routed length. Per sink, the Manhattan path resistance from
+//! the driver is recorded so the timing engine can apply the paper's Elmore
+//! wire-delay model (§2: lumped capacitances, Elmore delays, conservative
+//! for long wires).
+
+use std::collections::HashMap;
+
+use xtalk_netlist::{NetId, Netlist};
+use xtalk_tech::Process;
+
+use crate::route::{Layer, Routes, Segment};
+
+/// Resistance of one M1-M2 via, ohms.
+pub const VIA_OHMS: f64 = 8.0;
+
+/// A coupling capacitance between two nets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CouplingCap {
+    /// The aggressor/neighbour net.
+    pub other: NetId,
+    /// Capacitance, farads.
+    pub c: f64,
+}
+
+/// Wire parasitics of one driver-to-sink connection.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SinkWire {
+    /// Resistance of the Manhattan path from driver to this sink, ohms.
+    pub r_path: f64,
+}
+
+/// Parasitics of a single net.
+#[derive(Debug, Clone, Default)]
+pub struct NetParasitics {
+    /// Wire capacitance to ground, farads.
+    pub cwire: f64,
+    /// Total wire resistance, ohms.
+    pub rwire: f64,
+    /// Coupling capacitances to neighbouring nets (aggregated per pair).
+    pub couplings: Vec<CouplingCap>,
+    /// Per-sink path resistances, parallel to the net's `loads` list.
+    pub sinks: Vec<SinkWire>,
+}
+
+impl NetParasitics {
+    /// Total coupling capacitance on the net.
+    pub fn total_coupling(&self) -> f64 {
+        self.couplings.iter().map(|c| c.c).sum()
+    }
+
+    /// Elmore delay to sink `k` with `c_downstream` of load beyond the wire
+    /// (pin caps): `r_path * (cwire/2 + c_downstream)`.
+    ///
+    /// The half-wire term is the standard lumped-RC Elmore approximation for
+    /// a distributed wire.
+    pub fn elmore(&self, k: usize, c_downstream: f64) -> f64 {
+        self.sinks
+            .get(k)
+            .map(|s| s.r_path * (0.5 * self.cwire + c_downstream))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Extracted parasitics of a whole design.
+#[derive(Debug, Clone, Default)]
+pub struct Parasitics {
+    /// Per-net parasitics, indexed by [`NetId::index`].
+    pub nets: Vec<NetParasitics>,
+}
+
+impl Parasitics {
+    /// Number of (directed) coupling records.
+    pub fn coupling_count(&self) -> usize {
+        self.nets.iter().map(|n| n.couplings.len()).sum()
+    }
+
+    /// Total coupling capacitance (each pair counted twice, once per side).
+    pub fn total_coupling(&self) -> f64 {
+        self.nets.iter().map(NetParasitics::total_coupling).sum()
+    }
+
+    /// Empty parasitics for `n` nets (used when analysing unrouted designs).
+    pub fn empty(n: usize) -> Self {
+        Parasitics {
+            nets: vec![NetParasitics::default(); n],
+        }
+    }
+}
+
+/// Extracts parasitics from `routes`.
+pub fn extract(netlist: &Netlist, routes: &Routes, process: &Process) -> Parasitics {
+    let mut nets = vec![NetParasitics::default(); netlist.net_count()];
+
+    // Ground capacitance and series resistance from routed length.
+    for (ni, rn) in routes.nets.iter().enumerate() {
+        let mut cwire = 0.0;
+        let mut rwire = 0.0;
+        for s in &rn.segments {
+            let layer = &process.layers[s.layer.index()];
+            cwire += s.length() * layer.c_per_m;
+            rwire += s.length() * layer.r_per_m;
+        }
+        nets[ni].cwire = cwire;
+        nets[ni].rwire = rwire;
+        // Per-sink Manhattan path resistance: horizontal part on M1,
+        // vertical part on M2, plus two vias when the path changes layer.
+        let r1 = process.layers[Layer::M1.index()].r_per_m;
+        let r2 = process.layers[Layer::M2.index()].r_per_m;
+        nets[ni].sinks = rn
+            .sinks
+            .iter()
+            .map(|&(sx, sy)| {
+                let (dx, dy) = rn.driver;
+                let vertical = (sy - dy).abs();
+                let vias = if vertical > 1e-12 { 2.0 * VIA_OHMS } else { 0.0 };
+                SinkWire {
+                    r_path: (sx - dx).abs() * r1 + vertical * r2 + vias,
+                }
+            })
+            .collect();
+    }
+
+    // Coupling: bucket segments by (layer, track), sweep adjacent tracks.
+    let mut buckets: HashMap<(Layer, i64), Vec<Segment>> = HashMap::new();
+    for rn in &routes.nets {
+        for s in &rn.segments {
+            buckets.entry((s.layer, s.track)).or_default().push(*s);
+        }
+    }
+    for v in buckets.values_mut() {
+        v.sort_by(|a, b| a.from.total_cmp(&b.from));
+    }
+    let mut pair_caps: HashMap<(u32, u32), f64> = HashMap::new();
+    for (&(layer, track), segs) in &buckets {
+        let Some(neigh) = buckets.get(&(layer, track + 1)) else {
+            continue;
+        };
+        let cc_per_m = process.layers[layer.index()].cc_per_m;
+        // Two-pointer sweep over the sorted interval lists.
+        let mut j0 = 0usize;
+        for a in segs {
+            while j0 < neigh.len() && neigh[j0].to < a.from {
+                j0 += 1;
+            }
+            let mut j = j0;
+            while j < neigh.len() && neigh[j].from < a.to {
+                let b = &neigh[j];
+                j += 1;
+                if b.net == a.net {
+                    continue;
+                }
+                let overlap = a.to.min(b.to) - a.from.max(b.from);
+                if overlap <= 0.0 {
+                    continue;
+                }
+                let key = if a.net.0 < b.net.0 {
+                    (a.net.0, b.net.0)
+                } else {
+                    (b.net.0, a.net.0)
+                };
+                *pair_caps.entry(key).or_insert(0.0) += overlap * cc_per_m;
+            }
+        }
+    }
+    let mut pairs: Vec<((u32, u32), f64)> = pair_caps.into_iter().collect();
+    pairs.sort_by_key(|&(k, _)| k);
+    for ((a, b), c) in pairs {
+        nets[a as usize].couplings.push(CouplingCap {
+            other: NetId(b),
+            c,
+        });
+        nets[b as usize].couplings.push(CouplingCap {
+            other: NetId(a),
+            c,
+        });
+    }
+
+    // Physical sanity: a wire has two sides, so its total lateral coupling
+    // cannot exceed 2 * length * cc_per_m. Congested regions where the
+    // greedy legalizer stacked overlapping segments would otherwise count
+    // one victim against many phantom neighbours; scale those nets back to
+    // the physical ceiling.
+    let cc_max_per_m: f64 = process
+        .layers
+        .iter()
+        .map(|l| l.cc_per_m)
+        .fold(0.0, f64::max);
+    let mut scale = vec![1.0f64; nets.len()];
+    for (ni, rn) in routes.nets.iter().enumerate() {
+        let ceiling = 2.0 * rn.wirelength() * cc_max_per_m;
+        let total = nets[ni].total_coupling();
+        if total > ceiling && total > 0.0 {
+            scale[ni] = ceiling / total;
+        }
+    }
+    for ni in 0..nets.len() {
+        // A pair's cap is limited by the tighter of the two sides, keeping
+        // the coupling matrix symmetric.
+        let net_scale = scale[ni];
+        for cc in &mut nets[ni].couplings {
+            let s = net_scale.min(scale[cc.other.index()]);
+            cc.c *= s;
+        }
+    }
+    Parasitics { nets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::place;
+    use crate::route::route;
+    use xtalk_netlist::generator::{self, GeneratorConfig};
+    use xtalk_netlist::Netlist;
+    use xtalk_tech::{Library, Process};
+
+    fn extracted(seed: u64) -> (Process, Parasitics, Netlist) {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        let nl = generator::generate(&GeneratorConfig::small(seed), &l).expect("generate");
+        let pl = place(&nl, &l, &p);
+        let r = route(&nl, &pl, &p);
+        let para = extract(&nl, &r, &p);
+        (p, para, nl)
+    }
+
+    #[test]
+    fn loaded_nets_have_wire_cap() {
+        let (_, para, nl) = extracted(1);
+        for (ni, net) in nl.nets().iter().enumerate() {
+            if !net.loads.is_empty() && net.driver.is_some() {
+                assert!(
+                    para.nets[ni].cwire > 0.0,
+                    "net {} has zero wire cap",
+                    net.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn couplings_are_symmetric() {
+        let (_, para, _) = extracted(2);
+        for (ni, np) in para.nets.iter().enumerate() {
+            for cc in &np.couplings {
+                let back = para.nets[cc.other.index()]
+                    .couplings
+                    .iter()
+                    .find(|c| c.other.index() == ni)
+                    .expect("coupling must be recorded on both nets");
+                assert!((back.c - cc.c).abs() < 1e-21);
+            }
+        }
+    }
+
+    #[test]
+    fn some_coupling_exists_and_is_plausible() {
+        let (_, para, _) = extracted(3);
+        assert!(para.coupling_count() > 0, "a routed design must couple");
+        for np in &para.nets {
+            for cc in &np.couplings {
+                assert!(cc.c > 0.0);
+                assert!(cc.c < 1e-12, "absurd coupling cap {}", cc.c);
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_coupling() {
+        let (_, para, _) = extracted(4);
+        for (ni, np) in para.nets.iter().enumerate() {
+            assert!(np.couplings.iter().all(|c| c.other.index() != ni));
+        }
+    }
+
+    #[test]
+    fn elmore_scales_with_downstream_cap() {
+        let np = NetParasitics {
+            cwire: 20e-15,
+            rwire: 100.0,
+            couplings: Vec::new(),
+            sinks: vec![SinkWire { r_path: 200.0 }],
+        };
+        let d1 = np.elmore(0, 5e-15);
+        let d2 = np.elmore(0, 25e-15);
+        assert!(d2 > d1);
+        assert!((d1 - 200.0 * 15e-15).abs() < 1e-18);
+        assert_eq!(np.elmore(7, 1e-15), 0.0, "missing sink gives zero");
+    }
+
+    #[test]
+    fn wire_delays_small_relative_to_gate_delays() {
+        // The paper notes wire delay is not the dominant effect in these
+        // circuits (0.2-0.5ns on >10ns paths); check our extraction lands in
+        // a sane regime: average per-sink Elmore below 100ps.
+        let (_, para, nl) = extracted(5);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (ni, np) in para.nets.iter().enumerate() {
+            let _ = ni;
+            for k in 0..np.sinks.len() {
+                total += np.elmore(k, 10e-15);
+                count += 1;
+            }
+        }
+        let _ = nl;
+        assert!(count > 0);
+        let avg = total / count as f64;
+        assert!(avg < 100e-12, "average Elmore {avg}");
+    }
+
+    #[test]
+    fn empty_parasitics_shape() {
+        let p = Parasitics::empty(5);
+        assert_eq!(p.nets.len(), 5);
+        assert_eq!(p.coupling_count(), 0);
+        assert_eq!(p.total_coupling(), 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a, _) = extracted(6);
+        let (_, b, _) = extracted(6);
+        assert_eq!(a.coupling_count(), b.coupling_count());
+        assert!((a.total_coupling() - b.total_coupling()).abs() < 1e-24);
+    }
+}

@@ -1,0 +1,42 @@
+//! Layout substrate: placement, routing, parasitic extraction.
+//!
+//! The paper evaluates on ISCAS89 circuits "routed in a 0.5 µm process
+//! technology with two metal layers" and extracts lumped ground and coupling
+//! capacitances from the layout. This crate rebuilds that flow:
+//!
+//! - [`place`]: levelized row placement of the standard cells.
+//! - [`route`]: star-topology Manhattan routing on two layers (M1
+//!   horizontal, M2 vertical) with a greedy track legalizer, so geometric
+//!   *adjacency* between nets — the source of coupling — is real.
+//! - [`extract`]: per-net wire capacitance/resistance, coupling
+//!   capacitances between segments on neighbouring tracks, and per-sink
+//!   Elmore resistances (the paper's §2 wire model: lumped caps + Elmore).
+//! - [`spef`]: a SPEF-subset writer/reader for the extracted parasitics.
+//!
+//! # Example
+//!
+//! ```
+//! use xtalk_netlist::{bench, data};
+//! use xtalk_tech::{Library, Process};
+//!
+//! let process = Process::c05um();
+//! let lib = Library::c05um(&process);
+//! let netlist = bench::parse(data::S27_BENCH, &lib)?;
+//! let placement = xtalk_layout::place::place(&netlist, &lib, &process);
+//! let routes = xtalk_layout::route::route(&netlist, &placement, &process);
+//! let parasitics = xtalk_layout::extract::extract(&netlist, &routes, &process);
+//! assert_eq!(parasitics.nets.len(), netlist.net_count());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod place;
+pub mod route;
+pub mod spef;
+
+pub use extract::{CouplingCap, NetParasitics, Parasitics, SinkWire};
+pub use place::Placement;
+pub use route::{RoutedNet, Routes, Segment};

@@ -1,0 +1,347 @@
+//! Levelized row placement.
+//!
+//! Cells are ordered by their combinational level (so connected logic lands
+//! close together, as a timing-driven placer would arrange it) and poured
+//! into standard-cell rows boustrophedon-style with a fixed whitespace
+//! factor. The result is deterministic for a given netlist.
+
+use xtalk_netlist::{GateId, Netlist};
+use xtalk_tech::{Library, Process};
+
+/// Extra row capacity beyond the sum of cell widths.
+const WHITESPACE: f64 = 1.15;
+
+/// Physical position of one placed cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellPlace {
+    /// Left edge, metres.
+    pub x: f64,
+    /// Row bottom edge, metres.
+    pub y: f64,
+    /// Row index.
+    pub row: usize,
+    /// Cell width, metres.
+    pub width: f64,
+}
+
+impl CellPlace {
+    /// Height of the pin area within a row (pins spread vertically so
+    /// routing branches do not all contend for one track).
+    const PIN_AREA: f64 = 8.0e-6;
+
+    /// Position of input pin `pin` of `n_pins` on this cell.
+    pub fn input_pin(&self, pin: usize, n_pins: usize) -> (f64, f64) {
+        let frac = (pin + 1) as f64 / (n_pins + 1) as f64;
+        (self.x + self.width * frac, self.y + Self::PIN_AREA * frac)
+    }
+
+    /// Position of the output pin.
+    pub fn output_pin(&self) -> (f64, f64) {
+        (self.x + self.width * 0.9, self.y + Self::PIN_AREA * 0.75)
+    }
+}
+
+/// A complete placement.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Per-gate positions, indexed by [`GateId::index`].
+    pub cells: Vec<CellPlace>,
+    /// Number of rows used.
+    pub rows: usize,
+    /// Die width, metres.
+    pub die_width: f64,
+    /// Die height, metres.
+    pub die_height: f64,
+    /// Primary-I/O pad positions, indexed by net id (0 for non-I/O nets).
+    pub io_pads: Vec<(f64, f64)>,
+}
+
+impl Placement {
+    /// Position of the pin that drives `gate`'s input `pin`.
+    pub fn input_pin(&self, netlist: &Netlist, gate: GateId, pin: usize) -> (f64, f64) {
+        let n = netlist.gate(gate).inputs.len();
+        self.cells[gate.index()].input_pin(pin, n)
+    }
+}
+
+/// Places `netlist` into rows.
+///
+/// Unknown cells are given a default width of four sites, so placement
+/// (unlike timing) never fails.
+pub fn place(netlist: &Netlist, library: &Library, process: &Process) -> Placement {
+    let site = process.site_width;
+    let row_h = process.row_height;
+
+    // Cell widths.
+    let widths: Vec<f64> = netlist
+        .gates()
+        .iter()
+        .map(|g| {
+            let sites = library.cell(&g.cell).map(|c| c.area_sites).unwrap_or(4);
+            sites as f64 * site
+        })
+        .collect();
+    let total_width: f64 = widths.iter().sum::<f64>() * WHITESPACE;
+
+    // Square-ish die: rows * row_h == total_width / rows  =>  rows = sqrt.
+    let rows = ((total_width / row_h).sqrt().ceil() as usize).max(1);
+    let row_capacity = total_width / rows as f64;
+
+    // Placement order: levelized (sequential cells first, then by level) so
+    // that logically adjacent cells are physically adjacent. Within each
+    // level, gates are sorted by the barycentre of their already-ordered
+    // fan-in drivers — a cheap one-pass force-directed ordering that keeps
+    // connections between consecutive levels mostly vertical and short on
+    // big designs.
+    let topo: Vec<GateId> = netlist
+        .levelize(library)
+        .unwrap_or_else(|_| (0..netlist.gate_count() as u32).map(GateId).collect());
+    let physical_levels = barycentric_order(netlist, library, &topo);
+
+    let mut cells = vec![
+        CellPlace {
+            x: 0.0,
+            y: 0.0,
+            row: 0,
+            width: site
+        };
+        netlist.gate_count()
+    ];
+    // Dataflow fill: each logic level occupies a vertical slab, W cells per
+    // row, so cells adjacent in the barycentric order land within a few
+    // rows/columns of each other and connections between consecutive levels
+    // are short (the folded level sequence keeps feedback short too).
+    let mut cursor = vec![0.0f64; rows];
+    let mut die_width = 0.0f64;
+    for level_gates in physical_levels {
+        let w_cols = level_gates.len().div_ceil(rows).max(1);
+        for (j, g) in level_gates.into_iter().enumerate() {
+            let w = widths[g.index()];
+            let row = (j / w_cols).min(rows - 1);
+            let x = cursor[row];
+            cells[g.index()] = CellPlace {
+                x,
+                y: row as f64 * row_h,
+                row,
+                width: w,
+            };
+            cursor[row] += w;
+            die_width = die_width.max(x + w);
+        }
+    }
+    let rows_used = rows;
+    let die_height = rows_used as f64 * row_h;
+    let _ = row_capacity;
+
+    // Primary I/O pads on the die boundary, spread along the left (inputs)
+    // and right (outputs) edges.
+    let mut io_pads = vec![(0.0, 0.0); netlist.net_count()];
+    let pis: Vec<_> = netlist.primary_inputs().collect();
+    for (k, id) in pis.iter().enumerate() {
+        let y = die_height * (k + 1) as f64 / (pis.len() + 1) as f64;
+        io_pads[id.index()] = (0.0, y);
+    }
+    let pos: Vec<_> = netlist.primary_outputs().collect();
+    for (k, id) in pos.iter().enumerate() {
+        let y = die_height * (k + 1) as f64 / (pos.len() + 1) as f64;
+        io_pads[id.index()] = (die_width.max(row_capacity), y);
+    }
+
+    Placement {
+        cells,
+        rows: rows_used,
+        die_width: die_width.max(row_capacity),
+        die_height,
+        io_pads,
+    }
+}
+
+/// Orders gates level by level, sorting each level by the mean ordinal
+/// position of its fan-in drivers, and returns the levels in the folded
+/// physical sequence.
+fn barycentric_order(netlist: &Netlist, library: &Library, topo: &[GateId]) -> Vec<Vec<GateId>> {
+    // Combinational level of each gate (sequential gates and gates without
+    // combinational fan-in are level 0).
+    let mut level = vec![0usize; netlist.gate_count()];
+    for &g in topo {
+        let gate = netlist.gate(g);
+        let seq = library
+            .cell(&gate.cell)
+            .map(|c| c.is_sequential())
+            .unwrap_or(false);
+        if seq {
+            continue;
+        }
+        let mut l = 0usize;
+        for &input in &gate.inputs {
+            if let Some(driver) = netlist.net(input).driver {
+                let dseq = library
+                    .cell(&netlist.gate(driver).cell)
+                    .map(|c| c.is_sequential())
+                    .unwrap_or(false);
+                if !dseq {
+                    l = l.max(level[driver.index()] + 1);
+                }
+            }
+        }
+        level[g.index()] = l;
+    }
+    let max_level = topo.iter().map(|g| level[g.index()]).max().unwrap_or(0);
+    let mut by_level: Vec<Vec<GateId>> = vec![Vec::new(); max_level + 1];
+    for &g in topo {
+        by_level[level[g.index()]].push(g);
+    }
+    // Physical level sequence: fold the pipeline so the deepest levels come
+    // back next to level 0 — flip-flop feedback nets (deep output -> D pin)
+    // then stay short instead of crossing the die. fold(l) interleaves the
+    // outgoing (0, 2, 4, ...) and returning (..., 5, 3, 1) halves.
+    let mut physical: Vec<usize> = (0..=max_level).collect();
+    physical.sort_by_key(|&l| {
+        let half = max_level / 2;
+        if l <= half {
+            2 * l
+        } else {
+            2 * (max_level - l) + 1
+        }
+    });
+
+    // Ordinal position assigned so far, per gate. Barycentres must be
+    // computed in topological (logical) level order even though the
+    // physical fill order is folded.
+    let mut pos = vec![f64::NAN; netlist.gate_count()];
+    let mut sorted_levels: Vec<Vec<GateId>> = vec![Vec::new(); max_level + 1];
+    for (li, gates) in by_level.iter().enumerate() {
+        let mut keyed: Vec<(f64, GateId)> = gates
+            .iter()
+            .enumerate()
+            .map(|(k, &g)| {
+                let gate = netlist.gate(g);
+                let mut sum = 0.0;
+                let mut cnt = 0usize;
+                for &input in &gate.inputs {
+                    if let Some(driver) = netlist.net(input).driver {
+                        let p = pos[driver.index()];
+                        if p.is_finite() {
+                            sum += p;
+                            cnt += 1;
+                        }
+                    }
+                }
+                // Level 0 (and fan-in-less gates) keep their stable order,
+                // normalised so the key is comparable with barycentres.
+                let key = if li == 0 || cnt == 0 {
+                    k as f64 / gates.len().max(1) as f64
+                } else {
+                    sum / cnt as f64
+                };
+                (key, g)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (k, &(_, g)) in keyed.iter().enumerate() {
+            // Normalised ordinal so levels of different widths align.
+            pos[g.index()] = k as f64 / keyed.len().max(1) as f64;
+            sorted_levels[li].push(g);
+        }
+    }
+    physical.into_iter().map(|l| std::mem::take(&mut sorted_levels[l])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_netlist::generator::{self, GeneratorConfig};
+    use xtalk_netlist::{bench, data};
+    use xtalk_tech::{Library, Process};
+
+    fn setup() -> (Process, Library) {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        (p, l)
+    }
+
+    #[test]
+    fn s27_places_without_overlap_in_rows() {
+        let (p, l) = setup();
+        let nl = bench::parse(data::S27_BENCH, &l).expect("parse");
+        let pl = place(&nl, &l, &p);
+        assert_eq!(pl.cells.len(), nl.gate_count());
+        // No two cells in the same row overlap.
+        for (i, a) in pl.cells.iter().enumerate() {
+            for b in pl.cells.iter().skip(i + 1) {
+                if a.row == b.row {
+                    let overlap = a.x < b.x + b.width && b.x < a.x + a.width;
+                    assert!(!overlap, "cells overlap in row {}", a.row);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn die_is_roughly_square() {
+        let (p, l) = setup();
+        let nl =
+            generator::generate(&GeneratorConfig::small(11), &l).expect("generate");
+        let pl = place(&nl, &l, &p);
+        let aspect = pl.die_width / pl.die_height;
+        assert!(aspect > 0.3 && aspect < 3.0, "aspect {aspect}");
+    }
+
+    #[test]
+    fn all_cells_inside_die() {
+        let (p, l) = setup();
+        let nl =
+            generator::generate(&GeneratorConfig::small(3), &l).expect("generate");
+        let pl = place(&nl, &l, &p);
+        for c in &pl.cells {
+            assert!(c.x >= -1e-12);
+            assert!(c.x + c.width <= pl.die_width + 1e-9);
+            assert!(c.y >= -1e-12 && c.y < pl.die_height);
+        }
+    }
+
+    #[test]
+    fn pin_positions_on_cell() {
+        let c = CellPlace {
+            x: 10e-6,
+            y: 24e-6,
+            row: 2,
+            width: 9e-6,
+        };
+        let (x0, _) = c.input_pin(0, 2);
+        let (x1, _) = c.input_pin(1, 2);
+        assert!(x0 > c.x && x1 < c.x + c.width && x0 < x1);
+        let (xo, yo) = c.output_pin();
+        assert!(xo > x1);
+        assert!(yo > c.y && yo < c.y + 12e-6, "output pin inside the row");
+        let (_, y0) = c.input_pin(0, 2);
+        let (_, y1) = c.input_pin(1, 2);
+        assert!(y0 < y1, "pins spread vertically");
+    }
+
+    #[test]
+    fn io_pads_on_boundary() {
+        let (p, l) = setup();
+        let nl = bench::parse(data::C17_BENCH, &l).expect("parse");
+        let pl = place(&nl, &l, &p);
+        for id in nl.primary_inputs() {
+            assert_eq!(pl.io_pads[id.index()].0, 0.0, "inputs on the left edge");
+        }
+        for id in nl.primary_outputs() {
+            assert!(
+                (pl.io_pads[id.index()].0 - pl.die_width).abs() < 1e-9,
+                "outputs on the right edge"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (p, l) = setup();
+        let nl =
+            generator::generate(&GeneratorConfig::small(8), &l).expect("generate");
+        let a = place(&nl, &l, &p);
+        let b = place(&nl, &l, &p);
+        assert_eq!(a.cells, b.cells);
+    }
+}

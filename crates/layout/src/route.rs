@@ -1,0 +1,331 @@
+//! Two-layer Manhattan star routing with greedy track legalization.
+//!
+//! Every net is routed as a star: a vertical trunk on M2 at the driver's x
+//! position spanning all pin rows, plus one horizontal M1 branch per pin
+//! from the pin to the trunk. Segments are snapped to routing tracks; a
+//! greedy legalizer moves a segment to a nearby free track when its desired
+//! track already carries an overlapping segment, which is what creates the
+//! realistic *adjacent-track parallel runs* that coupling extraction feeds
+//! on.
+
+use std::collections::HashMap;
+
+use xtalk_netlist::{NetId, Netlist};
+use xtalk_tech::Process;
+
+use crate::place::Placement;
+
+/// Routing layer of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Metal 1, horizontal tracks.
+    M1,
+    /// Metal 2, vertical tracks.
+    M2,
+}
+
+impl Layer {
+    /// Index into [`Process::layers`].
+    pub fn index(self) -> usize {
+        match self {
+            Layer::M1 => 0,
+            Layer::M2 => 1,
+        }
+    }
+}
+
+/// One routed wire segment occupying a track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// The net this segment belongs to.
+    pub net: NetId,
+    /// Routing layer.
+    pub layer: Layer,
+    /// Track index (y-track for M1, x-track for M2).
+    pub track: i64,
+    /// Interval start along the track direction, metres.
+    pub from: f64,
+    /// Interval end along the track direction, metres (`from <= to`).
+    pub to: f64,
+}
+
+impl Segment {
+    /// Segment length, metres.
+    pub fn length(&self) -> f64 {
+        self.to - self.from
+    }
+}
+
+/// Route of a single net.
+#[derive(Debug, Clone, Default)]
+pub struct RoutedNet {
+    /// The net's segments.
+    pub segments: Vec<Segment>,
+    /// Driver pin position.
+    pub driver: (f64, f64),
+    /// Sink pin positions, parallel to the net's `loads` list.
+    pub sinks: Vec<(f64, f64)>,
+}
+
+impl RoutedNet {
+    /// Total wirelength, metres.
+    pub fn wirelength(&self) -> f64 {
+        self.segments.iter().map(Segment::length).sum()
+    }
+
+    /// Manhattan path length from the driver to sink `k` through the star
+    /// (branch + trunk portion + branch).
+    pub fn path_length(&self, k: usize) -> f64 {
+        let (dx, dy) = self.driver;
+        let (sx, sy) = self.sinks[k];
+        // Star topology: horizontal to the trunk at the driver's x, vertical
+        // along the trunk, horizontal to the sink.
+        (sx - dx).abs() + (sy - dy).abs()
+    }
+}
+
+/// All routed nets of a design.
+#[derive(Debug, Clone, Default)]
+pub struct Routes {
+    /// Per-net routes, indexed by [`NetId::index`].
+    pub nets: Vec<RoutedNet>,
+}
+
+impl Routes {
+    /// Total routed wirelength, metres.
+    pub fn total_wirelength(&self) -> f64 {
+        self.nets.iter().map(RoutedNet::wirelength).sum()
+    }
+}
+
+/// Greedy per-track occupancy used during legalization.
+#[derive(Default)]
+struct TrackOccupancy {
+    by_track: HashMap<i64, Vec<(f64, f64)>>,
+}
+
+impl TrackOccupancy {
+    /// Finds a track at or near `want` where `[from, to]` does not overlap
+    /// an existing segment, inserts it, and returns the chosen track.
+    fn claim(&mut self, want: i64, from: f64, to: f64) -> i64 {
+        for offset in [0i64, 1, -1, 2, -2, 3, -3, 4, -4, 5, -5, 6, -6, 7, -7, 8, -8, 9, -9, 10, -10] {
+            let track = want + offset;
+            let free = self
+                .by_track
+                .get(&track)
+                .map(|ivs| !ivs.iter().any(|&(a, b)| from < b && a < to))
+                .unwrap_or(true);
+            if free {
+                self.by_track.entry(track).or_default().push((from, to));
+                return track;
+            }
+        }
+        // Congested: accept the overlap on the desired track.
+        self.by_track.entry(want).or_default().push((from, to));
+        want
+    }
+}
+
+/// Routes every net of `netlist` over `placement`.
+pub fn route(netlist: &Netlist, placement: &Placement, process: &Process) -> Routes {
+    let p1 = process.layers[Layer::M1.index()].pitch;
+    let p2 = process.layers[Layer::M2.index()].pitch;
+    let mut m1 = TrackOccupancy::default();
+    let mut m2 = TrackOccupancy::default();
+    let mut nets = vec![RoutedNet::default(); netlist.net_count()];
+
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        let id = NetId(ni as u32);
+        // Driver position: gate output pin or an I/O pad.
+        let driver = match net.driver {
+            Some(g) => placement.cells[g.index()].output_pin(),
+            None => placement.io_pads[ni],
+        };
+        let mut sinks: Vec<(f64, f64)> = net
+            .loads
+            .iter()
+            .map(|&(g, pin)| placement.input_pin(netlist, g, pin))
+            .collect();
+        if net.is_primary_output && net.loads.is_empty() {
+            sinks.push(placement.io_pads[ni]);
+        }
+        let mut segments = Vec::new();
+        if !sinks.is_empty() {
+            // Vertical trunk on M2 at the median pin x (a Steiner-style
+            // trunk keeps branch lengths short), spanning all pin rows.
+            let ys: Vec<f64> = sinks
+                .iter()
+                .map(|s| s.1)
+                .chain(std::iter::once(driver.1))
+                .collect();
+            let y_min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let y_max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut xs: Vec<f64> = sinks
+                .iter()
+                .map(|s| s.0)
+                .chain(std::iter::once(driver.0))
+                .collect();
+            xs.sort_by(f64::total_cmp);
+            let trunk_x = xs[xs.len() / 2];
+            if y_max - y_min > 1e-12 {
+                let want = (trunk_x / p2).round() as i64;
+                let track = m2.claim(want, y_min, y_max);
+                segments.push(Segment {
+                    net: id,
+                    layer: Layer::M2,
+                    track,
+                    from: y_min,
+                    to: y_max,
+                });
+            }
+            // Horizontal branches on M1: driver->trunk and trunk->each sink.
+            for &(px, py) in sinks.iter().chain(std::iter::once(&driver)) {
+                if (px - trunk_x).abs() > 1e-12 {
+                    let (a, b) = if px < trunk_x {
+                        (px, trunk_x)
+                    } else {
+                        (trunk_x, px)
+                    };
+                    let want = (py / p1).round() as i64;
+                    let track = m1.claim(want, a, b);
+                    segments.push(Segment {
+                        net: id,
+                        layer: Layer::M1,
+                        track,
+                        from: a,
+                        to: b,
+                    });
+                }
+            }
+        }
+        nets[ni] = RoutedNet {
+            segments,
+            driver,
+            sinks,
+        };
+    }
+    Routes { nets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::place;
+    use xtalk_netlist::generator::{self, GeneratorConfig};
+    use xtalk_netlist::{bench, data};
+    use xtalk_tech::{Library, Process};
+
+    fn routed(seed: u64) -> (Process, Routes, xtalk_netlist::Netlist) {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        let nl = generator::generate(&GeneratorConfig::small(seed), &l).expect("generate");
+        let pl = place(&nl, &l, &p);
+        let r = route(&nl, &pl, &p);
+        (p, r, nl)
+    }
+
+    #[test]
+    fn every_loaded_net_is_routed() {
+        let (_, r, nl) = routed(1);
+        for (ni, net) in nl.nets().iter().enumerate() {
+            if !net.loads.is_empty() {
+                assert_eq!(r.nets[ni].sinks.len(), net.loads.len());
+                // Sinks on different rows than the driver need a trunk.
+                let multi_row = r.nets[ni]
+                    .sinks
+                    .iter()
+                    .any(|s| (s.1 - r.nets[ni].driver.1).abs() > 1e-9);
+                if multi_row {
+                    assert!(
+                        r.nets[ni].segments.iter().any(|s| s.layer == Layer::M2),
+                        "net {} spans rows without a trunk",
+                        net.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wirelength_positive_and_bounded() {
+        let (p, r, _) = routed(2);
+        let total = r.total_wirelength();
+        assert!(total > 0.0);
+        // Sanity: less than a metre of wire on a mm-scale die.
+        assert!(total < 1.0, "wirelength {total}");
+        let _ = p;
+    }
+
+    #[test]
+    fn segments_well_formed() {
+        let (_, r, _) = routed(3);
+        for net in &r.nets {
+            for s in &net.segments {
+                assert!(s.to >= s.from, "segment reversed");
+                assert!(s.length() < 5e-3, "segment absurdly long");
+            }
+        }
+    }
+
+    #[test]
+    fn legalizer_avoids_track_overlap_mostly() {
+        let (_, r, _) = routed(4);
+        let mut by_track: std::collections::HashMap<(Layer, i64), Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        let mut overlaps = 0usize;
+        let mut total = 0usize;
+        for net in &r.nets {
+            for s in &net.segments {
+                let ivs = by_track.entry((s.layer, s.track)).or_default();
+                if ivs.iter().any(|&(a, b)| s.from < b && a < s.to) {
+                    overlaps += 1;
+                }
+                ivs.push((s.from, s.to));
+                total += 1;
+            }
+        }
+        // Tiny test dies are far more congested than the production-size
+        // circuits; a quarter of segments overlapping is the acceptance band
+        // here (the big ISCAS-like circuits land much lower).
+        assert!(
+            overlaps * 4 < total,
+            "legalizer left {overlaps}/{total} overlaps"
+        );
+    }
+
+    #[test]
+    fn path_length_is_manhattan() {
+        let net = RoutedNet {
+            segments: Vec::new(),
+            driver: (0.0, 0.0),
+            sinks: vec![(3e-6, 4e-6)],
+        };
+        assert!((net.path_length(0) - 7e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primary_output_routes_to_pad() {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        let nl = bench::parse(data::C17_BENCH, &l).expect("parse");
+        let pl = place(&nl, &l, &p);
+        let r = route(&nl, &pl, &p);
+        for id in nl.primary_outputs() {
+            assert!(
+                !r.nets[id.index()].sinks.is_empty(),
+                "PO net must reach its pad"
+            );
+        }
+    }
+
+    #[test]
+    fn track_claim_shifts_on_conflict() {
+        let mut occ = TrackOccupancy::default();
+        let t1 = occ.claim(10, 0.0, 5.0);
+        assert_eq!(t1, 10);
+        let t2 = occ.claim(10, 1.0, 3.0);
+        assert_ne!(t2, 10, "overlapping claim must shift tracks");
+        let t3 = occ.claim(10, 6.0, 8.0);
+        assert_eq!(t3, 10, "non-overlapping claim keeps the track");
+    }
+}

@@ -1,0 +1,297 @@
+//! SPEF-subset writer and reader for extracted parasitics.
+//!
+//! Emits the detached-net (`*D_NET`) form of IEEE 1481 SPEF with ground and
+//! coupling capacitance entries plus a lumped resistance, which is the
+//! information the crosstalk-aware timing flow consumes. Capacitance values
+//! are in the SPEF-customary femtofarads, resistance in ohms:
+//!
+//! ```text
+//! *SPEF "IEEE 1481-1998"
+//! *DESIGN s27
+//! *C_UNIT 1 FF
+//! *R_UNIT 1 OHM
+//!
+//! *D_NET n42 12.5
+//! *CAP
+//! 1 n42 10.1
+//! 2 n42 n17 2.4
+//! *RES
+//! 1 n42 350.0
+//! *END
+//! ```
+//!
+//! The per-sink Elmore path resistances are an internal detail of the
+//! extractor and are not part of the exchange format; a parsed
+//! [`Parasitics`] therefore has empty `sinks` lists.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use xtalk_netlist::{NetId, Netlist};
+
+use crate::extract::{CouplingCap, NetParasitics, Parasitics};
+
+/// Errors reading SPEF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpefError {
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The SPEF references a net absent from the netlist.
+    UnknownNet {
+        /// The missing net name.
+        net: String,
+    },
+}
+
+impl std::fmt::Display for SpefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpefError::Parse { line, message } => {
+                write!(f, "SPEF parse error at line {line}: {message}")
+            }
+            SpefError::UnknownNet { net } => write!(f, "SPEF references unknown net `{net}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpefError {}
+
+/// Writes `parasitics` as SPEF text.
+pub fn write(netlist: &Netlist, parasitics: &Parasitics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "*SPEF \"IEEE 1481-1998\"");
+    let _ = writeln!(out, "*DESIGN {}", netlist.name);
+    let _ = writeln!(out, "*C_UNIT 1 FF");
+    let _ = writeln!(out, "*R_UNIT 1 OHM");
+    let _ = writeln!(out);
+    for (ni, np) in parasitics.nets.iter().enumerate() {
+        if np.cwire == 0.0 && np.couplings.is_empty() && np.rwire == 0.0 {
+            continue;
+        }
+        let name = &netlist.nets()[ni].name;
+        let total_ff = (np.cwire + np.total_coupling()) * 1e15;
+        let _ = writeln!(out, "*D_NET {name} {total_ff:.6}");
+        let _ = writeln!(out, "*CAP");
+        let mut idx = 1;
+        let _ = writeln!(out, "{idx} {name} {:.6}", np.cwire * 1e15);
+        for cc in &np.couplings {
+            idx += 1;
+            let other = &netlist.nets()[cc.other.index()].name;
+            let _ = writeln!(out, "{idx} {name} {other} {:.6}", cc.c * 1e15);
+        }
+        let _ = writeln!(out, "*RES");
+        let _ = writeln!(out, "1 {name} {:.6}", np.rwire);
+        let _ = writeln!(out, "*END");
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Parses SPEF text produced by [`fn@write`] (or a compatible subset) back into
+/// [`Parasitics`] for `netlist`.
+///
+/// # Errors
+///
+/// [`SpefError::Parse`] for malformed lines, [`SpefError::UnknownNet`] for
+/// nets missing from `netlist`.
+pub fn parse(text: &str, netlist: &Netlist) -> Result<Parasitics, SpefError> {
+    let mut nets = vec![NetParasitics::default(); netlist.net_count()];
+    let by_name: HashMap<&str, NetId> = netlist
+        .nets()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.name.as_str(), NetId(i as u32)))
+        .collect();
+    let lookup = |name: &str| -> Result<NetId, SpefError> {
+        by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SpefError::UnknownNet {
+                net: name.to_string(),
+            })
+    };
+
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Cap,
+        Res,
+    }
+    let mut current: Option<NetId> = None;
+    let mut section = Section::None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("*D_NET") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| SpefError::Parse {
+                line: lineno,
+                message: "missing net name".to_string(),
+            })?;
+            current = Some(lookup(name)?);
+            section = Section::None;
+            continue;
+        }
+        match line {
+            "*CAP" => {
+                section = Section::Cap;
+                continue;
+            }
+            "*RES" => {
+                section = Section::Res;
+                continue;
+            }
+            "*END" => {
+                current = None;
+                section = Section::None;
+                continue;
+            }
+            _ => {}
+        }
+        if line.starts_with('*') {
+            continue; // header directives
+        }
+        let Some(net) = current else { continue };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match section {
+            Section::Cap => match fields.as_slice() {
+                [_idx, _name, value] => {
+                    let ff: f64 = value.parse().map_err(|_| SpefError::Parse {
+                        line: lineno,
+                        message: format!("bad capacitance `{value}`"),
+                    })?;
+                    nets[net.index()].cwire += ff * 1e-15;
+                }
+                [_idx, _name, other, value] => {
+                    let ff: f64 = value.parse().map_err(|_| SpefError::Parse {
+                        line: lineno,
+                        message: format!("bad capacitance `{value}`"),
+                    })?;
+                    let other = lookup(other)?;
+                    nets[net.index()].couplings.push(CouplingCap {
+                        other,
+                        c: ff * 1e-15,
+                    });
+                }
+                _ => {
+                    return Err(SpefError::Parse {
+                        line: lineno,
+                        message: "malformed *CAP entry".to_string(),
+                    })
+                }
+            },
+            Section::Res => match fields.as_slice() {
+                [_idx, _name, value] => {
+                    let ohm: f64 = value.parse().map_err(|_| SpefError::Parse {
+                        line: lineno,
+                        message: format!("bad resistance `{value}`"),
+                    })?;
+                    nets[net.index()].rwire += ohm;
+                }
+                _ => {
+                    return Err(SpefError::Parse {
+                        line: lineno,
+                        message: "malformed *RES entry".to_string(),
+                    })
+                }
+            },
+            Section::None => {
+                return Err(SpefError::Parse {
+                    line: lineno,
+                    message: "data outside *CAP/*RES section".to_string(),
+                })
+            }
+        }
+    }
+    Ok(Parasitics { nets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use crate::place::place;
+    use crate::route::route;
+    use xtalk_netlist::generator::{self, GeneratorConfig};
+    use xtalk_tech::{Library, Process};
+
+    fn setup() -> (xtalk_netlist::Netlist, Parasitics) {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        let nl = generator::generate(&GeneratorConfig::small(21), &l).expect("generate");
+        let pl = place(&nl, &l, &p);
+        let r = route(&nl, &pl, &p);
+        let para = extract(&nl, &r, &p);
+        (nl, para)
+    }
+
+    #[test]
+    fn roundtrip_preserves_caps_and_res() {
+        let (nl, para) = setup();
+        let text = write(&nl, &para);
+        let back = parse(&text, &nl).expect("parse");
+        for (a, b) in para.nets.iter().zip(&back.nets) {
+            assert!((a.cwire - b.cwire).abs() < 1e-20, "cwire mismatch");
+            assert!((a.rwire - b.rwire).abs() < 1e-5, "rwire mismatch");
+            assert_eq!(a.couplings.len(), b.couplings.len());
+            for (x, y) in a.couplings.iter().zip(&b.couplings) {
+                assert_eq!(x.other, y.other);
+                assert!((x.c - y.c).abs() < 1e-20);
+            }
+        }
+    }
+
+    #[test]
+    fn writer_emits_required_sections() {
+        let (nl, para) = setup();
+        let text = write(&nl, &para);
+        assert!(text.contains("*SPEF"));
+        assert!(text.contains("*DESIGN"));
+        assert!(text.contains("*D_NET"));
+        assert!(text.contains("*CAP"));
+        assert!(text.contains("*RES"));
+        assert!(text.contains("*END"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_net() {
+        let (nl, _) = setup();
+        let text = "*D_NET not_a_net 1.0\n*CAP\n1 not_a_net 1.0\n*END\n";
+        let err = parse(text, &nl).unwrap_err();
+        assert_eq!(
+            err,
+            SpefError::UnknownNet {
+                net: "not_a_net".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let (nl, _) = setup();
+        let text = "*D_NET CLK 1.0\n*CAP\nnonsense\n*END\n";
+        let err = parse(text, &nl).unwrap_err();
+        assert!(matches!(err, SpefError::Parse { .. }), "{err}");
+
+        let text = "*D_NET CLK 1.0\n1 CLK 2.0\n";
+        let err = parse(text, &nl).unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn parse_tolerates_header_directives() {
+        let (nl, _) = setup();
+        let text = "*SPEF \"x\"\n*DESIGN d\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n";
+        let para = parse(text, &nl).expect("headers only");
+        assert_eq!(para.coupling_count(), 0);
+    }
+}

@@ -1,0 +1,475 @@
+//! ISCAS89 `.bench` reader and writer.
+//!
+//! The `.bench` format is the distribution format of the ISCAS85/89
+//! benchmark suites the paper evaluates on:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G11 = NAND(G0, G5)
+//! G14 = NOT(G0)
+//! ```
+//!
+//! The reader maps each line onto library cells, decomposing gates wider
+//! than the library supports into balanced trees (e.g. `AND(a,b,c,d,e)`
+//! becomes a tree of `AND2`/`AND3` cells). `DFF` lines get their clock pin
+//! connected to a global `CLK` net which is created as a primary input and
+//! marked as the clock.
+//!
+//! ```
+//! use xtalk_netlist::bench;
+//! use xtalk_tech::{Library, Process};
+//!
+//! let lib = Library::c05um(&Process::c05um());
+//! let nl = bench::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", &lib)?;
+//! assert_eq!(nl.gate_count(), 1);
+//! let text = bench::write(&nl, &lib)?;
+//! assert!(text.contains("y = NOT(a)"));
+//! # Ok::<(), xtalk_netlist::NetlistError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use xtalk_tech::cell::Function;
+use xtalk_tech::Library;
+
+use crate::error::NetlistError;
+use crate::netlist::{NetId, Netlist};
+
+/// Name of the implicit clock net connected to `DFF` cells.
+pub const CLOCK_NET: &str = "CLK";
+
+/// Parses `.bench` text into a [`Netlist`], mapping gates onto `library`.
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::UnsupportedGate`] for unknown gate keywords, and any
+/// structural error (e.g. multiple drivers) encountered while building.
+pub fn parse(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
+    let mut nl = Netlist::new("bench");
+    let mut clock: Option<NetId> = None;
+    let mut aux = 0usize;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            // A leading "# name" comment names the design.
+            if let Some(rest) = line.strip_prefix('#') {
+                let rest = rest.trim();
+                if nl.name == "bench" && !rest.is_empty() && !rest.contains(' ') {
+                    nl.name = rest.to_string();
+                }
+            }
+            continue;
+        }
+        if let Some(name) = parse_io(line, "INPUT") {
+            let id = nl.net_or_insert(name.map_err(|m| NetlistError::Parse {
+                line: lineno,
+                message: m,
+            })?);
+            nl.mark_primary_input(id);
+            continue;
+        }
+        if let Some(name) = parse_io(line, "OUTPUT") {
+            let id = nl.net_or_insert(name.map_err(|m| NetlistError::Parse {
+                line: lineno,
+                message: m,
+            })?);
+            nl.mark_primary_output(id);
+            continue;
+        }
+        // name = FUNC(a, b, ...)
+        let (lhs, rhs) = line.split_once('=').ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            message: "expected `name = FUNC(...)`".to_string(),
+        })?;
+        let out_name = lhs.trim();
+        if out_name.is_empty()
+            || !out_name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.[]".contains(c))
+        {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                message: format!("`{out_name}` is not a valid net name"),
+            });
+        }
+        let rhs = rhs.trim();
+        let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            message: "missing `(`".to_string(),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                message: "missing `)`".to_string(),
+            });
+        }
+        let func_name = rhs[..open].trim().to_ascii_uppercase();
+        let args: Vec<&str> = rhs[open + 1..rhs.len() - 1]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if args.is_empty() {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                message: "gate with no inputs".to_string(),
+            });
+        }
+        let function = match func_name.as_str() {
+            "NOT" | "INV" => Function::Inv,
+            "BUF" | "BUFF" => Function::Buf,
+            "AND" => Function::And,
+            "NAND" => Function::Nand,
+            "OR" => Function::Or,
+            "NOR" => Function::Nor,
+            "XOR" => Function::Xor,
+            "XNOR" => Function::Xnor,
+            "MUX" => Function::Mux2,
+            "DFF" => Function::Dff,
+            other => {
+                return Err(NetlistError::UnsupportedGate {
+                    line: lineno,
+                    gate: other.to_string(),
+                })
+            }
+        };
+
+        let output = nl.net_or_insert(out_name);
+        let mut input_ids: Vec<NetId> =
+            args.iter().map(|a| nl.net_or_insert(a)).collect();
+
+        if function == Function::Dff {
+            let ck = *clock.get_or_insert_with(|| nl.net_or_insert(CLOCK_NET));
+            nl.mark_primary_input(ck);
+            nl.mark_clock(ck);
+            input_ids.push(ck);
+            let name = format!("ff_{out_name}");
+            nl.add_gate(name, "DFFX1", input_ids, output)?;
+            continue;
+        }
+
+        emit_function(
+            &mut nl,
+            library,
+            function,
+            input_ids,
+            output,
+            out_name,
+            &mut aux,
+            lineno,
+        )?;
+    }
+    Ok(nl)
+}
+
+fn parse_io<'a>(line: &'a str, keyword: &str) -> Option<Result<&'a str, String>> {
+    let rest = line.strip_prefix(keyword)?;
+    let rest = rest.trim_start();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|r| r.strip_suffix(')'))
+        .map(str::trim);
+    Some(match inner {
+        Some(name) if !name.is_empty() => Ok(name),
+        _ => Err(format!("malformed {keyword} line")),
+    })
+}
+
+/// Recursively emits gates computing `function(inputs) -> output`, reducing
+/// wide gates with the library's narrower cells.
+#[allow(clippy::too_many_arguments)]
+fn emit_function(
+    nl: &mut Netlist,
+    library: &Library,
+    function: Function,
+    mut inputs: Vec<NetId>,
+    output: NetId,
+    out_name: &str,
+    aux: &mut usize,
+    lineno: usize,
+) -> Result<(), NetlistError> {
+    use Function::*;
+
+    // Single-input AND/OR/etc. degenerate to a buffer (NAND/NOR to NOT).
+    if inputs.len() == 1 {
+        let (cell_fn, n) = match function {
+            And | Or | Buf => (Buf, 1),
+            Nand | Nor | Inv => (Inv, 1),
+            Xor => (Buf, 1),
+            Xnor => (Inv, 1),
+            other => (other, 1),
+        };
+        let cell = library
+            .cell_for_function(cell_fn, n)
+            .ok_or(NetlistError::UnsupportedGate {
+                line: lineno,
+                gate: format!("{cell_fn:?}/1"),
+            })?;
+        let name = format!("g_{out_name}");
+        nl.add_gate(name, cell.name.clone(), inputs, output)?;
+        return Ok(());
+    }
+
+    // Reduce over-wide gates: pairwise-combine inputs with the monotone
+    // base function until the remaining fan-in fits a library cell.
+    let max_width = |f: Function| -> usize {
+        (2..=8)
+            .rev()
+            .find(|&n| library.cell_for_function(f, n).is_some())
+            .unwrap_or(0)
+    };
+    let (reduce_fn, final_fn) = match function {
+        And | Nand => (And, function),
+        Or | Nor => (Or, function),
+        Xor | Xnor => (Xor, function),
+        other => (other, other),
+    };
+    let cap = max_width(final_fn).max(2);
+    while inputs.len() > cap {
+        // Combine the first two inputs with a 2-input reducer.
+        let cell = library
+            .cell_for_function(reduce_fn, 2)
+            .ok_or(NetlistError::UnsupportedGate {
+                line: lineno,
+                gate: format!("{reduce_fn:?}/2"),
+            })?;
+        let w = nl.net_or_insert(&format!("{out_name}_w{aux}"));
+        let name = format!("g_{out_name}_r{aux}");
+        *aux += 1;
+        let a = inputs.remove(0);
+        let b = inputs.remove(0);
+        nl.add_gate(name, cell.name.clone(), vec![a, b], w)?;
+        inputs.push(w);
+        // Rotate so reduction stays balanced.
+        inputs.rotate_right(1);
+    }
+    let cell = library
+        .cell_for_function(final_fn, inputs.len())
+        .ok_or(NetlistError::UnsupportedGate {
+            line: lineno,
+            gate: format!("{final_fn:?}/{}", inputs.len()),
+        })?;
+    let name = format!("g_{out_name}");
+    nl.add_gate(name, cell.name.clone(), inputs, output)?;
+    Ok(())
+}
+
+/// Writes a [`Netlist`] as `.bench` text.
+///
+/// Cells are written through their boolean [`Function`]; cells without a
+/// `.bench` keyword (AOI21, OAI21, MUX2) are decomposed into equivalent
+/// AND/OR/NOT lines on auxiliary nets, so the output is always valid
+/// `.bench` and logically equivalent to the input.
+///
+/// # Errors
+///
+/// [`NetlistError::UnknownCell`] if a gate references a cell absent from
+/// `library`.
+pub fn write(netlist: &Netlist, library: &Library) -> Result<String, NetlistError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name);
+    for pi in netlist.primary_inputs() {
+        let net = netlist.net(pi);
+        if net.is_clock {
+            continue; // the clock pin is implicit in .bench DFFs
+        }
+        let _ = writeln!(out, "INPUT({})", net.name);
+    }
+    for po in netlist.primary_outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.net(po).name);
+    }
+    let mut aux = 0usize;
+    for gate in netlist.gates() {
+        let cell = library
+            .cell(&gate.cell)
+            .ok_or_else(|| NetlistError::UnknownCell {
+                cell: gate.cell.clone(),
+            })?;
+        let name = |id: NetId| netlist.net(id).name.clone();
+        let out_name = name(gate.output);
+        let ins: Vec<String> = gate.inputs.iter().map(|&i| name(i)).collect();
+        match cell.function {
+            Function::Inv => {
+                let _ = writeln!(out, "{out_name} = NOT({})", ins[0]);
+            }
+            Function::Buf => {
+                let _ = writeln!(out, "{out_name} = BUFF({})", ins[0]);
+            }
+            Function::And => {
+                let _ = writeln!(out, "{out_name} = AND({})", ins.join(", "));
+            }
+            Function::Or => {
+                let _ = writeln!(out, "{out_name} = OR({})", ins.join(", "));
+            }
+            Function::Nand => {
+                let _ = writeln!(out, "{out_name} = NAND({})", ins.join(", "));
+            }
+            Function::Nor => {
+                let _ = writeln!(out, "{out_name} = NOR({})", ins.join(", "));
+            }
+            Function::Xor => {
+                let _ = writeln!(out, "{out_name} = XOR({})", ins.join(", "));
+            }
+            Function::Xnor => {
+                let _ = writeln!(out, "{out_name} = XNOR({})", ins.join(", "));
+            }
+            Function::Dff => {
+                // Drop the clock pin: .bench DFFs have an implicit clock.
+                let _ = writeln!(out, "{out_name} = DFF({})", ins[0]);
+            }
+            Function::Aoi21 => {
+                let t = format!("{out_name}_bx{aux}");
+                aux += 1;
+                let _ = writeln!(out, "{t} = AND({}, {})", ins[0], ins[1]);
+                let _ = writeln!(out, "{out_name} = NOR({t}, {})", ins[2]);
+            }
+            Function::Oai21 => {
+                let t = format!("{out_name}_bx{aux}");
+                aux += 1;
+                let _ = writeln!(out, "{t} = OR({}, {})", ins[0], ins[1]);
+                let _ = writeln!(out, "{out_name} = NAND({t}, {})", ins[2]);
+            }
+            Function::Mux2 => {
+                let ns = format!("{out_name}_bx{aux}");
+                let t0 = format!("{out_name}_bx{}", aux + 1);
+                let t1 = format!("{out_name}_bx{}", aux + 2);
+                aux += 3;
+                let _ = writeln!(out, "{ns} = NOT({})", ins[2]);
+                let _ = writeln!(out, "{t0} = AND({}, {ns})", ins[0]);
+                let _ = writeln!(out, "{t1} = AND({}, {})", ins[1], ins[2]);
+                let _ = writeln!(out, "{out_name} = OR({t0}, {t1})");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use xtalk_tech::{Library, Process};
+
+    fn lib() -> Library {
+        Library::c05um(&Process::c05um())
+    }
+
+    #[test]
+    fn parses_s27() {
+        let nl = parse(data::S27_BENCH, &lib()).expect("s27 parses");
+        assert_eq!(nl.name, "s27");
+        assert_eq!(nl.flip_flop_count(), 3);
+        // 4 PIs + implicit CLK.
+        assert_eq!(nl.primary_inputs().count(), 5);
+        assert_eq!(nl.primary_outputs().count(), 1);
+        nl.validate(&lib()).expect("s27 is structurally valid");
+    }
+
+    #[test]
+    fn parses_c17() {
+        let nl = parse(data::C17_BENCH, &lib()).expect("c17 parses");
+        assert_eq!(nl.gate_count(), 6);
+        assert_eq!(nl.flip_flop_count(), 0);
+        nl.validate(&lib()).expect("c17 valid");
+    }
+
+    #[test]
+    fn wide_and_gets_decomposed() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\n\
+                    y = AND(a, b, c, d, e)\n";
+        let nl = parse(text, &lib()).expect("wide AND parses");
+        nl.validate(&lib()).expect("valid");
+        assert!(nl.gate_count() >= 2, "5-input AND must be decomposed");
+        for g in nl.gates() {
+            let c = lib().cell(&g.cell).map(|c| c.inputs.len()).unwrap_or(0);
+            assert!(c <= 4);
+        }
+    }
+
+    #[test]
+    fn wide_nand_keeps_inversion() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\n\
+                    OUTPUT(y)\ny = NAND(a, b, c, d, e, f)\n";
+        let nl = parse(text, &lib()).expect("wide NAND parses");
+        nl.validate(&lib()).expect("valid");
+        // The final gate driving y must be inverting.
+        let y = nl.net_by_name("y").expect("net y");
+        let driver = nl.net(y).driver.expect("driver");
+        let cell = nl.gate(driver).cell.clone();
+        assert!(cell.starts_with("NAND"), "got {cell}");
+    }
+
+    #[test]
+    fn single_input_and_degenerates_to_buffer() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = AND(a)\n";
+        let nl = parse(text, &lib()).expect("parses");
+        assert_eq!(nl.gate_count(), 1);
+        assert!(nl.gates()[0].cell.starts_with("BUF"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse("INPUT(a)\ny := NOT(a)\n", &lib()).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+        let err = parse("INPUT()\n", &lib()).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+        let err = parse("y = NOT(a\n", &lib()).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse("INPUT(a)\ny = FROB(a)\n", &lib()).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::UnsupportedGate {
+                line: 2,
+                gate: "FROB".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn roundtrip_s27_structure() {
+        let library = lib();
+        let nl = parse(data::S27_BENCH, &library).expect("parse");
+        let text = write(&nl, &library).expect("write");
+        let nl2 = parse(&text, &library).expect("reparse");
+        assert_eq!(nl.gate_count(), nl2.gate_count());
+        assert_eq!(nl.net_count(), nl2.net_count());
+        assert_eq!(nl.flip_flop_count(), nl2.flip_flop_count());
+        assert_eq!(
+            nl.primary_inputs().count(),
+            nl2.primary_inputs().count()
+        );
+        // Cell histograms must agree exactly.
+        assert_eq!(nl.cell_histogram(), nl2.cell_histogram());
+    }
+
+    #[test]
+    fn clock_is_implicit_and_marked() {
+        let nl = parse(data::S27_BENCH, &lib()).expect("parse");
+        let clk = nl.net_by_name(CLOCK_NET).expect("clock net exists");
+        assert!(nl.net(clk).is_clock);
+        assert!(nl.net(clk).is_primary_input);
+        // All DFF clock pins are on CLK.
+        for gate in nl.gates() {
+            if gate.cell.starts_with("DFF") {
+                assert_eq!(*gate.inputs.last().expect("ck pin"), clk);
+            }
+        }
+    }
+
+    #[test]
+    fn design_name_from_comment() {
+        let nl = parse("# mydesign\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", &lib())
+            .expect("parse");
+        assert_eq!(nl.name, "mydesign");
+    }
+}

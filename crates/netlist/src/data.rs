@@ -1,0 +1,64 @@
+//! Embedded reference netlists.
+//!
+//! Genuine small ISCAS benchmark circuits in `.bench` text form, used by
+//! tests and examples. The large ISCAS89 circuits of the paper's evaluation
+//! are replaced by the seeded synthetic circuits of [`crate::generator`]
+//! (see `DESIGN.md` §4).
+
+/// ISCAS89 `s27`: the smallest sequential benchmark (3 flip-flops).
+pub const S27_BENCH: &str = "\
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+/// ISCAS85 `c17`: the classic six-NAND combinational example.
+pub const C17_BENCH: &str = "\
+# c17
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+    use xtalk_tech::{Library, Process};
+
+    #[test]
+    fn embedded_netlists_parse_and_validate() {
+        let lib = Library::c05um(&Process::c05um());
+        for (name, text) in [("s27", S27_BENCH), ("c17", C17_BENCH)] {
+            let nl = bench::parse(text, &lib)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            nl.validate(&lib).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

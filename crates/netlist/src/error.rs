@@ -1,0 +1,116 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net was driven by more than one gate output.
+    MultipleDrivers {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// An internal net has no driver.
+    Undriven {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// The combinational logic contains a cycle.
+    CombinationalLoop {
+        /// A net on the detected cycle.
+        net: String,
+    },
+    /// A referenced library cell does not exist.
+    UnknownCell {
+        /// The missing cell name.
+        cell: String,
+    },
+    /// A gate was connected with the wrong number of inputs.
+    PinCountMismatch {
+        /// Cell name.
+        cell: String,
+        /// Inputs the cell has.
+        expected: usize,
+        /// Inputs the instance supplied.
+        got: usize,
+    },
+    /// The input text could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `.bench` gate type is not supported.
+    UnsupportedGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate keyword.
+        gate: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::Undriven { net } => {
+                write!(f, "net `{net}` has no driver and is not a primary input")
+            }
+            NetlistError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net `{net}`")
+            }
+            NetlistError::UnknownCell { cell } => {
+                write!(f, "unknown library cell `{cell}`")
+            }
+            NetlistError::PinCountMismatch {
+                cell,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cell `{cell}` takes {expected} inputs but {got} were connected"
+            ),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::UnsupportedGate { line, gate } => {
+                write!(f, "unsupported gate `{gate}` at line {line}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetlistError::MultipleDrivers { net: "n1".into() };
+        assert_eq!(e.to_string(), "net `n1` has multiple drivers");
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = NetlistError::PinCountMismatch {
+            cell: "NAND2X1".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("takes 2 inputs"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NetlistError>();
+    }
+}

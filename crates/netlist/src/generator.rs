@@ -1,0 +1,572 @@
+//! Seeded synthetic sequential-circuit generation.
+//!
+//! The paper evaluates on routed ISCAS89 layouts (s35932, s38417, s38584)
+//! whose placed-and-routed form and extracted parasitics are not available.
+//! [`generate`] produces structurally comparable stand-ins: sequential
+//! circuits with a chosen flip-flop count, combinational gate count, logic
+//! depth and a realistic cell mix, plus the clock buffer tree the paper
+//! explicitly adds ("The gates are sized and there is a clock buffer tree
+//! added", §6). Generation is fully deterministic from the seed, so every
+//! experiment in `EXPERIMENTS.md` is reproducible.
+//!
+//! ```
+//! use xtalk_netlist::generator::{self, GeneratorConfig};
+//! use xtalk_tech::{Library, Process};
+//!
+//! let lib = Library::c05um(&Process::c05um());
+//! let nl = generator::generate(&GeneratorConfig::small(7), &lib)?;
+//! nl.validate(&lib)?;
+//! assert!(nl.gate_count() > 100);
+//! # Ok::<(), xtalk_netlist::NetlistError>(())
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xtalk_tech::Library;
+
+use crate::error::NetlistError;
+use crate::netlist::{NetId, Netlist};
+
+/// Parameters of a synthetic circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Design name.
+    pub name: String,
+    /// RNG seed; the same config always yields the same netlist.
+    pub seed: u64,
+    /// Number of D flip-flops.
+    pub flip_flops: usize,
+    /// Number of combinational gates (clock buffers not included).
+    pub comb_gates: usize,
+    /// Target logic depth (levels of combinational gates).
+    pub depth: usize,
+    /// Number of primary inputs (the clock comes extra).
+    pub primary_inputs: usize,
+    /// Number of primary outputs explicitly drawn from the deepest levels
+    /// (dangling intermediate nets are additionally promoted to outputs).
+    pub primary_outputs: usize,
+    /// Whether to synthesise a buffered clock tree (vs. a flat clock net).
+    pub clock_tree: bool,
+    /// Flip-flops per leaf clock buffer.
+    pub clock_leaf_fanout: usize,
+}
+
+impl GeneratorConfig {
+    /// A ~200-cell circuit for unit tests.
+    pub fn small(seed: u64) -> Self {
+        GeneratorConfig {
+            name: format!("synth_small_{seed}"),
+            seed,
+            flip_flops: 16,
+            comb_gates: 180,
+            depth: 8,
+            primary_inputs: 8,
+            primary_outputs: 8,
+            clock_tree: true,
+            clock_leaf_fanout: 8,
+        }
+    }
+
+    /// A ~2 000-cell circuit for integration tests and quick benches.
+    pub fn medium(seed: u64) -> Self {
+        GeneratorConfig {
+            name: format!("synth_medium_{seed}"),
+            seed,
+            flip_flops: 150,
+            comb_gates: 1800,
+            depth: 14,
+            primary_inputs: 20,
+            primary_outputs: 20,
+            clock_tree: true,
+            clock_leaf_fanout: 12,
+        }
+    }
+
+    /// Stand-in for ISCAS89 s35932 (paper Table 1: 17 900 cells).
+    /// The real s35932 is wide and shallow with 1 728 flip-flops.
+    pub fn s35932_like() -> Self {
+        Self::iscas_like("s35932_like", 35932, 17_900, 1_728, 14, 35, 320)
+    }
+
+    /// Stand-in for ISCAS89 s38417 (paper Table 2: 23 922 cells).
+    pub fn s38417_like() -> Self {
+        Self::iscas_like("s38417_like", 38417, 23_922, 1_636, 24, 28, 106)
+    }
+
+    /// Stand-in for ISCAS89 s38584 (paper Table 3: 20 812 cells).
+    pub fn s38584_like() -> Self {
+        Self::iscas_like("s38584_like", 38584, 20_812, 1_426, 28, 12, 278)
+    }
+
+    fn iscas_like(
+        name: &str,
+        seed: u64,
+        total_cells: usize,
+        flip_flops: usize,
+        depth: usize,
+        pis: usize,
+        pos: usize,
+    ) -> Self {
+        let leaf_fanout = 16;
+        let clock_cells = clock_tree_size(flip_flops, leaf_fanout);
+        let comb_gates = total_cells.saturating_sub(flip_flops + clock_cells);
+        GeneratorConfig {
+            name: name.to_string(),
+            seed,
+            flip_flops,
+            comb_gates,
+            depth,
+            primary_inputs: pis,
+            primary_outputs: pos,
+            clock_tree: true,
+            clock_leaf_fanout: leaf_fanout,
+        }
+    }
+
+    /// Total cells this configuration will instantiate (gates + flip-flops +
+    /// clock buffers).
+    pub fn total_cells(&self) -> usize {
+        let clk = if self.clock_tree {
+            clock_tree_size(self.flip_flops, self.clock_leaf_fanout)
+        } else {
+            0
+        };
+        self.comb_gates + self.flip_flops + clk
+    }
+}
+
+/// Number of buffers a clock tree over `ffs` sinks needs with the given leaf
+/// fan-out (upper levels fan out by 8).
+pub fn clock_tree_size(ffs: usize, leaf_fanout: usize) -> usize {
+    if ffs == 0 {
+        return 0;
+    }
+    let mut level = ffs.div_ceil(leaf_fanout.max(1));
+    let mut total = level;
+    while level > 1 {
+        level = level.div_ceil(8);
+        total += level;
+    }
+    total
+}
+
+/// Weighted cell mix for combinational gates: `(cell, inputs, weight)`.
+const CELL_MIX: &[(&str, usize, u32)] = &[
+    ("NAND2X1", 2, 26),
+    ("NOR2X1", 2, 13),
+    ("INVX1", 1, 13),
+    ("INVX2", 1, 4),
+    ("AND2X1", 2, 8),
+    ("OR2X1", 2, 7),
+    ("NAND3X1", 3, 8),
+    ("NOR3X1", 3, 5),
+    ("NAND4X1", 4, 3),
+    ("XOR2X1", 2, 4),
+    ("XNOR2X1", 2, 2),
+    ("AOI21X1", 3, 4),
+    ("OAI21X1", 3, 3),
+];
+
+/// Generates a synthetic sequential circuit from `config`, instantiating
+/// cells from `library`.
+///
+/// # Errors
+///
+/// Structural [`NetlistError`]s (should not occur for sane configs) and
+/// [`NetlistError::UnknownCell`] when `library` is missing a mix cell.
+pub fn generate(config: &GeneratorConfig, library: &Library) -> Result<Netlist, NetlistError> {
+    for (cell, _, _) in CELL_MIX {
+        if library.cell(cell).is_none() {
+            return Err(NetlistError::UnknownCell {
+                cell: (*cell).to_string(),
+            });
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut nl = Netlist::new(config.name.clone());
+
+    // Clock and primary inputs.
+    let clk = nl.net_or_insert("CLK");
+    nl.mark_primary_input(clk);
+    nl.mark_clock(clk);
+    let mut level0: Vec<NetId> = Vec::new();
+    for i in 0..config.primary_inputs {
+        let id = nl.net_or_insert(&format!("pi{i}"));
+        nl.mark_primary_input(id);
+        level0.push(id);
+    }
+
+    // Flip-flop output nets are sources of the combinational logic; the
+    // gates themselves are added at the end, once D and CK nets exist.
+    let mut ff_q: Vec<NetId> = Vec::new();
+    for i in 0..config.flip_flops {
+        let q = nl.net_or_insert(&format!("q{i}"));
+        ff_q.push(q);
+        level0.push(q);
+    }
+
+    // Combinational levels. Each gate's first input comes from the previous
+    // level (realising the target depth); remaining inputs come from any
+    // earlier level, preferring not-yet-used sources so nothing dangles.
+    let depth = config.depth.max(1);
+    let mut levels: Vec<Vec<NetId>> = vec![level0];
+    let mut unused: Vec<NetId> = levels[0].clone();
+    // Normalised position of each unused net (parallel to `unused`).
+    let mut unused_u: Vec<f64> = (0..unused.len())
+        .map(|i| (i as f64 + 0.5) / unused.len().max(1) as f64)
+        .collect();
+    let total_weight: u32 = CELL_MIX.iter().map(|&(_, _, w)| w).sum();
+    let mut gate_no = 0usize;
+    for level in 1..=depth {
+        let remaining_levels = depth - level + 1;
+        let remaining_gates = config.comb_gates - gate_no;
+        let count = (remaining_gates / remaining_levels).max(1).min(remaining_gates);
+        if count == 0 {
+            break;
+        }
+        let mut this_level = Vec::with_capacity(count);
+        for k in 0..count {
+            // Normalised position of the gate within its level: real
+            // circuits obey Rent-style wiring locality, so fan-ins are
+            // drawn from *nearby positions* of earlier levels rather than
+            // uniformly (which would make every net span the whole die).
+            let u = (k as f64 + 0.5) / count as f64;
+            let (cell, arity) = pick_cell(&mut rng, total_weight);
+            let mut inputs = Vec::with_capacity(arity);
+            // Depth-realising input from the immediately preceding level,
+            // near the same normalised position.
+            let prev = &levels[level - 1];
+            inputs.push(pick_near_capped(&nl, prev, u, 0.012, 10, &mut rng));
+            for _ in 1..arity {
+                let pick = if !unused.is_empty() && rng.gen_bool(0.6) {
+                    // Consume an unused net with a similar position so no
+                    // output dangles; sample a few candidates and take the
+                    // positionally closest.
+                    let mut best_k = rng.gen_range(0..unused.len());
+                    let mut best_d = f64::INFINITY;
+                    for _ in 0..12 {
+                        let cand = rng.gen_range(0..unused.len());
+                        let d = (unused_u[cand] - u).abs();
+                        if d < best_d {
+                            best_d = d;
+                            best_k = cand;
+                        }
+                    }
+                    unused_u.swap_remove(best_k);
+                    unused.swap_remove(best_k)
+                } else {
+                    // Nearby position in one of the last two levels.
+                    let lo = level.saturating_sub(2);
+                    let l = rng.gen_range(lo..level);
+                    pick_near_capped(&nl, &levels[l], u, 0.025, 10, &mut rng)
+                };
+                if inputs.contains(&pick) {
+                    // Duplicate inputs are legal but pointless; retry once
+                    // from the previous level, else accept.
+                    let alt = pick_near_capped(&nl, prev, u, 0.05, 10, &mut rng);
+                    inputs.push(if inputs.contains(&alt) { pick } else { alt });
+                } else {
+                    inputs.push(pick);
+                }
+            }
+            let out = nl.net_or_insert(&format!("n{gate_no}"));
+            nl.add_gate(format!("g{gate_no}"), cell, inputs, out)?;
+            this_level.push(out);
+            gate_no += 1;
+        }
+        // Outputs only become eligible inputs for *later* levels, so the
+        // realised depth matches the target.
+        unused.extend(this_level.iter().copied());
+        unused_u.extend(
+            (0..this_level.len()).map(|i| (i as f64 + 0.5) / this_level.len().max(1) as f64),
+        );
+        levels.push(this_level);
+    }
+
+    // Mark consumed sources as used.
+    let used: std::collections::HashSet<NetId> = nl
+        .gates()
+        .iter()
+        .flat_map(|g| g.inputs.iter().copied())
+        .collect();
+
+    // Flip-flop D pins: drawn from the deepest levels, preferring unused
+    // nets so every cone terminates somewhere.
+    let deep_start = (levels.len().saturating_sub(3)).max(1);
+    let deep: Vec<NetId> = levels[deep_start..].iter().flatten().copied().collect();
+    let mut d_nets = Vec::with_capacity(config.flip_flops);
+    let mut unused_outputs: Vec<NetId> = unused
+        .iter()
+        .copied()
+        .filter(|id| !used.contains(id) && nl.net(*id).driver.is_some())
+        .collect();
+    for i in 0..config.flip_flops {
+        // Each flip-flop closes its cone near its own position, so the
+        // feedback wire does not cross the die.
+        let u = (i as f64 + 0.5) / config.flip_flops as f64;
+        let d = if let Some(d) = unused_outputs.pop() {
+            d
+        } else if !deep.is_empty() {
+            pick_near_capped(&nl, &deep, u, 0.02, 10, &mut rng)
+        } else {
+            levels[0][rng.gen_range(0..levels[0].len())]
+        };
+        d_nets.push(d);
+    }
+
+    // Clock distribution.
+    let ck_nets = if config.clock_tree && config.flip_flops > 0 {
+        build_clock_tree(&mut nl, clk, config.flip_flops, config.clock_leaf_fanout)?
+    } else {
+        vec![clk; config.flip_flops]
+    };
+
+    for (i, (&q, (&d, &ck))) in ff_q
+        .iter()
+        .zip(d_nets.iter().zip(ck_nets.iter()))
+        .enumerate()
+    {
+        nl.add_gate(format!("ff{i}"), "DFFX1", vec![d, ck], q)?;
+    }
+
+    // Primary outputs: requested count from the deepest level, plus any
+    // still-dangling driven nets (a net with no loads and no PO marker would
+    // be dead logic).
+    let last = levels.last().cloned().unwrap_or_default();
+    for (k, &net) in last.iter().take(config.primary_outputs).enumerate() {
+        let _ = k;
+        nl.mark_primary_output(net);
+    }
+    let dangling: Vec<NetId> = (0..nl.net_count() as u32)
+        .map(NetId)
+        .filter(|&id| {
+            let n = nl.net(id);
+            n.loads.is_empty() && !n.is_primary_output && n.driver.is_some()
+        })
+        .collect();
+    for id in dangling {
+        nl.mark_primary_output(id);
+    }
+
+    Ok(nl)
+}
+
+/// Picks an element near normalised position `u` with uniform spread
+/// `+-spread`; positions falling off either end are reflected back so edge
+/// elements do not accumulate disproportionate fan-out.
+fn pick_near(items: &[NetId], u: f64, spread: f64, rng: &mut StdRng) -> NetId {
+    let n = items.len();
+    debug_assert!(n > 0);
+    let jitter = (rng.gen::<f64>() - 0.5) * 2.0 * spread;
+    let mut x = u + jitter;
+    if x < 0.0 {
+        x = -x;
+    }
+    if x > 1.0 {
+        x = 2.0 - x;
+    }
+    let idx = ((x.clamp(0.0, 1.0)) * n as f64).floor().min((n - 1) as f64) as usize;
+    items[idx]
+}
+
+/// Like [`pick_near`] but re-draws (up to three times) when the candidate
+/// net already has `max_fanout` loads — a stand-in for the fan-out
+/// buffering a synthesis flow would perform.
+fn pick_near_capped(
+    nl: &Netlist,
+    items: &[NetId],
+    u: f64,
+    spread: f64,
+    max_fanout: usize,
+    rng: &mut StdRng,
+) -> NetId {
+    let mut pick = pick_near(items, u, spread, rng);
+    for widen in 1..4 {
+        if nl.net(pick).loads.len() < max_fanout {
+            break;
+        }
+        pick = pick_near(items, u, spread * (1.0 + widen as f64), rng);
+    }
+    pick
+}
+
+fn pick_cell(rng: &mut StdRng, total_weight: u32) -> (String, usize) {
+    let mut roll = rng.gen_range(0..total_weight);
+    for &(cell, arity, w) in CELL_MIX {
+        if roll < w {
+            return (cell.to_string(), arity);
+        }
+        roll -= w;
+    }
+    unreachable!("weights cover the roll range")
+}
+
+/// Builds a buffered clock tree from `clk` to `ffs` sinks; returns the leaf
+/// net for each flip-flop.
+fn build_clock_tree(
+    nl: &mut Netlist,
+    clk: NetId,
+    ffs: usize,
+    leaf_fanout: usize,
+) -> Result<Vec<NetId>, NetlistError> {
+    let leaf_fanout = leaf_fanout.max(1);
+    let n_leaves = ffs.div_ceil(leaf_fanout);
+    // Build the buffer levels top-down: root is driven by clk.
+    let mut level_sizes = vec![n_leaves];
+    while *level_sizes.last().expect("nonempty") > 1 {
+        let next = level_sizes.last().expect("nonempty").div_ceil(8);
+        level_sizes.push(next);
+    }
+    level_sizes.reverse(); // [1, ..., n_leaves]
+
+    let mut buf_no = 0usize;
+    let mut upper: Vec<NetId> = vec![clk];
+    let mut nets_of_level: Vec<NetId> = Vec::new();
+    for (li, &size) in level_sizes.iter().enumerate() {
+        nets_of_level = Vec::with_capacity(size);
+        let cell = if li + 1 == level_sizes.len() {
+            "CLKBUFX4"
+        } else {
+            "CLKBUFX8"
+        };
+        for b in 0..size {
+            let input = upper[b * upper.len() / size.max(1)];
+            let out = nl.net_or_insert(&format!("ck_{li}_{b}"));
+            nl.add_gate(format!("ckbuf{buf_no}"), cell, vec![input], out)?;
+            nets_of_level.push(out);
+            buf_no += 1;
+        }
+        upper = nets_of_level.clone();
+    }
+    let leaves = nets_of_level;
+    Ok((0..ffs).map(|i| leaves[i / leaf_fanout]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_tech::{Library, Process};
+
+    fn lib() -> Library {
+        Library::c05um(&Process::c05um())
+    }
+
+    #[test]
+    fn small_circuit_validates() {
+        let nl = generate(&GeneratorConfig::small(1), &lib()).expect("generate");
+        nl.validate(&lib()).expect("valid");
+        assert_eq!(nl.flip_flop_count(), 16);
+        assert!(nl.gate_count() >= 180 + 16);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GeneratorConfig::small(42), &lib()).expect("a");
+        let b = generate(&GeneratorConfig::small(42), &lib()).expect("b");
+        assert_eq!(a.gate_count(), b.gate_count());
+        assert_eq!(a.net_count(), b.net_count());
+        for (ga, gb) in a.gates().iter().zip(b.gates()) {
+            assert_eq!(ga, gb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GeneratorConfig::small(1), &lib()).expect("a");
+        let b = generate(&GeneratorConfig::small(2), &lib()).expect("b");
+        let same = a
+            .gates()
+            .iter()
+            .zip(b.gates())
+            .all(|(x, y)| x.cell == y.cell);
+        assert!(!same, "different seeds should shuffle the cell mix");
+    }
+
+    #[test]
+    fn depth_is_close_to_target() {
+        let cfg = GeneratorConfig::medium(3);
+        let nl = generate(&cfg, &lib()).expect("generate");
+        let depth = nl.logic_depth(&lib()).expect("depth");
+        // Composite cells may add a level or two via decomposition later;
+        // at netlist granularity depth should be within one of the target.
+        assert!(
+            depth >= cfg.depth - 1 && depth <= cfg.depth + 1,
+            "depth {depth} vs target {}",
+            cfg.depth
+        );
+    }
+
+    #[test]
+    fn no_dangling_nets() {
+        let nl = generate(&GeneratorConfig::small(5), &lib()).expect("generate");
+        for net in nl.nets() {
+            let dangling =
+                net.driver.is_some() && net.loads.is_empty() && !net.is_primary_output;
+            assert!(!dangling, "net {} dangles", net.name);
+        }
+    }
+
+    #[test]
+    fn clock_tree_reaches_all_ffs() {
+        let nl = generate(&GeneratorConfig::small(9), &lib()).expect("generate");
+        let library = lib();
+        for gate in nl.gates() {
+            if gate.cell == "DFFX1" {
+                let ck = gate.inputs[1];
+                let driver = nl.net(ck).driver.expect("ck driven by buffer");
+                let cell = &nl.gate(driver).cell;
+                assert!(cell.starts_with("CLKBUF"), "CK driven by {cell}");
+            }
+        }
+        nl.validate(&library).expect("valid");
+    }
+
+    #[test]
+    fn flat_clock_when_tree_disabled() {
+        let mut cfg = GeneratorConfig::small(4);
+        cfg.clock_tree = false;
+        let nl = generate(&cfg, &lib()).expect("generate");
+        let clk = nl.net_by_name("CLK").expect("clk");
+        for gate in nl.gates() {
+            if gate.cell == "DFFX1" {
+                assert_eq!(gate.inputs[1], clk);
+            }
+        }
+    }
+
+    #[test]
+    fn clock_tree_size_matches_formula() {
+        assert_eq!(clock_tree_size(0, 16), 0);
+        assert_eq!(clock_tree_size(1, 16), 1);
+        assert_eq!(clock_tree_size(16, 16), 1);
+        assert_eq!(clock_tree_size(17, 16), 2 + 1);
+        // 1728 ffs / 16 = 108 leaves, 108/8 = 14, 14/8 = 2, 2/8 = 1.
+        assert_eq!(clock_tree_size(1728, 16), 108 + 14 + 2 + 1);
+    }
+
+    #[test]
+    fn iscas_presets_hit_cell_counts() {
+        for (cfg, want) in [
+            (GeneratorConfig::s35932_like(), 17_900),
+            (GeneratorConfig::s38417_like(), 23_922),
+            (GeneratorConfig::s38584_like(), 20_812),
+        ] {
+            assert_eq!(cfg.total_cells(), want, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    #[ignore = "slow: builds a full 17.9k-cell circuit"]
+    fn s35932_like_builds_and_validates() {
+        let cfg = GeneratorConfig::s35932_like();
+        let nl = generate(&cfg, &lib()).expect("generate");
+        nl.validate(&lib()).expect("valid");
+        let total = nl.gate_count();
+        assert!(
+            (total as i64 - cfg.total_cells() as i64).unsigned_abs() <= 8,
+            "total {total} vs {}",
+            cfg.total_cells()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Gate-level netlists and EDA interchange formats.
+//!
+//! This crate provides the circuit representation consumed by the layout,
+//! simulation and timing crates of the `xtalk` analyzer:
+//!
+//! - [`netlist`]: the [`Netlist`] structure — named nets, library-cell
+//!   gate instances, primary I/O, validation and levelization.
+//! - [`mod@bench`]: a reader/writer for the ISCAS89 `.bench` format (the format
+//!   of the paper's benchmark circuits), including decomposition of wide
+//!   gates onto the cell library.
+//! - [`verilog`]: a reader/writer for a structural Verilog subset.
+//! - [`generator`]: a seeded synthetic sequential-circuit generator used to
+//!   stand in for the paper's routed s35932 / s38417 / s38584 layouts (see
+//!   `DESIGN.md` §4 for the substitution rationale), plus the clock buffer
+//!   tree the paper adds.
+//! - [`data`]: genuine small ISCAS netlists (`s27`, `c17`) embedded as text.
+//!
+//! # Example
+//!
+//! ```
+//! use xtalk_netlist::bench;
+//! use xtalk_tech::{Library, Process};
+//!
+//! let lib = Library::c05um(&Process::c05um());
+//! let netlist = bench::parse(xtalk_netlist::data::S27_BENCH, &lib)?;
+//! assert_eq!(netlist.name, "s27");
+//! assert_eq!(netlist.flip_flop_count(), 3);
+//! # Ok::<(), xtalk_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod data;
+pub mod error;
+pub mod generator;
+pub mod netlist;
+pub mod verilog;
+
+pub use error::NetlistError;
+pub use generator::GeneratorConfig;
+pub use netlist::{Gate, GateId, Net, NetId, Netlist};

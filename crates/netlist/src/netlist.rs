@@ -1,0 +1,499 @@
+//! The gate-level netlist structure.
+//!
+//! A [`Netlist`] is a flat graph of named [`Net`]s and library-cell [`Gate`]
+//! instances. Sequential cells (D flip-flops) are ordinary gates whose cell
+//! is marked sequential in the library; for timing and levelization their
+//! outputs count as sources and their data inputs as sinks, which turns the
+//! combinational portion into the DAG required by static timing analysis
+//! (paper §4).
+
+use std::collections::HashMap;
+
+use xtalk_tech::Library;
+
+use crate::error::NetlistError;
+
+/// Identifier of a net within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Identifier of a gate instance within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+impl NetId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GateId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named electrical node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// The net's name (unique within the netlist).
+    pub name: String,
+    /// The gate driving this net, if any.
+    pub driver: Option<GateId>,
+    /// Gates whose inputs this net feeds, as `(gate, input pin index)`.
+    pub loads: Vec<(GateId, usize)>,
+    /// `true` when the net is a primary input.
+    pub is_primary_input: bool,
+    /// `true` when the net is a primary output.
+    pub is_primary_output: bool,
+    /// `true` when the net distributes the clock.
+    pub is_clock: bool,
+}
+
+/// A library-cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Instance name (unique within the netlist).
+    pub name: String,
+    /// Library cell name (resolved against a [`Library`]).
+    pub cell: String,
+    /// Input nets, ordered like the cell's input pins.
+    pub inputs: Vec<NetId>,
+    /// The single output net.
+    pub output: NetId,
+}
+
+/// A flat gate-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of gate instances.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// All nets, indexable by [`NetId::index`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All gates, indexable by [`GateId::index`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The net with the given id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// The gate with the given id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Finds a net by name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the net named `name`, creating it if necessary.
+    pub fn net_or_insert(&mut self, name: &str) -> NetId {
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            name: name.to_string(),
+            driver: None,
+            loads: Vec::new(),
+            is_primary_input: false,
+            is_primary_output: false,
+            is_clock: false,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Marks a net as primary input.
+    pub fn mark_primary_input(&mut self, id: NetId) {
+        self.nets[id.index()].is_primary_input = true;
+    }
+
+    /// Marks a net as primary output.
+    pub fn mark_primary_output(&mut self, id: NetId) {
+        self.nets[id.index()].is_primary_output = true;
+    }
+
+    /// Marks a net as a clock distribution net.
+    pub fn mark_clock(&mut self, id: NetId) {
+        self.nets[id.index()].is_clock = true;
+    }
+
+    /// Primary input net ids, in creation order.
+    pub fn primary_inputs(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_primary_input)
+            .map(|(i, _)| NetId(i as u32))
+    }
+
+    /// Primary output net ids, in creation order.
+    pub fn primary_outputs(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_primary_output)
+            .map(|(i, _)| NetId(i as u32))
+    }
+
+    /// Adds a gate instance.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::MultipleDrivers`] when `output` already has a driver.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        cell: impl Into<String>,
+        inputs: Vec<NetId>,
+        output: NetId,
+    ) -> Result<GateId, NetlistError> {
+        if self.nets[output.index()].driver.is_some() {
+            return Err(NetlistError::MultipleDrivers {
+                net: self.nets[output.index()].name.clone(),
+            });
+        }
+        let id = GateId(self.gates.len() as u32);
+        for (pin, &input) in inputs.iter().enumerate() {
+            self.nets[input.index()].loads.push((id, pin));
+        }
+        self.nets[output.index()].driver = Some(id);
+        self.gates.push(Gate {
+            name: name.into(),
+            cell: cell.into(),
+            inputs,
+            output,
+        });
+        Ok(id)
+    }
+
+    /// Checks structural sanity against a cell library: every cell exists,
+    /// pin counts match, every non-primary-input net is driven, and the
+    /// combinational logic is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// The first problem found, as a [`NetlistError`].
+    pub fn validate(&self, library: &Library) -> Result<(), NetlistError> {
+        for gate in &self.gates {
+            let cell = library
+                .cell(&gate.cell)
+                .ok_or_else(|| NetlistError::UnknownCell {
+                    cell: gate.cell.clone(),
+                })?;
+            if cell.inputs.len() != gate.inputs.len() {
+                return Err(NetlistError::PinCountMismatch {
+                    cell: gate.cell.clone(),
+                    expected: cell.inputs.len(),
+                    got: gate.inputs.len(),
+                });
+            }
+        }
+        for net in &self.nets {
+            if net.driver.is_none() && !net.is_primary_input {
+                return Err(NetlistError::Undriven {
+                    net: net.name.clone(),
+                });
+            }
+        }
+        self.levelize(library).map(|_| ())
+    }
+
+    /// Number of sequential cells in the design.
+    pub fn flip_flop_count(&self) -> usize {
+        // Cheap textual check avoids requiring a library here; the
+        // validated path goes through `validate`.
+        self.gates.iter().filter(|g| g.cell.starts_with("DFF")).count()
+    }
+
+    /// Topologically orders the *combinational* gates (flip-flop outputs and
+    /// primary inputs are sources; flip-flop data/clock inputs are cut).
+    /// Sequential gates are listed first (they have no combinational
+    /// fan-in by construction).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalLoop`] when a cycle exists.
+    pub fn levelize(&self, library: &Library) -> Result<Vec<GateId>, NetlistError> {
+        let is_seq: Vec<bool> = self
+            .gates
+            .iter()
+            .map(|g| {
+                library
+                    .cell(&g.cell)
+                    .map(|c| c.is_sequential())
+                    .unwrap_or(false)
+            })
+            .collect();
+
+        // In-degree of each combinational gate = number of its input nets
+        // driven by other combinational gates.
+        let mut indegree = vec![0usize; self.gates.len()];
+        for (gi, gate) in self.gates.iter().enumerate() {
+            if is_seq[gi] {
+                continue;
+            }
+            for &input in &gate.inputs {
+                if let Some(driver) = self.nets[input.index()].driver {
+                    if !is_seq[driver.index()] {
+                        indegree[gi] += 1;
+                    }
+                }
+            }
+        }
+
+        let mut order: Vec<GateId> = Vec::with_capacity(self.gates.len());
+        let mut queue: Vec<GateId> = Vec::new();
+        for (gi, _) in self.gates.iter().enumerate() {
+            if is_seq[gi] {
+                order.push(GateId(gi as u32));
+            } else if indegree[gi] == 0 {
+                queue.push(GateId(gi as u32));
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            order.push(g);
+            let out = self.gates[g.index()].output;
+            for &(load, _) in &self.nets[out.index()].loads {
+                if is_seq[load.index()] {
+                    continue;
+                }
+                indegree[load.index()] -= 1;
+                if indegree[load.index()] == 0 {
+                    queue.push(load);
+                }
+            }
+        }
+        if order.len() != self.gates.len() {
+            // Some combinational gate never reached in-degree 0: find one.
+            let stuck = (0..self.gates.len())
+                .find(|&gi| !is_seq[gi] && indegree[gi] > 0)
+                .expect("a stuck gate must exist when levelization is short");
+            return Err(NetlistError::CombinationalLoop {
+                net: self.nets[self.gates[stuck].output.index()].name.clone(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Logic depth: the longest chain of combinational gates between
+    /// sources (PIs, FF outputs) and sinks (POs, FF inputs).
+    pub fn logic_depth(&self, library: &Library) -> Result<usize, NetlistError> {
+        let order = self.levelize(library)?;
+        let mut depth = vec![0usize; self.gates.len()];
+        let mut max = 0;
+        for g in order {
+            let gate = &self.gates[g.index()];
+            let seq = library
+                .cell(&gate.cell)
+                .map(|c| c.is_sequential())
+                .unwrap_or(false);
+            if seq {
+                continue;
+            }
+            let mut d = 1;
+            for &input in &gate.inputs {
+                if let Some(driver) = self.nets[input.index()].driver {
+                    let driver_seq = library
+                        .cell(&self.gates[driver.index()].cell)
+                        .map(|c| c.is_sequential())
+                        .unwrap_or(false);
+                    if !driver_seq {
+                        d = d.max(depth[driver.index()] + 1);
+                    }
+                }
+            }
+            depth[g.index()] = d;
+            max = max.max(d);
+        }
+        Ok(max)
+    }
+
+    /// Per-cell-name instance counts, for reporting.
+    pub fn cell_histogram(&self) -> HashMap<String, usize> {
+        let mut h = HashMap::new();
+        for gate in &self.gates {
+            *h.entry(gate.cell.clone()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_tech::{Library, Process};
+
+    fn lib() -> Library {
+        Library::c05um(&Process::c05um())
+    }
+
+    /// a -> INV -> w -> INV -> y, plus a DFF from y back to a-side logic.
+    fn small() -> Netlist {
+        let mut nl = Netlist::new("small");
+        let a = nl.net_or_insert("a");
+        nl.mark_primary_input(a);
+        let w = nl.net_or_insert("w");
+        let y = nl.net_or_insert("y");
+        nl.mark_primary_output(y);
+        nl.add_gate("u1", "INVX1", vec![a], w).expect("gate u1");
+        nl.add_gate("u2", "INVX1", vec![w], y).expect("gate u2");
+        nl
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let nl = small();
+        assert_eq!(nl.net_count(), 3);
+        assert_eq!(nl.gate_count(), 2);
+        let a = nl.net_by_name("a").expect("net a");
+        assert!(nl.net(a).is_primary_input);
+        assert_eq!(nl.net(a).loads.len(), 1);
+        let y = nl.net_by_name("y").expect("net y");
+        assert!(nl.net(y).driver.is_some());
+        assert_eq!(nl.primary_inputs().count(), 1);
+        assert_eq!(nl.primary_outputs().count(), 1);
+    }
+
+    #[test]
+    fn net_or_insert_is_idempotent() {
+        let mut nl = Netlist::new("t");
+        let a = nl.net_or_insert("a");
+        let b = nl.net_or_insert("a");
+        assert_eq!(a, b);
+        assert_eq!(nl.net_count(), 1);
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut nl = Netlist::new("t");
+        let a = nl.net_or_insert("a");
+        nl.mark_primary_input(a);
+        let y = nl.net_or_insert("y");
+        nl.add_gate("u1", "INVX1", vec![a], y).expect("first driver");
+        let err = nl.add_gate("u2", "INVX1", vec![a], y).unwrap_err();
+        assert_eq!(err, NetlistError::MultipleDrivers { net: "y".into() });
+    }
+
+    #[test]
+    fn validate_accepts_good_netlist() {
+        small().validate(&lib()).expect("valid netlist");
+    }
+
+    #[test]
+    fn validate_rejects_undriven() {
+        let mut nl = small();
+        nl.net_or_insert("floating");
+        let err = nl.validate(&lib()).unwrap_err();
+        assert_eq!(err, NetlistError::Undriven { net: "floating".into() });
+    }
+
+    #[test]
+    fn validate_rejects_unknown_cell() {
+        let mut nl = Netlist::new("t");
+        let a = nl.net_or_insert("a");
+        nl.mark_primary_input(a);
+        let y = nl.net_or_insert("y");
+        nl.add_gate("u1", "NOPE", vec![a], y).expect("gate added");
+        let err = nl.validate(&lib()).unwrap_err();
+        assert_eq!(err, NetlistError::UnknownCell { cell: "NOPE".into() });
+    }
+
+    #[test]
+    fn validate_rejects_pin_mismatch() {
+        let mut nl = Netlist::new("t");
+        let a = nl.net_or_insert("a");
+        nl.mark_primary_input(a);
+        let y = nl.net_or_insert("y");
+        nl.add_gate("u1", "NAND2X1", vec![a], y).expect("gate added");
+        let err = nl.validate(&lib()).unwrap_err();
+        assert!(matches!(err, NetlistError::PinCountMismatch { .. }));
+    }
+
+    #[test]
+    fn levelize_orders_fanin_first() {
+        let nl = small();
+        let order = nl.levelize(&lib()).expect("acyclic");
+        assert_eq!(order.len(), 2);
+        assert_eq!(nl.gate(order[0]).name, "u1");
+        assert_eq!(nl.gate(order[1]).name, "u2");
+    }
+
+    #[test]
+    fn levelize_detects_loop() {
+        let mut nl = Netlist::new("loop");
+        let a = nl.net_or_insert("a");
+        let b = nl.net_or_insert("b");
+        nl.add_gate("u1", "INVX1", vec![a], b).expect("u1");
+        nl.add_gate("u2", "INVX1", vec![b], a).expect("u2");
+        let err = nl.levelize(&lib()).unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn ff_breaks_loop() {
+        // a -> INV -> d, DFF(d, clk) -> a : sequential loop is fine.
+        let mut nl = Netlist::new("seqloop");
+        let a = nl.net_or_insert("a");
+        let d = nl.net_or_insert("d");
+        let clk = nl.net_or_insert("clk");
+        nl.mark_primary_input(clk);
+        nl.mark_clock(clk);
+        nl.add_gate("u1", "INVX1", vec![a], d).expect("u1");
+        nl.add_gate("ff", "DFFX1", vec![d, clk], a).expect("ff");
+        nl.validate(&lib()).expect("sequential loop is legal");
+        assert_eq!(nl.flip_flop_count(), 1);
+    }
+
+    #[test]
+    fn logic_depth_counts_chain() {
+        let nl = small();
+        assert_eq!(nl.logic_depth(&lib()).expect("depth"), 2);
+    }
+
+    #[test]
+    fn histogram_counts_cells() {
+        let nl = small();
+        let h = nl.cell_histogram();
+        assert_eq!(h.get("INVX1"), Some(&2));
+    }
+}

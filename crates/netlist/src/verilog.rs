@@ -1,0 +1,369 @@
+//! Structural Verilog subset reader and writer.
+//!
+//! Supports the flat gate-level style that placement/STA flows exchange:
+//!
+//! ```verilog
+//! module top (a, b, clk, y);
+//!   input a, b, clk;
+//!   output y;
+//!   wire w1;
+//!   NAND2X1 u1 (.A(a), .B(b), .Y(w1));
+//!   DFFX1 ff1 (.D(w1), .CK(clk), .Q(y));
+//! endmodule
+//! ```
+//!
+//! Restrictions: one module per file, named port connections only, no
+//! parameters, no behavioural constructs. `//` and `/* */` comments are
+//! stripped.
+//!
+//! ```
+//! use xtalk_netlist::verilog;
+//! use xtalk_tech::{Library, Process};
+//!
+//! let lib = Library::c05um(&Process::c05um());
+//! let src = "module t (a, y); input a; output y; INVX1 u0 (.A(a), .Y(y)); endmodule";
+//! let nl = verilog::parse(src, &lib)?;
+//! assert_eq!(nl.name, "t");
+//! let text = verilog::write(&nl, &lib)?;
+//! assert!(text.contains("INVX1 u0"));
+//! # Ok::<(), xtalk_netlist::NetlistError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use xtalk_tech::Library;
+
+use crate::error::NetlistError;
+use crate::netlist::{NetId, Netlist};
+
+/// Parses structural Verilog into a [`Netlist`].
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] for anything outside the supported subset, plus
+/// structural errors while building (multiple drivers, unknown cells when a
+/// referenced cell is missing from `library`).
+pub fn parse(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
+    let stripped = strip_comments(text);
+    let mut statements = stripped.split(';').map(str::trim);
+
+    // Module header: `module name ( ports )`.
+    let header = statements
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| parse_err(1, "empty source"))?;
+    let header = header
+        .strip_prefix("module")
+        .ok_or_else(|| parse_err(1, "expected `module`"))?
+        .trim();
+    let (name, _ports) = match header.find('(') {
+        Some(open) => {
+            let name = header[..open].trim();
+            let rest = header[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| parse_err(1, "unterminated port list"))?;
+            (name, Some(rest))
+        }
+        None => (header, None),
+    };
+    if name.is_empty() {
+        return Err(parse_err(1, "module needs a name"));
+    }
+    let mut nl = Netlist::new(name);
+
+    for stmt in statements {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if stmt == "endmodule" || stmt.starts_with("endmodule") {
+            break;
+        }
+        if let Some(rest) = stmt.strip_prefix("input") {
+            for n in split_names(rest) {
+                let id = nl.net_or_insert(n);
+                nl.mark_primary_input(id);
+                if n.eq_ignore_ascii_case("clk") || n.eq_ignore_ascii_case("clock") {
+                    nl.mark_clock(id);
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("output") {
+            for n in split_names(rest) {
+                let id = nl.net_or_insert(n);
+                nl.mark_primary_output(id);
+            }
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("wire") {
+            for n in split_names(rest) {
+                nl.net_or_insert(n);
+            }
+            continue;
+        }
+        // Instance: `CELL inst (.PIN(net), ...)`.
+        parse_instance(stmt, &mut nl, library)?;
+    }
+    Ok(nl)
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn split_names(rest: &str) -> impl Iterator<Item = &str> {
+    rest.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+fn parse_instance(
+    stmt: &str,
+    nl: &mut Netlist,
+    library: &Library,
+) -> Result<(), NetlistError> {
+    let open = stmt
+        .find('(')
+        .ok_or_else(|| parse_err(0, format!("unrecognised statement `{stmt}`")))?;
+    let head: Vec<&str> = stmt[..open].split_whitespace().collect();
+    let [cell_name, inst_name] = head[..] else {
+        return Err(parse_err(0, format!("bad instance header `{}`", &stmt[..open])));
+    };
+    let cell = library
+        .cell(cell_name)
+        .ok_or_else(|| NetlistError::UnknownCell {
+            cell: cell_name.to_string(),
+        })?;
+    let body = stmt[open + 1..]
+        .trim_end()
+        .strip_suffix(')')
+        .ok_or_else(|| parse_err(0, "unterminated connection list"))?;
+
+    let mut inputs: Vec<Option<NetId>> = vec![None; cell.inputs.len()];
+    let mut output: Option<NetId> = None;
+    for conn in body.split(',') {
+        let conn = conn.trim();
+        if conn.is_empty() {
+            continue;
+        }
+        let conn = conn
+            .strip_prefix('.')
+            .ok_or_else(|| parse_err(0, format!("expected named connection, got `{conn}`")))?;
+        let open = conn
+            .find('(')
+            .ok_or_else(|| parse_err(0, format!("bad connection `{conn}`")))?;
+        let pin = conn[..open].trim();
+        let net = conn[open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| parse_err(0, format!("bad connection `{conn}`")))?
+            .trim();
+        let net_id = nl.net_or_insert(net);
+        if pin == cell.output {
+            output = Some(net_id);
+        } else if let Some(idx) = cell.input_index(pin) {
+            inputs[idx] = Some(net_id);
+        } else {
+            return Err(parse_err(
+                0,
+                format!("cell `{cell_name}` has no pin `{pin}`"),
+            ));
+        }
+    }
+    let output = output
+        .ok_or_else(|| parse_err(0, format!("instance `{inst_name}` leaves output open")))?;
+    let inputs: Vec<NetId> = inputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| {
+            n.ok_or_else(|| {
+                parse_err(
+                    0,
+                    format!(
+                        "instance `{inst_name}` leaves input `{}` open",
+                        cell.inputs[i]
+                    ),
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    nl.add_gate(inst_name, cell_name, inputs, output)?;
+    Ok(())
+}
+
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'/' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                b'*' => {
+                    i += 2;
+                    while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                        i += 1;
+                    }
+                    i = (i + 2).min(bytes.len());
+                    out.push(' ');
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// Writes a [`Netlist`] as structural Verilog.
+///
+/// # Errors
+///
+/// [`NetlistError::UnknownCell`] when a gate references a cell missing from
+/// `library`.
+pub fn write(netlist: &Netlist, library: &Library) -> Result<String, NetlistError> {
+    let mut out = String::new();
+    let pis: Vec<&str> = netlist
+        .primary_inputs()
+        .map(|id| netlist.net(id).name.as_str())
+        .collect();
+    let pos: Vec<&str> = netlist
+        .primary_outputs()
+        .map(|id| netlist.net(id).name.as_str())
+        .collect();
+    let mut ports: Vec<&str> = pis.clone();
+    ports.extend(pos.iter().copied());
+    let _ = writeln!(out, "module {} ({});", netlist.name, ports.join(", "));
+    if !pis.is_empty() {
+        let _ = writeln!(out, "  input {};", pis.join(", "));
+    }
+    if !pos.is_empty() {
+        let _ = writeln!(out, "  output {};", pos.join(", "));
+    }
+    let wires: Vec<&str> = netlist
+        .nets()
+        .iter()
+        .filter(|n| !n.is_primary_input && !n.is_primary_output)
+        .map(|n| n.name.as_str())
+        .collect();
+    for chunk in wires.chunks(16) {
+        let _ = writeln!(out, "  wire {};", chunk.join(", "));
+    }
+    for gate in netlist.gates() {
+        let cell = library
+            .cell(&gate.cell)
+            .ok_or_else(|| NetlistError::UnknownCell {
+                cell: gate.cell.clone(),
+            })?;
+        let mut conns: Vec<String> = gate
+            .inputs
+            .iter()
+            .zip(&cell.inputs)
+            .map(|(&net, pin)| format!(".{pin}({})", netlist.net(net).name))
+            .collect();
+        conns.push(format!(".{}({})", cell.output, netlist.net(gate.output).name));
+        let _ = writeln!(out, "  {} {} ({});", gate.cell, gate.name, conns.join(", "));
+    }
+    let _ = writeln!(out, "endmodule");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+    use crate::data;
+    use xtalk_tech::{Library, Process};
+
+    fn lib() -> Library {
+        Library::c05um(&Process::c05um())
+    }
+
+    #[test]
+    fn parses_minimal_module() {
+        let src = "module t (a, y);\n input a;\n output y;\n INVX1 u0 (.A(a), .Y(y));\nendmodule\n";
+        let nl = parse(src, &lib()).expect("parse");
+        assert_eq!(nl.name, "t");
+        assert_eq!(nl.gate_count(), 1);
+        nl.validate(&lib()).expect("valid");
+    }
+
+    #[test]
+    fn strips_comments() {
+        let src = "// hi\nmodule t (a, y); /* multi\nline */ input a; output y;\n\
+                   INVX1 u0 (.A(a), .Y(y)); endmodule";
+        let nl = parse(src, &lib()).expect("parse");
+        assert_eq!(nl.gate_count(), 1);
+    }
+
+    #[test]
+    fn clock_input_marked() {
+        let src = "module t (clk, a, y); input clk, a; output y;\n\
+                   INVX1 u0 (.A(a), .Y(w)); wire w;\n\
+                   DFFX1 f (.D(w), .CK(clk), .Q(y)); endmodule";
+        let nl = parse(src, &lib()).expect("parse");
+        let clk = nl.net_by_name("clk").expect("clk");
+        assert!(nl.net(clk).is_clock);
+    }
+
+    #[test]
+    fn rejects_unknown_pin() {
+        let src = "module t (a, y); input a; output y; INVX1 u0 (.Z(a), .Y(y)); endmodule";
+        let err = parse(src, &lib()).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_cell() {
+        let src = "module t (a, y); input a; output y; FROBX1 u0 (.A(a), .Y(y)); endmodule";
+        let err = parse(src, &lib()).unwrap_err();
+        assert_eq!(err, NetlistError::UnknownCell { cell: "FROBX1".into() });
+    }
+
+    #[test]
+    fn rejects_open_pins() {
+        let src = "module t (a, y); input a; output y; NAND2X1 u0 (.A(a), .Y(y)); endmodule";
+        let err = parse(src, &lib()).unwrap_err();
+        assert!(err.to_string().contains("leaves input"), "{err}");
+    }
+
+    #[test]
+    fn roundtrip_s27() {
+        let library = lib();
+        let nl = bench::parse(data::S27_BENCH, &library).expect("bench parse");
+        let v = write(&nl, &library).expect("write verilog");
+        let nl2 = parse(&v, &library).expect("reparse verilog");
+        assert_eq!(nl.gate_count(), nl2.gate_count());
+        assert_eq!(nl.net_count(), nl2.net_count());
+        assert_eq!(nl.cell_histogram(), nl2.cell_histogram());
+        assert_eq!(
+            nl.primary_inputs().count(),
+            nl2.primary_inputs().count()
+        );
+        assert_eq!(
+            nl.primary_outputs().count(),
+            nl2.primary_outputs().count()
+        );
+        nl2.validate(&library).expect("still valid");
+    }
+
+    #[test]
+    fn write_declares_all_wires() {
+        let library = lib();
+        let nl = bench::parse(data::C17_BENCH, &library).expect("parse");
+        let v = write(&nl, &library).expect("write");
+        assert!(v.contains("module c17"));
+        assert!(v.contains("input "));
+        assert!(v.contains("output "));
+        assert!(v.contains("NAND2X1"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+}

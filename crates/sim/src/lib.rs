@@ -1,0 +1,35 @@
+//! Simulation substrates: logic simulation and transistor-level transient
+//! analysis.
+//!
+//! The paper validates its crosstalk-aware static timing analysis against
+//! circuit simulation of the longest paths, with "piecewise linear sources
+//! … iteratively adjusted to obtain worst-case path delays at every coupling
+//! capacitance" (§6). This crate provides the equivalents:
+//!
+//! - [`logic`]: a three-valued event-driven gate-level simulator, used for
+//!   functional validation of netlists and for switching-activity checks.
+//! - [`circuit`]: flattening of library cells into individual transistors
+//!   and capacitors — the circuit netlist the transient engine integrates.
+//! - [`transient`]: a nonlinear transient simulator (backward Euler +
+//!   per-node Newton/Gauss-Seidel relaxation) over the same table-based
+//!   device models the timing engine uses, so STA-vs-simulation differences
+//!   measure *analysis* error, not model error.
+//! - [`path`]: construction of a longest-path subcircuit with coupled
+//!   aggressor sources, and measurement of its delay.
+//! - [`align`]: coordinate-ascent search for the aggressor switching times
+//!   that maximize the simulated path delay — the paper's "iteratively
+//!   adjusted" PWL sources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod circuit;
+pub mod logic;
+pub mod path;
+pub mod transient;
+
+pub use circuit::{Circuit, NodeId, NodeRef};
+pub use logic::LogicSim;
+pub use path::{AggressorSpec, PathGateSpec, PathSpec};
+pub use transient::{simulate, SimError, SimOptions, Transient};

@@ -1,0 +1,262 @@
+//! Three-valued event-driven gate-level logic simulation.
+//!
+//! Values are `Some(false)`, `Some(true)` or `None` (unknown/X). The
+//! simulator supports combinational settling within a clock cycle and
+//! rising-edge flip-flop updates between cycles, which is what the
+//! synchronous circuits of the paper's benchmark suite need.
+
+use xtalk_netlist::{GateId, NetId, Netlist};
+use xtalk_tech::cell::Function;
+use xtalk_tech::Library;
+
+/// A gate-level logic simulator over a netlist.
+#[derive(Debug, Clone)]
+pub struct LogicSim<'a> {
+    netlist: &'a Netlist,
+    functions: Vec<Function>,
+    order: Vec<GateId>,
+    values: Vec<Option<bool>>,
+    ff_state: Vec<Option<bool>>,
+    /// Number of value changes in the last `settle` call.
+    pub last_events: usize,
+}
+
+impl<'a> LogicSim<'a> {
+    /// Builds a simulator; fails when the netlist does not levelize or uses
+    /// unknown cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`xtalk_netlist::NetlistError`] from validation.
+    pub fn new(
+        netlist: &'a Netlist,
+        library: &Library,
+    ) -> Result<Self, xtalk_netlist::NetlistError> {
+        let order = netlist.levelize(library)?;
+        let functions = netlist
+            .gates()
+            .iter()
+            .map(|g| {
+                library
+                    .cell(&g.cell)
+                    .map(|c| c.function)
+                    .ok_or_else(|| xtalk_netlist::NetlistError::UnknownCell {
+                        cell: g.cell.clone(),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LogicSim {
+            netlist,
+            functions,
+            order,
+            values: vec![None; netlist.net_count()],
+            ff_state: vec![None; netlist.gate_count()],
+            last_events: 0,
+        })
+    }
+
+    /// Current value of a net.
+    pub fn value(&self, net: NetId) -> Option<bool> {
+        self.values[net.index()]
+    }
+
+    /// Forces a primary input (or any net) to a value.
+    pub fn set(&mut self, net: NetId, value: Option<bool>) {
+        self.values[net.index()] = value;
+    }
+
+    /// Propagates values through the combinational logic until stable.
+    /// Flip-flop outputs keep their stored state.
+    pub fn settle(&mut self) {
+        self.last_events = 0;
+        // First push FF states onto Q nets.
+        for (gi, gate) in self.netlist.gates().iter().enumerate() {
+            if self.functions[gi] == Function::Dff {
+                let q = self.ff_state[gi];
+                if self.values[gate.output.index()] != q {
+                    self.values[gate.output.index()] = q;
+                    self.last_events += 1;
+                }
+            }
+        }
+        // One pass in levelized order settles a DAG.
+        for &g in &self.order {
+            let gi = g.index();
+            if self.functions[gi] == Function::Dff {
+                continue;
+            }
+            let gate = &self.netlist.gates()[gi];
+            let inputs: Vec<Option<bool>> = gate
+                .inputs
+                .iter()
+                .map(|&n| self.values[n.index()])
+                .collect();
+            let out = self.functions[gi].eval(&inputs);
+            if self.values[gate.output.index()] != out {
+                self.values[gate.output.index()] = out;
+                self.last_events += 1;
+            }
+        }
+    }
+
+    /// Applies a rising clock edge: every flip-flop captures its D input.
+    /// Call [`LogicSim::settle`] afterwards to propagate the new state.
+    pub fn clock(&mut self) {
+        for (gi, gate) in self.netlist.gates().iter().enumerate() {
+            if self.functions[gi] == Function::Dff {
+                let d = gate.inputs[0];
+                self.ff_state[gi] = self.values[d.index()];
+            }
+        }
+    }
+
+    /// Convenience: set all primary inputs (except clocks) from a bit
+    /// iterator, settle, and return the primary-output values.
+    pub fn run_vector(&mut self, bits: impl IntoIterator<Item = bool>) -> Vec<Option<bool>> {
+        let pis: Vec<NetId> = self
+            .netlist
+            .primary_inputs()
+            .filter(|&id| !self.netlist.net(id).is_clock)
+            .collect();
+        for (net, bit) in pis.into_iter().zip(bits) {
+            self.set(net, Some(bit));
+        }
+        self.settle();
+        self.netlist
+            .primary_outputs()
+            .map(|id| self.value(id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_netlist::{bench, data, generator, generator::GeneratorConfig};
+    use xtalk_tech::{Library, Process};
+
+    fn lib() -> Library {
+        Library::c05um(&Process::c05um())
+    }
+
+    #[test]
+    fn c17_truth_table_spot_checks() {
+        let library = lib();
+        let nl = bench::parse(data::C17_BENCH, &library).expect("parse");
+        let mut sim = LogicSim::new(&nl, &library).expect("sim");
+        // c17: N22 = NAND(N10, N16), with N10 = NAND(N1,N3), N11 = NAND(N3,N6),
+        // N16 = NAND(N2,N11), N19 = NAND(N11,N7), N23 = NAND(N16,N19).
+        let case = |v: [bool; 5]| -> (Option<bool>, Option<bool>) {
+            let n1 = !(v[0] & v[2]);
+            let n11 = !(v[2] & v[3]);
+            let n16 = !(v[1] & n11);
+            let n19 = !(n11 & v[4]);
+            (Some(!(n1 & n16)), Some(!(n16 & n19)))
+        };
+        let mut sim_inputs = |v: [bool; 5]| -> (Option<bool>, Option<bool>) {
+            for (name, bit) in ["N1", "N2", "N3", "N6", "N7"].iter().zip(v) {
+                let id = nl.net_by_name(name).expect("pi");
+                sim.set(id, Some(bit));
+            }
+            sim.settle();
+            (
+                sim.value(nl.net_by_name("N22").expect("po")),
+                sim.value(nl.net_by_name("N23").expect("po")),
+            )
+        };
+        for pattern in 0..32u32 {
+            let v = [
+                pattern & 1 != 0,
+                pattern & 2 != 0,
+                pattern & 4 != 0,
+                pattern & 8 != 0,
+                pattern & 16 != 0,
+            ];
+            assert_eq!(sim_inputs(v), case(v), "pattern {pattern:05b}");
+        }
+    }
+
+    #[test]
+    fn unknowns_propagate() {
+        let library = lib();
+        let nl = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", &library)
+            .expect("parse");
+        let mut sim = LogicSim::new(&nl, &library).expect("sim");
+        let a = nl.net_by_name("a").expect("a");
+        let y = nl.net_by_name("y").expect("y");
+        sim.set(a, Some(false));
+        sim.settle();
+        assert_eq!(sim.value(y), Some(false), "0 AND X = 0");
+        sim.set(a, Some(true));
+        sim.settle();
+        assert_eq!(sim.value(y), None, "1 AND X = X");
+    }
+
+    #[test]
+    fn s27_sequential_behaviour() {
+        let library = lib();
+        let nl = bench::parse(data::S27_BENCH, &library).expect("parse");
+        let mut sim = LogicSim::new(&nl, &library).expect("sim");
+        // Drive all inputs high: with G0=1, G14=0 forces G8=0, and the OR/
+        // NAND/NOR chain resolves G11=0 regardless of the X flip-flop state,
+        // so the machine reaches a defined output within a cycle.
+        for id in nl.primary_inputs() {
+            if !nl.net(id).is_clock {
+                sim.set(id, Some(true));
+            }
+        }
+        for _ in 0..8 {
+            sim.settle();
+            sim.clock();
+        }
+        sim.settle();
+        let g17 = nl.net_by_name("G17").expect("output");
+        assert!(sim.value(g17).is_some(), "state must become defined");
+    }
+
+    #[test]
+    fn run_vector_round() {
+        let library = lib();
+        let nl = bench::parse(data::C17_BENCH, &library).expect("parse");
+        let mut sim = LogicSim::new(&nl, &library).expect("sim");
+        let outs = sim.run_vector([true, true, true, true, true]);
+        assert_eq!(outs.len(), 2);
+        assert!(outs.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn settle_counts_events() {
+        let library = lib();
+        let nl = bench::parse(data::C17_BENCH, &library).expect("parse");
+        let mut sim = LogicSim::new(&nl, &library).expect("sim");
+        sim.run_vector([false; 5]);
+        let first = sim.last_events;
+        assert!(first > 0);
+        // Re-settling with no input change produces no events.
+        sim.settle();
+        assert_eq!(sim.last_events, 0);
+    }
+
+    #[test]
+    fn synthetic_circuit_settles_with_defined_outputs() {
+        let library = lib();
+        let nl = generator::generate(&GeneratorConfig::small(33), &library).expect("gen");
+        let mut sim = LogicSim::new(&nl, &library).expect("sim");
+        for id in nl.primary_inputs() {
+            if !nl.net(id).is_clock {
+                sim.set(id, Some(true));
+            }
+        }
+        // A few cycles to flush X state out of the FFs.
+        for _ in 0..4 {
+            sim.settle();
+            sim.clock();
+        }
+        sim.settle();
+        let defined = nl
+            .primary_outputs()
+            .filter(|&id| sim.value(id).is_some())
+            .count();
+        assert!(defined > 0, "some outputs must be defined after reset");
+    }
+}

@@ -1,0 +1,500 @@
+//! Nonlinear transient integration of a flat transistor circuit.
+//!
+//! Backward Euler in time; at each timestep the nonlinear nodal equations
+//! are relaxed with per-node Newton updates (nonlinear Gauss–Seidel), which
+//! converges robustly on the M-matrix-structured MOS circuits at hand and
+//! needs no general sparse LU. The step size adapts to the fastest node
+//! slew and the relaxation is retried with a halved step on
+//! non-convergence — standard practice for event-dominated digital
+//! transients.
+
+use xtalk_tech::mosfet::DeviceType;
+use xtalk_tech::table::DeviceTable;
+use xtalk_tech::Process;
+
+use crate::circuit::{Circuit, Device, Drive, NodeId, NodeRef};
+
+/// Options controlling a transient run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Stop time, seconds.
+    pub t_stop: f64,
+    /// Initial step, seconds.
+    pub h_init: f64,
+    /// Maximum step, seconds.
+    pub h_max: f64,
+    /// Per-sweep convergence tolerance, volts.
+    pub v_tol: f64,
+    /// Maximum relaxation sweeps per timestep.
+    pub max_sweeps: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            t_stop: 10e-9,
+            h_init: 1e-12,
+            h_max: 50e-12,
+            v_tol: 2e-5,
+            max_sweeps: 400,
+        }
+    }
+}
+
+/// Errors from [`simulate`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The relaxation failed to converge even at the minimum step size.
+    NoConvergence {
+        /// Simulation time of the failure.
+        t: f64,
+    },
+    /// The circuit has no free nodes to integrate.
+    NothingToSolve,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoConvergence { t } => {
+                write!(f, "transient relaxation diverged at t = {t:.3e} s")
+            }
+            SimError::NothingToSolve => write!(f, "circuit has no free nodes"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a transient run: per-node sampled traces.
+#[derive(Debug, Clone)]
+pub struct Transient {
+    /// `traces[node][k] = (t, v)`, one entry per accepted step.
+    pub traces: Vec<Vec<(f64, f64)>>,
+    /// Accepted steps.
+    pub steps: usize,
+}
+
+impl Transient {
+    /// The sampled trace of a node.
+    pub fn trace(&self, node: NodeId) -> &[(f64, f64)] {
+        &self.traces[node.index()]
+    }
+
+    /// Final voltage of a node.
+    pub fn final_value(&self, node: NodeId) -> f64 {
+        self.traces[node.index()]
+            .last()
+            .map(|&(_, v)| v)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Last time the node's trace crosses `threshold` in the given
+    /// direction (rising = upward crossing).
+    pub fn last_crossing(&self, node: NodeId, threshold: f64, rising: bool) -> Option<f64> {
+        let tr = &self.traces[node.index()];
+        let mut found = None;
+        for w in tr.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            let crosses = if rising {
+                v0 < threshold && v1 >= threshold
+            } else {
+                v0 > threshold && v1 <= threshold
+            };
+            if crosses {
+                let f = (threshold - v0) / (v1 - v0);
+                found = Some(t0 + (t1 - t0) * f);
+            }
+        }
+        found
+    }
+
+    /// First time the node's trace crosses `threshold` in the given
+    /// direction.
+    pub fn first_crossing(&self, node: NodeId, threshold: f64, rising: bool) -> Option<f64> {
+        let tr = &self.traces[node.index()];
+        for w in tr.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            let crosses = if rising {
+                v0 < threshold && v1 >= threshold
+            } else {
+                v0 > threshold && v1 <= threshold
+            };
+            if crosses {
+                let f = (threshold - v0) / (v1 - v0);
+                return Some(t0 + (t1 - t0) * f);
+            }
+        }
+        None
+    }
+}
+
+struct DevicePartials {
+    i: f64,
+    /// Gate transconductance; no DC gate current flows, but kept so future
+    /// full-matrix solvers can stamp the gm coupling term.
+    #[allow(dead_code)]
+    d_gate: f64,
+    d_drain: f64,
+    d_source: f64,
+}
+
+fn eval_device(
+    dev: &Device,
+    vg: f64,
+    vd: f64,
+    vs: f64,
+    nmos: &DeviceTable,
+    pmos: &DeviceTable,
+) -> DevicePartials {
+    match dev.polarity {
+        DeviceType::Nmos => {
+            let (i, dg, dd) = nmos.derivs(vg - vs, vd - vs, dev.width);
+            DevicePartials {
+                i,
+                d_gate: dg,
+                d_drain: dd,
+                d_source: -dg - dd,
+            }
+        }
+        DeviceType::Pmos => {
+            // I(drain->source) = -Ip(vs - vg, vs - vd)
+            let (i, dg, dd) = pmos.derivs(vs - vg, vs - vd, dev.width);
+            DevicePartials {
+                i: -i,
+                d_gate: dg,
+                d_drain: dd,
+                d_source: -dg - dd,
+            }
+        }
+    }
+}
+
+/// Runs a transient simulation of `circuit`.
+///
+/// # Errors
+///
+/// [`SimError::NoConvergence`] if the relaxation cannot converge even at
+/// femtosecond steps; [`SimError::NothingToSolve`] for a circuit without
+/// free nodes.
+pub fn simulate(
+    circuit: &Circuit,
+    process: &Process,
+    options: &SimOptions,
+) -> Result<Transient, SimError> {
+    let n = circuit.nodes.len();
+    if circuit.free_count() == 0 {
+        return Err(SimError::NothingToSolve);
+    }
+    let nmos = process.table(DeviceType::Nmos);
+    let pmos = process.table(DeviceType::Pmos);
+    let vdd = process.vdd;
+
+    // Adjacency: devices touching each node (as drain or source), and
+    // mutual caps per node.
+    let mut node_devices: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (di, dev) in circuit.devices.iter().enumerate() {
+        for term in [dev.drain, dev.source] {
+            if let NodeRef::Node(id) = term {
+                node_devices[id.index()].push(di);
+            }
+        }
+    }
+    let mut node_mutual: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (mi, m) in circuit.mutual.iter().enumerate() {
+        for term in [m.a, m.b] {
+            if let NodeRef::Node(id) = term {
+                node_mutual[id.index()].push(mi);
+            }
+        }
+    }
+    let free: Vec<usize> = (0..n)
+        .filter(|&i| matches!(circuit.nodes[i].drive, Drive::Free))
+        .collect();
+
+    // State.
+    let volt_of = |drive: &Drive, t: f64, v0: f64| -> f64 {
+        match drive {
+            Drive::Free => v0,
+            Drive::Const(v) => *v,
+            Drive::Pwl(w) => w.value_at(t),
+        }
+    };
+    let mut v: Vec<f64> = circuit
+        .nodes
+        .iter()
+        .map(|nd| volt_of(&nd.drive, 0.0, nd.v0))
+        .collect();
+    let read = |v: &[f64], r: NodeRef| -> f64 {
+        match r {
+            NodeRef::Node(id) => v[id.index()],
+            NodeRef::Vdd => vdd,
+            NodeRef::Gnd => 0.0,
+        }
+    };
+
+    let mut traces: Vec<Vec<(f64, f64)>> = (0..n).map(|i| vec![(0.0, v[i])]).collect();
+    let mut t = 0.0f64;
+    let mut h = options.h_init;
+    let h_min = 1e-16;
+    let mut steps = 0usize;
+
+    while t < options.t_stop {
+        let t1 = (t + h).min(options.t_stop);
+        let h_eff = t1 - t;
+        let v_prev = v.clone();
+        // Forced nodes move to their t1 values.
+        for (i, nd) in circuit.nodes.iter().enumerate() {
+            match &nd.drive {
+                Drive::Free => {}
+                d => v[i] = volt_of(d, t1, nd.v0),
+            }
+        }
+        // Nonlinear Gauss-Seidel relaxation.
+        let mut converged = false;
+        for _sweep in 0..options.max_sweeps {
+            let mut delta_max = 0.0f64;
+            for &i in &free {
+                let node = &circuit.nodes[i];
+                let mut f = node.cap * (v[i] - v_prev[i]) / h_eff;
+                let mut jac = node.cap / h_eff;
+                for &mi in &node_mutual[i] {
+                    let m = &circuit.mutual[mi];
+                    let (other, sign_is_a) = if m.a == NodeRef::Node(NodeId(i as u32)) {
+                        (m.b, true)
+                    } else {
+                        (m.a, false)
+                    };
+                    let _ = sign_is_a;
+                    let vo = read(&v, other);
+                    let vo_prev = match other {
+                        NodeRef::Node(id) => v_prev[id.index()],
+                        NodeRef::Vdd => vdd,
+                        NodeRef::Gnd => 0.0,
+                    };
+                    f += m.c * ((v[i] - v_prev[i]) - (vo - vo_prev)) / h_eff;
+                    jac += m.c / h_eff;
+                }
+                for &di in &node_devices[i] {
+                    let dev = &circuit.devices[di];
+                    let p = eval_device(
+                        dev,
+                        read(&v, dev.gate),
+                        read(&v, dev.drain),
+                        read(&v, dev.source),
+                        nmos,
+                        pmos,
+                    );
+                    if dev.drain == NodeRef::Node(NodeId(i as u32)) {
+                        f += p.i;
+                        jac += p.d_drain;
+                    }
+                    if dev.source == NodeRef::Node(NodeId(i as u32)) {
+                        f -= p.i;
+                        jac -= p.d_source;
+                    }
+                }
+                if jac.abs() < 1e-30 {
+                    continue;
+                }
+                let dv = (f / jac).clamp(-0.3, 0.3);
+                v[i] -= dv;
+                // Keep voltages physical-ish to avoid table extrapolation.
+                v[i] = v[i].clamp(-1.0, vdd + 1.0);
+                delta_max = delta_max.max(dv.abs());
+            }
+            if delta_max < options.v_tol {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // Retry with a smaller step.
+            v = v_prev;
+            h *= 0.5;
+            if h < h_min {
+                return Err(SimError::NoConvergence { t });
+            }
+            continue;
+        }
+        // Accept.
+        t = t1;
+        steps += 1;
+        let mut dv_max = 0.0f64;
+        for &i in &free {
+            dv_max = dv_max.max((v[i] - v_prev[i]).abs());
+        }
+        for (i, tr) in traces.iter_mut().enumerate() {
+            tr.push((t, v[i]));
+        }
+        // Step control targeting ~60 mV of movement per step.
+        let target = 0.06;
+        let scale = if dv_max > 1e-9 { target / dv_max } else { 2.0 };
+        h = (h * scale.clamp(0.4, 2.0)).clamp(1e-15, options.h_max);
+    }
+
+    Ok(Transient { traces, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Circuit, Drive, NodeRef};
+    use xtalk_tech::{Library, Process};
+    use xtalk_wave::pwl::Waveform;
+
+    fn setup() -> (Process, Library) {
+        let p = Process::c05um();
+        (p.clone(), Library::c05um(&p))
+    }
+
+    /// RC discharge through an NMOS used as a resistor-ish pull-down.
+    #[test]
+    fn nmos_discharges_capacitor() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let mut c = Circuit::new();
+        let inp = c.add_node(
+            "in",
+            Drive::Pwl(Waveform::ramp(1e-9, 0.2e-9, 0.0, p.vdd).expect("ramp")),
+            0.0,
+            0.0,
+        );
+        let out = c.add_node("out", Drive::Free, 50e-15, p.vdd);
+        c.instantiate_cell(
+            inv,
+            &[NodeRef::Node(inp)],
+            NodeRef::Node(out),
+            None,
+            &l,
+            &p,
+            "u0",
+        );
+        let tr = simulate(&c, &p, &SimOptions::default()).expect("simulate");
+        // Output starts at VDD, ends near ground.
+        assert!(tr.trace(out)[0].1 > 3.0);
+        assert!(tr.final_value(out) < 0.1, "final {}", tr.final_value(out));
+        let cross = tr
+            .last_crossing(out, p.delay_threshold(), false)
+            .expect("fall crossing");
+        assert!(cross > 1e-9, "output falls after the input rises");
+        assert!(cross < 3e-9, "and within a plausible delay");
+    }
+
+    #[test]
+    fn inverter_chain_propagates() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let mut c = Circuit::new();
+        let inp = c.add_node(
+            "in",
+            Drive::Pwl(Waveform::ramp(0.5e-9, 0.2e-9, p.vdd, 0.0).expect("ramp")),
+            0.0,
+            p.vdd,
+        );
+        let mid = c.add_node("mid", Drive::Free, 10e-15, 0.0);
+        let out = c.add_node("out", Drive::Free, 10e-15, p.vdd);
+        c.instantiate_cell(inv, &[NodeRef::Node(inp)], NodeRef::Node(mid), None, &l, &p, "u0");
+        c.instantiate_cell(inv, &[NodeRef::Node(mid)], NodeRef::Node(out), None, &l, &p, "u1");
+        let tr = simulate(&c, &p, &SimOptions { t_stop: 5e-9, ..SimOptions::default() })
+            .expect("simulate");
+        let th = p.delay_threshold();
+        let t_mid = tr.first_crossing(mid, th, true).expect("mid rises");
+        let t_out = tr.first_crossing(out, th, false).expect("out falls");
+        assert!(t_out > t_mid, "stage order preserved");
+        assert!(tr.final_value(mid) > 3.0);
+        assert!(tr.final_value(out) < 0.3);
+    }
+
+    #[test]
+    fn coupled_aggressor_delays_victim() {
+        // A victim inverter rising while an aggressor (ideal source) falls
+        // through a coupling cap: the victim must be slower than without the
+        // aggressor — the Fig. 1 situation of the paper.
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let th = p.delay_threshold();
+        let run = |aggressor_at: Option<f64>| -> f64 {
+            let mut c = Circuit::new();
+            let inp = c.add_node(
+                "in",
+                Drive::Pwl(Waveform::ramp(0.5e-9, 0.2e-9, p.vdd, 0.0).expect("ramp")),
+                0.0,
+                p.vdd,
+            );
+            let out = c.add_node("out", Drive::Free, 30e-15, 0.0);
+            let agg = match aggressor_at {
+                Some(t) => c.add_node(
+                    "agg",
+                    Drive::Pwl(Waveform::step(t, p.vdd, 0.0).expect("step")),
+                    0.0,
+                    p.vdd,
+                ),
+                None => c.add_node("agg", Drive::Const(p.vdd), 0.0, p.vdd),
+            };
+            c.add_mutual(NodeRef::Node(out), NodeRef::Node(agg), 15e-15);
+            c.instantiate_cell(
+                inv,
+                &[NodeRef::Node(inp)],
+                NodeRef::Node(out),
+                None,
+                &l,
+                &p,
+                "u0",
+            );
+            let tr = simulate(&c, &p, &SimOptions { t_stop: 6e-9, ..SimOptions::default() })
+                .expect("simulate");
+            tr.last_crossing(out, th, true).expect("rise crossing")
+        };
+        let quiet = run(None);
+        // Fire the aggressor just after the quiet crossing: the capacitive
+        // dip pulls the victim back below threshold (the worst case).
+        let noisy = run(Some(quiet + 10e-12));
+        assert!(
+            noisy > quiet + 10e-12,
+            "aggressor must add delay: {quiet} vs {noisy}"
+        );
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let p = Process::c05um();
+        let c = Circuit::new();
+        assert_eq!(
+            simulate(&c, &p, &SimOptions::default()).unwrap_err(),
+            SimError::NothingToSolve
+        );
+    }
+
+    #[test]
+    fn nand_stack_settles_dc() {
+        // Both NAND inputs high: output must settle to ground through the
+        // series stack (exercises internal stack nodes).
+        let (p, l) = setup();
+        let nand = l.cell("NAND2X1").expect("nand");
+        let mut c = Circuit::new();
+        let a = c.add_node("a", Drive::Const(p.vdd), 0.0, p.vdd);
+        let b = c.add_node(
+            "b",
+            Drive::Pwl(Waveform::ramp(0.5e-9, 0.1e-9, 0.0, p.vdd).expect("ramp")),
+            0.0,
+            0.0,
+        );
+        let y = c.add_node("y", Drive::Free, 20e-15, p.vdd);
+        c.instantiate_cell(
+            nand,
+            &[NodeRef::Node(a), NodeRef::Node(b)],
+            NodeRef::Node(y),
+            None,
+            &l,
+            &p,
+            "u0",
+        );
+        let tr = simulate(&c, &p, &SimOptions { t_stop: 4e-9, ..SimOptions::default() })
+            .expect("simulate");
+        assert!(tr.final_value(y) < 0.1, "final {}", tr.final_value(y));
+    }
+}

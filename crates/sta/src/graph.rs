@@ -1,0 +1,504 @@
+//! The expanded timing graph.
+//!
+//! The gate-level netlist is expanded to *stage* granularity: every cell
+//! contributes one stage instance per complementary-CMOS stage, so the
+//! waveform engine always solves single stages at transistor level (paper
+//! §3). Timing nodes are netlist nets plus cell-internal nets; timing arcs
+//! run from a stage-input node to the stage-output node. Flip-flops cut the
+//! graph at their D pin and re-launch Q from the clock through their output
+//! driver stages, so the expanded graph of a legal synchronous circuit is a
+//! DAG (paper §4: "the circuit is translated into a directed acyclic
+//! graph").
+
+use std::collections::HashMap;
+
+use xtalk_layout::Parasitics;
+use xtalk_netlist::{GateId, NetId, Netlist, NetlistError};
+use xtalk_tech::cell::StageSignal;
+use xtalk_tech::{Library, Process};
+use xtalk_wave::sensitize;
+
+/// Identifier of a timing node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TNodeId(pub u32);
+
+impl TNodeId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a timing node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TNodeKind {
+    /// A netlist net.
+    Net(NetId),
+    /// A cell-internal net of a gate instance.
+    Internal {
+        /// The owning gate.
+        gate: GateId,
+        /// Internal net index within the cell.
+        index: u32,
+    },
+}
+
+/// One timing node.
+#[derive(Debug, Clone)]
+pub struct TNode {
+    /// What the node represents.
+    pub kind: TNodeKind,
+    /// `true` when the node starts the clock domain (primary input).
+    pub is_start: bool,
+    /// `true` when arrivals here are endpoints (primary output or
+    /// flip-flop data pin).
+    pub is_end: bool,
+}
+
+/// One stage-input connection.
+#[derive(Debug, Clone, Copy)]
+pub struct TInput {
+    /// Driving timing node.
+    pub node: TNodeId,
+    /// Index into the driving *net*'s `loads` (for Elmore wire delay);
+    /// `None` for cell-internal connections.
+    pub sink: Option<usize>,
+}
+
+/// One stage instance of the expanded graph.
+#[derive(Debug, Clone)]
+pub struct StageInst {
+    /// The owning gate.
+    pub gate: GateId,
+    /// Stage index within the cell.
+    pub stage: usize,
+    /// Per-slot inputs.
+    pub inputs: Vec<TInput>,
+    /// Output timing node.
+    pub output: TNodeId,
+    /// `true` when this stage belongs to a flip-flop's clock-to-Q launch
+    /// chain (slot 0 is driven by the clock edge).
+    pub is_launch: bool,
+    /// Fixed grounded load on the output (diffusion + wire + pins or
+    /// internal gate caps), farads.
+    pub cground: f64,
+    /// Coupling capacitances on the output net: `(other net, cap)`.
+    pub couplings: Vec<(NetId, f64)>,
+    /// Sensitizing side values per `[slot][output-rising as usize]`;
+    /// `None` marks a non-sensitizable arc. Chosen for the *slowest*
+    /// sensitizing assignment (max-delay analysis).
+    pub sides: Vec<[Option<Vec<f64>>; 2]>,
+    /// Like `sides` but for the *fastest* sensitizing assignment
+    /// (min-delay / hold analysis).
+    pub sides_fast: Vec<[Option<Vec<f64>>; 2]>,
+}
+
+/// The expanded timing graph.
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    /// All timing nodes.
+    pub nodes: Vec<TNode>,
+    /// All stage instances.
+    pub stages: Vec<StageInst>,
+    /// Stage indices in topological order.
+    pub topo: Vec<usize>,
+    /// Stage indices grouped into dependency levels: every stage in level
+    /// `k` depends only on outputs of levels `< k`, so stages within one
+    /// level can be evaluated in parallel.
+    pub levels: Vec<Vec<usize>>,
+    /// For each timing node, the stages consuming it as
+    /// `(stage index, slot)`.
+    pub fanout: Vec<Vec<(usize, usize)>>,
+    /// Net-id to timing-node mapping.
+    pub net_node: Vec<TNodeId>,
+}
+
+impl TimingGraph {
+    /// Expands `netlist` against `library` into a stage-level timing graph.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError`] for unknown cells or a cyclic expanded graph (which
+    /// a validated netlist cannot produce).
+    pub fn build(
+        netlist: &Netlist,
+        library: &Library,
+        process: &Process,
+        parasitics: &Parasitics,
+    ) -> Result<Self, NetlistError> {
+        let vdd = process.vdd;
+        let mut nodes: Vec<TNode> = Vec::new();
+        let mut net_node = Vec::with_capacity(netlist.net_count());
+
+        // Which nets feed flip-flop D pins (endpoints).
+        let mut feeds_d: Vec<bool> = vec![false; netlist.net_count()];
+        for gate in netlist.gates() {
+            if let Some(cell) = library.cell(&gate.cell) {
+                if let Some(seq) = &cell.seq {
+                    feeds_d[gate.inputs[seq.d_pin].index()] = true;
+                }
+            }
+        }
+
+        for (ni, net) in netlist.nets().iter().enumerate() {
+            let id = TNodeId(nodes.len() as u32);
+            nodes.push(TNode {
+                kind: TNodeKind::Net(NetId(ni as u32)),
+                is_start: net.is_primary_input,
+                is_end: net.is_primary_output || feeds_d[ni],
+            });
+            net_node.push(id);
+        }
+
+        // Pin-cap sums per net (loads seen by the driver).
+        let mut pin_cap: Vec<f64> = vec![0.0; netlist.net_count()];
+        for gate in netlist.gates() {
+            let cell = library
+                .cell(&gate.cell)
+                .ok_or_else(|| NetlistError::UnknownCell {
+                    cell: gate.cell.clone(),
+                })?;
+            for (pin, &net) in gate.inputs.iter().enumerate() {
+                pin_cap[net.index()] += cell.input_cap.get(pin).copied().unwrap_or(0.0);
+            }
+        }
+
+        let mut stages: Vec<StageInst> = Vec::new();
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            let gate_id = GateId(gi as u32);
+            let cell = library.cell(&gate.cell).expect("checked above");
+
+            // Create internal timing nodes for this cell instance.
+            let internal: Vec<TNodeId> = (0..cell.internal_nodes)
+                .map(|k| {
+                    let id = TNodeId(nodes.len() as u32);
+                    nodes.push(TNode {
+                        kind: TNodeKind::Internal {
+                            gate: gate_id,
+                            index: k as u32,
+                        },
+                        is_start: false,
+                        is_end: false,
+                    });
+                    id
+                })
+                .collect();
+
+            // Internal gate-cap loads: sum stage input caps per internal net.
+            let mut internal_load = vec![0.0f64; cell.internal_nodes];
+            for stage in &cell.stages {
+                for (slot, sig) in stage.inputs.iter().enumerate() {
+                    if let StageSignal::Internal(k) = sig {
+                        internal_load[*k] += stage.input_cap(slot, process);
+                    }
+                }
+            }
+
+            let is_seq = cell.is_sequential();
+            let clk_input: Option<TInput> = if is_seq {
+                let seq = cell.seq.as_ref().expect("sequential");
+                let clk_net = gate.inputs[seq.clk_pin];
+                let sink = netlist
+                    .net(clk_net)
+                    .loads
+                    .iter()
+                    .position(|&(g, p)| g == gate_id && p == seq.clk_pin);
+                Some(TInput {
+                    node: net_node[clk_net.index()],
+                    sink,
+                })
+            } else {
+                None
+            };
+
+            for (si, stage) in cell.stages.iter().enumerate() {
+                // Resolve inputs.
+                let mut inputs = Vec::with_capacity(stage.inputs.len());
+                for sig in &stage.inputs {
+                    let inp = match sig {
+                        StageSignal::Pin(p) => {
+                            let net = gate.inputs[*p];
+                            let sink = netlist
+                                .net(net)
+                                .loads
+                                .iter()
+                                .position(|&(g, pin)| g == gate_id && pin == *p);
+                            TInput {
+                                node: net_node[net.index()],
+                                sink,
+                            }
+                        }
+                        StageSignal::Internal(k) => TInput {
+                            node: internal[*k],
+                            sink: None,
+                        },
+                        StageSignal::Launch => clk_input.expect("launch in sequential cell"),
+                    };
+                    inputs.push(inp);
+                }
+                let is_launch = stage
+                    .inputs
+                    .iter()
+                    .any(|s| matches!(s, StageSignal::Launch));
+
+                // Output node and load.
+                let (output, cground, couplings) = match stage.output {
+                    StageSignal::Pin(_) => {
+                        let net = gate.output;
+                        let np = &parasitics.nets[net.index()];
+                        (
+                            net_node[net.index()],
+                            stage.output_diffusion_cap(process)
+                                + np.cwire
+                                + pin_cap[net.index()],
+                            np.couplings
+                                .iter()
+                                .map(|c| (c.other, c.c))
+                                .collect::<Vec<_>>(),
+                        )
+                    }
+                    StageSignal::Internal(k) => (
+                        internal[k],
+                        stage.output_diffusion_cap(process) + internal_load[k],
+                        Vec::new(),
+                    ),
+                    StageSignal::Launch => unreachable!("stages never drive Launch"),
+                };
+
+                // Sensitization per slot and output direction.
+                let sides: Vec<[Option<Vec<f64>>; 2]> = (0..stage.inputs.len())
+                    .map(|slot| {
+                        [
+                            sensitize::side_values(stage, slot, false, vdd),
+                            sensitize::side_values(stage, slot, true, vdd),
+                        ]
+                    })
+                    .collect();
+                let sides_fast: Vec<[Option<Vec<f64>>; 2]> = (0..stage.inputs.len())
+                    .map(|slot| {
+                        [
+                            sensitize::side_values_with(stage, slot, false, vdd, true),
+                            sensitize::side_values_with(stage, slot, true, vdd, true),
+                        ]
+                    })
+                    .collect();
+
+                stages.push(StageInst {
+                    gate: gate_id,
+                    stage: si,
+                    inputs,
+                    output,
+                    is_launch,
+                    cground,
+                    couplings,
+                    sides,
+                    sides_fast,
+                });
+            }
+        }
+
+        // Fanout lists and topological order (Kahn over stage dependencies).
+        let mut fanout: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()];
+        for (si, stage) in stages.iter().enumerate() {
+            for (slot, input) in stage.inputs.iter().enumerate() {
+                fanout[input.node.index()].push((si, slot));
+            }
+        }
+        let mut producer: Vec<Option<usize>> = vec![None; nodes.len()];
+        for (si, stage) in stages.iter().enumerate() {
+            producer[stage.output.index()] = Some(si);
+        }
+        let mut indegree: Vec<usize> = stages
+            .iter()
+            .map(|s| {
+                s.inputs
+                    .iter()
+                    .filter(|i| producer[i.node.index()].is_some())
+                    .count()
+            })
+            .collect();
+        let mut topo: Vec<usize> = Vec::with_capacity(stages.len());
+        let mut queue: Vec<usize> = (0..stages.len()).filter(|&s| indegree[s] == 0).collect();
+        let mut head = 0;
+        let mut resolved: Vec<bool> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| producer[i].is_none())
+            .collect();
+        while head < queue.len() {
+            let s = queue[head];
+            head += 1;
+            topo.push(s);
+            let out = stages[s].output;
+            if !resolved[out.index()] {
+                resolved[out.index()] = true;
+                for &(consumer, _) in &fanout[out.index()] {
+                    indegree[consumer] -= 1;
+                    if indegree[consumer] == 0 {
+                        queue.push(consumer);
+                    }
+                }
+            }
+        }
+        if topo.len() != stages.len() {
+            // Find a net on the cycle for the error message.
+            let stuck = (0..stages.len())
+                .find(|&s| indegree[s] > 0)
+                .expect("cycle implies a stuck stage");
+            let name = match nodes[stages[stuck].output.index()].kind {
+                TNodeKind::Net(n) => netlist.net(n).name.clone(),
+                TNodeKind::Internal { gate, index } => {
+                    format!("{}#i{}", netlist.gate(gate).name, index)
+                }
+            };
+            return Err(NetlistError::CombinationalLoop { net: name });
+        }
+
+        // Dependency levels for parallel evaluation.
+        let mut node_level: Vec<usize> = vec![0; nodes.len()];
+        let mut stage_level: Vec<usize> = vec![0; stages.len()];
+        for &si in &topo {
+            let stage = &stages[si];
+            let lvl = stage
+                .inputs
+                .iter()
+                .map(|i| node_level[i.node.index()])
+                .max()
+                .unwrap_or(0);
+            stage_level[si] = lvl;
+            let out = stage.output.index();
+            node_level[out] = node_level[out].max(lvl + 1);
+        }
+        let n_levels = stage_level.iter().copied().max().map_or(0, |m| m + 1);
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); n_levels];
+        for &si in &topo {
+            levels[stage_level[si]].push(si);
+        }
+
+        Ok(TimingGraph {
+            nodes,
+            stages,
+            topo,
+            levels,
+            fanout,
+            net_node,
+        })
+    }
+
+    /// Number of timing arcs (stage-input connections).
+    pub fn arc_count(&self) -> usize {
+        self.stages.iter().map(|s| s.inputs.len()).sum()
+    }
+
+    /// Endpoint timing nodes.
+    pub fn endpoints(&self) -> impl Iterator<Item = TNodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_end)
+            .map(|(i, _)| TNodeId(i as u32))
+    }
+
+    /// A map from output timing node to producing stage.
+    pub fn producers(&self) -> HashMap<TNodeId, usize> {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(si, s)| (s.output, si))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_layout::Parasitics;
+    use xtalk_netlist::{bench, data, generator, generator::GeneratorConfig};
+    use xtalk_tech::{Library, Process};
+
+    fn build_for(text: &str) -> (TimingGraph, Netlist) {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        let nl = bench::parse(text, &l).expect("parse");
+        let para = Parasitics::empty(nl.net_count());
+        let g = TimingGraph::build(&nl, &l, &p, &para).expect("build");
+        (g, nl)
+    }
+
+    #[test]
+    fn inverter_chain_graph_shape() {
+        let (g, nl) = build_for("INPUT(a)\nOUTPUT(y)\nw = NOT(a)\ny = NOT(w)\n");
+        assert_eq!(g.stages.len(), 2);
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.nodes.len(), nl.net_count());
+        assert_eq!(g.topo.len(), 2);
+        // Topological order puts w's driver first.
+        let first = &g.stages[g.topo[0]];
+        assert_eq!(nl.gate(first.gate).name, "g_w");
+    }
+
+    #[test]
+    fn composite_cells_add_internal_nodes() {
+        let (g, nl) = build_for("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n");
+        // XOR2X1 has 4 stages and 3 internal nodes.
+        assert_eq!(g.stages.len(), 4);
+        assert_eq!(g.nodes.len(), nl.net_count() + 3);
+    }
+
+    #[test]
+    fn s27_graph_is_consistent() {
+        let (g, nl) = build_for(data::S27_BENCH);
+        assert_eq!(g.topo.len(), g.stages.len());
+        // Every net node exists and endpoints include G17 and the FF D nets.
+        let g17 = nl.net_by_name("G17").expect("g17");
+        assert!(g.nodes[g.net_node[g17.index()].index()].is_end);
+        let endpoints: Vec<_> = g.endpoints().collect();
+        assert!(endpoints.len() >= 4, "G17 + 3 D pins");
+        // Launch stages exist for the 3 FFs (2 stages each).
+        let launches = g.stages.iter().filter(|s| s.is_launch).count();
+        assert_eq!(launches, 3, "one Launch-driven stage per FF");
+    }
+
+    #[test]
+    fn couplings_attached_to_net_stages() {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        let nl = generator::generate(&GeneratorConfig::small(13), &l).expect("gen");
+        let placement = xtalk_layout::place::place(&nl, &l, &p);
+        let routes = xtalk_layout::route::route(&nl, &placement, &p);
+        let para = xtalk_layout::extract::extract(&nl, &routes, &p);
+        let g = TimingGraph::build(&nl, &l, &p, &para).expect("build");
+        let coupled = g
+            .stages
+            .iter()
+            .filter(|s| !s.couplings.is_empty())
+            .count();
+        assert!(coupled > 0, "extracted couplings must reach the graph");
+        // Internal stages never carry couplings.
+        for s in &g.stages {
+            if let TNodeKind::Internal { .. } = g.nodes[s.output.index()].kind {
+                assert!(s.couplings.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn loads_are_positive() {
+        let (g, _) = build_for(data::C17_BENCH);
+        for s in &g.stages {
+            assert!(s.cground > 0.0, "every stage drives some capacitance");
+        }
+    }
+
+    #[test]
+    fn dff_d_pin_has_no_outgoing_stage() {
+        let (g, nl) = build_for(data::S27_BENCH);
+        // The D input nets of FFs must not appear as a *switching* input of
+        // any launch stage (the clock does).
+        for s in g.stages.iter().filter(|s| s.is_launch) {
+            let clk = nl.net_by_name("CLK").expect("clk");
+            assert_eq!(s.inputs[0].node, g.net_node[clk.index()]);
+        }
+    }
+}

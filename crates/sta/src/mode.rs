@@ -1,0 +1,121 @@
+//! Analysis modes — the five treatments of coupling capacitance from the
+//! paper's experimental section.
+
+use std::fmt;
+
+/// How coupling capacitances are treated during an analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisMode {
+    /// All coupling caps grounded at face value: coupling ignored entirely.
+    /// A lower comparison bound, not a safe analysis (paper: "Best case").
+    BestCase,
+    /// All coupling caps grounded at twice their value: the classical
+    /// passive margin. Not a guaranteed bound either — the active coupling
+    /// model can exceed it (paper: "Static doubled").
+    StaticDoubled,
+    /// Every coupling cap fires the active three-phase model: a safe but
+    /// maximally pessimistic bound (paper: "Worst case").
+    WorstCase,
+    /// The paper's §5.1 algorithm: per victim transition, a best-case
+    /// waveform bounds the victim's earliest activity; each coupling is
+    /// active only when its aggressor's last opposite transition can still
+    /// overlap (or the aggressor is not yet calculated). Linear complexity,
+    /// two waveform calculations per arc, still a safe upper bound.
+    OneStep,
+    /// The paper's §5.2 algorithm: repeat the one-step analysis, feeding
+    /// each pass the previous pass's quiescent times (so no "uncalculated"
+    /// pessimism remains), while the longest-path delay keeps decreasing.
+    Iterative {
+        /// Recompute only stages that can lie on long paths between passes
+        /// (the Esperance acceleration of Benkoski et al.).
+        esperance: bool,
+    },
+    /// Extension (not in the paper's tables): min-delay / hold analysis.
+    /// Earliest arrivals are propagated, side inputs take their *fastest*
+    /// sensitizing values, and every coupling cap is assumed to switch in
+    /// the same direction simultaneously (contributing no load) — a safe
+    /// *lower* bound on path delay. The paper notes same-direction
+    /// switching exists but leaves it out of scope (§5.1).
+    MinDelay,
+}
+
+impl AnalysisMode {
+    /// All five modes, in the paper's table order.
+    pub fn all() -> [AnalysisMode; 5] {
+        [
+            AnalysisMode::BestCase,
+            AnalysisMode::StaticDoubled,
+            AnalysisMode::WorstCase,
+            AnalysisMode::OneStep,
+            AnalysisMode::Iterative { esperance: false },
+        ]
+    }
+
+    /// `true` for modes whose result is a safe upper bound on the longest
+    /// path delay under arbitrary aggressor activity.
+    /// (For [`AnalysisMode::MinDelay`] this returns `false`: it is a safe
+    /// *lower* bound, not an upper one.)
+    pub fn is_safe_bound(&self) -> bool {
+        !matches!(
+            self,
+            AnalysisMode::BestCase | AnalysisMode::StaticDoubled | AnalysisMode::MinDelay
+        )
+    }
+}
+
+impl fmt::Display for AnalysisMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisMode::BestCase => write!(f, "Best case"),
+            AnalysisMode::StaticDoubled => write!(f, "Static doubled"),
+            AnalysisMode::WorstCase => write!(f, "Worst case"),
+            AnalysisMode::OneStep => write!(f, "One step"),
+            AnalysisMode::Iterative { esperance: false } => write!(f, "Iterative"),
+            AnalysisMode::Iterative { esperance: true } => {
+                write!(f, "Iterative (Esperance)")
+            }
+            AnalysisMode::MinDelay => write!(f, "Min delay (hold)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper_rows() {
+        assert_eq!(AnalysisMode::BestCase.to_string(), "Best case");
+        assert_eq!(AnalysisMode::StaticDoubled.to_string(), "Static doubled");
+        assert_eq!(AnalysisMode::WorstCase.to_string(), "Worst case");
+        assert_eq!(AnalysisMode::OneStep.to_string(), "One step");
+        assert_eq!(
+            AnalysisMode::Iterative { esperance: false }.to_string(),
+            "Iterative"
+        );
+        assert_eq!(
+            AnalysisMode::Iterative { esperance: true }.to_string(),
+            "Iterative (Esperance)"
+        );
+    }
+
+    #[test]
+    fn min_delay_display_and_safety() {
+        assert_eq!(AnalysisMode::MinDelay.to_string(), "Min delay (hold)");
+        assert!(!AnalysisMode::MinDelay.is_safe_bound());
+    }
+
+    #[test]
+    fn safety_classification() {
+        assert!(!AnalysisMode::BestCase.is_safe_bound());
+        assert!(!AnalysisMode::StaticDoubled.is_safe_bound());
+        assert!(AnalysisMode::WorstCase.is_safe_bound());
+        assert!(AnalysisMode::OneStep.is_safe_bound());
+        assert!(AnalysisMode::Iterative { esperance: true }.is_safe_bound());
+    }
+
+    #[test]
+    fn all_lists_five_modes() {
+        assert_eq!(AnalysisMode::all().len(), 5);
+    }
+}

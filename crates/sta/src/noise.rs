@@ -1,0 +1,291 @@
+//! Functional crosstalk noise (glitch) analysis.
+//!
+//! The paper's introduction points at the *functional* impact of coupling —
+//! "e.g. the generation of glitches" (refs. [1], [2]) — before focusing on
+//! the delay impact. This module provides the complementary static glitch
+//! check: for every net it bounds the peak voltage excursion injected by
+//! its aggressors while the victim is quiet, using the same capacitive
+//! divider as the delay model:
+//!
+//! ```text
+//! V_peak <= Vdd * sum(Cc_active) / C_total
+//! ```
+//!
+//! Two pessimism levels are offered, mirroring the paper's §5 idea:
+//!
+//! - **static**: every aggressor may fire while the victim is quiet
+//!   (analogous to "worst case");
+//! - **window-aware**: an aggressor only counts if its last possible
+//!   transition (either direction) happens *after* the victim's own
+//!   quiescent time — before that, the victim is still being driven
+//!   through a transition and the excursion is a delay problem, not a
+//!   glitch problem. Quiet times come from a completed [`ModeReport`]
+//!   (analogous to the one-step/iterative refinement).
+//!
+//! The divider bound is conservative: it ignores the victim driver's
+//! restoring current during the glitch, exactly like the delay model
+//! ignores it during the snap.
+
+use xtalk_layout::Parasitics;
+use xtalk_netlist::{NetId, Netlist};
+use xtalk_tech::{Library, Process};
+
+use crate::report::ModeReport;
+
+/// Glitch exposure of one victim net.
+#[derive(Debug, Clone)]
+pub struct GlitchRecord {
+    /// The victim net.
+    pub net: NetId,
+    /// Peak glitch bound, volts.
+    pub v_peak: f64,
+    /// Aggressors contributing (net, divider contribution in volts),
+    /// strongest first.
+    pub contributors: Vec<(NetId, f64)>,
+    /// Total capacitance on the victim (ground + coupling + pins), farads.
+    pub c_total: f64,
+}
+
+/// Result of a glitch analysis.
+#[derive(Debug, Clone)]
+pub struct GlitchReport {
+    /// Victims whose peak glitch exceeds the threshold, worst first.
+    pub victims: Vec<GlitchRecord>,
+    /// The threshold used, volts.
+    pub threshold: f64,
+    /// Nets analysed.
+    pub nets_checked: usize,
+}
+
+impl GlitchReport {
+    /// Formats the report as a text table (top `n` rows).
+    pub fn to_table(&self, netlist: &Netlist, n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>12} {:>12}   worst aggressor",
+            "Victim", "Vpeak [V]", "Ctotal [fF]", "aggressors"
+        );
+        for r in self.victims.iter().take(n) {
+            let worst = r
+                .contributors
+                .first()
+                .map(|&(net, v)| format!("{} ({:.2} V)", netlist.net(net).name, v))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10.3} {:>12.1} {:>12}   {}",
+                netlist.net(r.net).name,
+                r.v_peak,
+                r.c_total * 1e15,
+                r.contributors.len(),
+                worst
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} victims above {:.2} V out of {} nets",
+            self.victims.len(),
+            self.threshold,
+            self.nets_checked
+        );
+        out
+    }
+}
+
+/// Bounds the peak coupled glitch on every net.
+///
+/// `windows` — when given, aggressors provably quiet before the victim's
+/// own quiescent time are excluded (window-aware mode); pass `None` for the
+/// fully static bound. `threshold` filters the report (a common sign-off
+/// value is `0.3 * vdd`, roughly the static noise margin of a CMOS gate).
+pub fn glitch_report(
+    netlist: &Netlist,
+    library: &Library,
+    process: &Process,
+    parasitics: &Parasitics,
+    windows: Option<&ModeReport>,
+    threshold: f64,
+) -> GlitchReport {
+    let vdd = process.vdd;
+    // Pin capacitance per net (loads the victim, attenuating the divider).
+    let mut pin_cap = vec![0.0f64; netlist.net_count()];
+    for gate in netlist.gates() {
+        if let Some(cell) = library.cell(&gate.cell) {
+            for (pin, &net) in gate.inputs.iter().enumerate() {
+                pin_cap[net.index()] += cell.input_cap.get(pin).copied().unwrap_or(0.0);
+            }
+        }
+    }
+
+    // Victim quiet time: the later of its two directions' quiescent times
+    // (after that the net holds a stable value for the rest of the cycle).
+    let victim_settled = |net: usize| -> Option<f64> {
+        let report = windows?;
+        let (fall, rise) = report.net_quiet.get(net).copied()?;
+        match (fall, rise) {
+            (Some(f), Some(r)) => Some(f.max(r)),
+            (Some(f), None) => Some(f),
+            (None, Some(r)) => Some(r),
+            (None, None) => Some(0.0), // never driven through a transition
+        }
+    };
+    // Aggressor's last possible activity in either direction.
+    let aggressor_last = |net: usize| -> Option<f64> {
+        let report = windows?;
+        let (fall, rise) = report.net_quiet.get(net).copied()?;
+        match (fall, rise) {
+            (Some(f), Some(r)) => Some(f.max(r)),
+            (Some(f), None) => Some(f),
+            (None, Some(r)) => Some(r),
+            (None, None) => None, // aggressor never switches at all
+        }
+    };
+
+    let mut victims = Vec::new();
+    let mut checked = 0usize;
+    for (ni, np) in parasitics.nets.iter().enumerate() {
+        if np.couplings.is_empty() {
+            continue;
+        }
+        checked += 1;
+        let c_total = np.cwire + pin_cap[ni] + np.total_coupling();
+        if c_total <= 0.0 {
+            continue;
+        }
+        let settled = victim_settled(ni);
+        let mut contributors: Vec<(NetId, f64)> = np
+            .couplings
+            .iter()
+            .filter(|cc| {
+                match (windows.is_some(), settled, aggressor_last(cc.other.index())) {
+                    (false, _, _) => true,
+                    // Window-aware: aggressor must still be able to switch
+                    // after the victim has settled.
+                    (true, Some(t_victim), Some(t_agg)) => t_agg > t_victim,
+                    (true, Some(_), None) => false, // aggressor never switches
+                    (true, None, _) => true,        // no window info: worst case
+                }
+            })
+            .map(|cc| (cc.other, vdd * cc.c / c_total))
+            .collect();
+        contributors.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let v_peak: f64 = contributors.iter().map(|&(_, v)| v).sum();
+        if v_peak >= threshold {
+            victims.push(GlitchRecord {
+                net: NetId(ni as u32),
+                v_peak,
+                contributors,
+                c_total,
+            });
+        }
+    }
+    victims.sort_by(|a, b| b.v_peak.total_cmp(&a.v_peak));
+    GlitchReport {
+        victims,
+        threshold,
+        nets_checked: checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalysisMode, Sta};
+    use xtalk_netlist::generator::{self, GeneratorConfig};
+    use xtalk_tech::{Library, Process};
+
+    struct Fix {
+        process: Process,
+        library: Library,
+        netlist: Netlist,
+        parasitics: Parasitics,
+    }
+
+    fn fix(seed: u64) -> Fix {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let netlist =
+            generator::generate(&GeneratorConfig::small(seed), &library).expect("gen");
+        let placement = xtalk_layout::place::place(&netlist, &library, &process);
+        let routes = xtalk_layout::route::route(&netlist, &placement, &process);
+        let parasitics = xtalk_layout::extract::extract(&netlist, &routes, &process);
+        Fix {
+            process,
+            library,
+            netlist,
+            parasitics,
+        }
+    }
+
+    #[test]
+    fn static_report_finds_coupled_victims() {
+        let f = fix(61);
+        let r = glitch_report(&f.netlist, &f.library, &f.process, &f.parasitics, None, 0.0);
+        assert!(r.nets_checked > 0);
+        assert!(!r.victims.is_empty(), "every coupled net has some exposure");
+        // Sorted worst-first, physical bounds respected.
+        for w in r.victims.windows(2) {
+            assert!(w[0].v_peak >= w[1].v_peak);
+        }
+        for v in &r.victims {
+            assert!(v.v_peak > 0.0 && v.v_peak < f.process.vdd);
+            let sum: f64 = v.contributors.iter().map(|&(_, x)| x).sum();
+            assert!((sum - v.v_peak).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let f = fix(62);
+        let all = glitch_report(&f.netlist, &f.library, &f.process, &f.parasitics, None, 0.0);
+        let some = glitch_report(
+            &f.netlist,
+            &f.library,
+            &f.process,
+            &f.parasitics,
+            None,
+            0.3 * f.process.vdd,
+        );
+        assert!(some.victims.len() <= all.victims.len());
+        for v in &some.victims {
+            assert!(v.v_peak >= 0.3 * f.process.vdd);
+        }
+    }
+
+    #[test]
+    fn window_aware_is_no_worse_than_static() {
+        let f = fix(63);
+        let sta = Sta::new(&f.netlist, &f.library, &f.process, &f.parasitics).expect("sta");
+        let report = sta.analyze(AnalysisMode::OneStep).expect("analysis");
+        let statics =
+            glitch_report(&f.netlist, &f.library, &f.process, &f.parasitics, None, 0.0);
+        let windowed = glitch_report(
+            &f.netlist,
+            &f.library,
+            &f.process,
+            &f.parasitics,
+            Some(&report),
+            0.0,
+        );
+        // Per net, the windowed bound never exceeds the static one.
+        for w in &windowed.victims {
+            let s = statics
+                .victims
+                .iter()
+                .find(|v| v.net == w.net)
+                .expect("static covers every windowed victim");
+            assert!(w.v_peak <= s.v_peak + 1e-12);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let f = fix(64);
+        let r = glitch_report(&f.netlist, &f.library, &f.process, &f.parasitics, None, 0.0);
+        let t = r.to_table(&f.netlist, 5);
+        assert!(t.contains("Victim"));
+        assert!(t.contains("victims above"));
+    }
+}

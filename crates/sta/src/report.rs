@@ -1,0 +1,349 @@
+//! Timing reports and critical-path reconstruction.
+
+use std::fmt;
+use std::time::Duration;
+
+use xtalk_netlist::{GateId, NetId, Netlist};
+use xtalk_tech::cell::{Cell, StageSignal};
+use xtalk_tech::Library;
+
+use crate::engine::NodeState;
+use crate::graph::{TNodeId, TNodeKind, TimingGraph};
+use crate::mode::AnalysisMode;
+
+/// One gate-level step of a reported path.
+#[derive(Debug, Clone)]
+pub struct PathStep {
+    /// The gate traversed.
+    pub gate: GateId,
+    /// Library cell name.
+    pub cell: String,
+    /// Input pin the path enters through (`usize::MAX` for a clock launch).
+    pub pin: usize,
+    /// The gate's output net.
+    pub net: NetId,
+    /// Direction of the output transition.
+    pub rising: bool,
+    /// Arrival time at the output, seconds.
+    pub arrival: f64,
+    /// Sensitizing constant voltages for the cell's other input pins
+    /// (entry at `pin` is a placeholder) — directly usable as the side
+    /// values of a transistor-level path simulation.
+    pub side_values: Vec<f64>,
+}
+
+/// Arrival summary of one endpoint net.
+#[derive(Debug, Clone, Copy)]
+pub struct EndpointArrival {
+    /// The endpoint net.
+    pub net: NetId,
+    /// Rise arrival, seconds (if the net can rise).
+    pub rise: Option<f64>,
+    /// Fall arrival, seconds (if the net can fall).
+    pub fall: Option<f64>,
+}
+
+impl EndpointArrival {
+    /// The later of the two arrivals.
+    pub fn latest(&self) -> f64 {
+        self.rise.unwrap_or(f64::NEG_INFINITY).max(self.fall.unwrap_or(f64::NEG_INFINITY))
+    }
+
+    /// The earlier of the two arrivals.
+    pub fn earliest(&self) -> f64 {
+        self.rise.unwrap_or(f64::INFINITY).min(self.fall.unwrap_or(f64::INFINITY))
+    }
+}
+
+/// Result of one analysis run.
+#[derive(Debug, Clone)]
+pub struct ModeReport {
+    /// The analysis that produced this report.
+    pub mode: AnalysisMode,
+    /// Longest-path delay (latest endpoint arrival; for
+    /// [`AnalysisMode::MinDelay`] the *earliest* endpoint arrival), seconds.
+    pub longest_delay: f64,
+    /// Arrival summary per endpoint net.
+    pub endpoints: Vec<EndpointArrival>,
+    /// Per-net quiescent times `(fall, rise)`, seconds — the time after
+    /// which the net is provably quiet in that direction (`None` when the
+    /// net never makes the transition). Indexed by `NetId`.
+    pub net_quiet: Vec<(Option<f64>, Option<f64>)>,
+    /// The endpoint net (when the endpoint is a net node).
+    pub endpoint_net: Option<NetId>,
+    /// Direction of the endpoint transition.
+    pub endpoint_rising: bool,
+    /// Gate-level critical path from launch to endpoint.
+    pub critical_path: Vec<PathStep>,
+    /// Full propagation passes performed.
+    pub passes: usize,
+    /// Longest delay after each pass (iterative convergence trace).
+    pub pass_delays: Vec<f64>,
+    /// Stage solutions performed (work measure).
+    pub stage_solves: usize,
+    /// Wall-clock runtime.
+    pub runtime: Duration,
+}
+
+impl fmt::Display for ModeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<22} {:>9.3} ns   ({} passes, {} solves, {:.2?})",
+            self.mode.to_string(),
+            self.longest_delay * 1e9,
+            self.passes,
+            self.stage_solves,
+            self.runtime
+        )
+    }
+}
+
+/// Sensitizing side voltages for a cell-level arc through `pin`.
+///
+/// Returns one voltage per input pin (the `pin` entry is a placeholder 0);
+/// `None` when the cell has no single-pin sensitization (sequential cells).
+pub fn cell_side_values(cell: &Cell, pin: usize, vdd: f64) -> Option<Vec<f64>> {
+    cell.sensitizing_side_values(pin, vdd)
+}
+
+/// Reconstructs the gate-level critical path ending at `endpoint`.
+pub(crate) fn build_path(
+    netlist: &Netlist,
+    library: &Library,
+    graph: &TimingGraph,
+    states: &[NodeState],
+    endpoint: TNodeId,
+    endpoint_rising: bool,
+) -> Vec<PathStep> {
+    let mut steps_rev: Vec<PathStep> = Vec::new();
+    let mut node = endpoint;
+    let mut rising = endpoint_rising;
+
+    #[allow(clippy::while_let_loop)] // two-level break structure reads better
+    loop {
+        let Some(info) = states[node.index()].get(rising) else {
+            break;
+        };
+        let Some(pred) = info.pred else {
+            break; // reached a startpoint
+        };
+        let stage_inst = &graph.stages[pred.stage];
+        let gate_id = stage_inst.gate;
+        let gate = netlist.gate(gate_id);
+        let cell = library.cell(&gate.cell);
+
+        // If the current node is this gate's *output net*, a new gate-level
+        // step begins here; walk back through the gate's internal stages to
+        // find the entry pin.
+        if let TNodeKind::Net(net) = graph.nodes[node.index()].kind {
+            // Walk to the cell boundary.
+            let mut walk_node = node;
+            let mut walk_rising = rising;
+            let mut entry_pin = usize::MAX;
+            #[allow(clippy::while_let_loop)]
+            loop {
+                let Some(winfo) = states[walk_node.index()].get(walk_rising) else {
+                    break;
+                };
+                let Some(wpred) = winfo.pred else {
+                    break;
+                };
+                let wsi = &graph.stages[wpred.stage];
+                if wsi.gate != gate_id {
+                    break;
+                }
+                let wgate = netlist.gate(wsi.gate);
+                let wcell = library.cell(&wgate.cell).expect("validated cell");
+                let wstage = &wcell.stages[wsi.stage];
+                match wstage.inputs[wpred.slot] {
+                    StageSignal::Pin(p) => {
+                        entry_pin = p;
+                        walk_node = wsi.inputs[wpred.slot].node;
+                        walk_rising = wpred.input_rising;
+                        break;
+                    }
+                    StageSignal::Launch => {
+                        entry_pin = usize::MAX;
+                        walk_node = wsi.inputs[wpred.slot].node;
+                        walk_rising = wpred.input_rising;
+                        break;
+                    }
+                    StageSignal::Internal(_) => {
+                        walk_node = wsi.inputs[wpred.slot].node;
+                        walk_rising = if wsi.is_launch
+                            && matches!(wstage.inputs[wpred.slot], StageSignal::Launch)
+                        {
+                            true
+                        } else {
+                            wpred.input_rising
+                        };
+                    }
+                }
+            }
+            let side_values = cell
+                .and_then(|c| {
+                    if entry_pin == usize::MAX {
+                        None
+                    } else {
+                        cell_side_values(c, entry_pin, 3.3)
+                    }
+                })
+                .unwrap_or_default();
+            steps_rev.push(PathStep {
+                gate: gate_id,
+                cell: gate.cell.clone(),
+                pin: entry_pin,
+                net,
+                rising,
+                arrival: info.crossing,
+                side_values,
+            });
+            node = walk_node;
+            rising = walk_rising;
+        } else {
+            // Internal node: keep walking backwards.
+            node = stage_inst.inputs[pred.slot].node;
+            rising = pred.input_rising;
+        }
+        if steps_rev.len() > graph.stages.len() {
+            break; // defensive: avoid infinite loops on corrupt state
+        }
+    }
+    steps_rev.reverse();
+    steps_rev
+}
+
+/// Setup-slack table: for a max-delay report and a clock period, lists the
+/// `n` endpoints with the smallest slack (`period - latest arrival`),
+/// worst first.
+pub fn slack_table(netlist: &Netlist, report: &ModeReport, period: f64, n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut rows: Vec<(f64, NetId)> = report
+        .endpoints
+        .iter()
+        .map(|e| (period - e.latest(), e.net))
+        .collect();
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12}   (period {:.3} ns, {} endpoints)",
+        "Endpoint",
+        "Slack [ns]",
+        period * 1e9,
+        rows.len()
+    );
+    for (slack, net) in rows.into_iter().take(n) {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.3}{}",
+            netlist.net(net).name,
+            slack * 1e9,
+            if slack < 0.0 { "  VIOLATED" } else { "" }
+        );
+    }
+    out
+}
+
+/// Formats the paper-style comparison table for a set of reports.
+pub fn comparison_table(circuit: &str, cells: usize, reports: &[ModeReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Table: {circuit} ({cells} cells)");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>10} {:>10}",
+        "Analysis", "Delay [ns]", "Passes", "CPU [s]"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.3} {:>10} {:>10.2}",
+            r.mode.to_string(),
+            r.longest_delay * 1e9,
+            r.passes,
+            r.runtime.as_secs_f64()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_tech::{Library, Process};
+
+    fn lib() -> Library {
+        Library::c05um(&Process::c05um())
+    }
+
+    #[test]
+    fn side_values_nand3() {
+        let l = lib();
+        let c = l.cell("NAND3X1").expect("nand3");
+        let v = cell_side_values(c, 1, 3.3).expect("sensitizable");
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], 3.3);
+        assert_eq!(v[2], 3.3);
+    }
+
+    #[test]
+    fn side_values_nor_low() {
+        let l = lib();
+        let c = l.cell("NOR2X1").expect("nor2");
+        let v = cell_side_values(c, 0, 3.3).expect("sensitizable");
+        assert_eq!(v[1], 0.0);
+    }
+
+    #[test]
+    fn side_values_mux_select() {
+        let l = lib();
+        let c = l.cell("MUX2X1").expect("mux");
+        let v = cell_side_values(c, 2, 3.3).expect("sensitizable");
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 3.3);
+    }
+
+    #[test]
+    fn side_values_aoi_oai() {
+        let l = lib();
+        let aoi = l.cell("AOI21X1").expect("aoi");
+        let v = cell_side_values(aoi, 0, 3.3).expect("sensitizable");
+        assert_eq!(v[1], 3.3);
+        assert_eq!(v[2], 0.0);
+        let oai = l.cell("OAI21X1").expect("oai");
+        let v = cell_side_values(oai, 2, 3.3).expect("sensitizable");
+        assert_eq!(v[0], 3.3);
+    }
+
+    #[test]
+    fn side_values_reject_bad_pin_and_dff() {
+        let l = lib();
+        let inv = l.cell("INVX1").expect("inv");
+        assert!(cell_side_values(inv, 4, 3.3).is_none());
+        let dff = l.cell("DFFX1").expect("dff");
+        assert!(cell_side_values(dff, 0, 3.3).is_none());
+    }
+
+    #[test]
+    fn comparison_table_formats() {
+        let r = ModeReport {
+            mode: AnalysisMode::BestCase,
+            longest_delay: 10.5e-9,
+            endpoints: Vec::new(),
+            net_quiet: Vec::new(),
+            endpoint_net: None,
+            endpoint_rising: true,
+            critical_path: Vec::new(),
+            passes: 1,
+            pass_delays: vec![10.5e-9],
+            stage_solves: 123,
+            runtime: Duration::from_millis(12),
+        };
+        let t = comparison_table("s27", 13, &[r]);
+        assert!(t.contains("s27 (13 cells)"));
+        assert!(t.contains("Best case"));
+        assert!(t.contains("10.500"));
+    }
+}

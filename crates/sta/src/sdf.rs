@@ -1,0 +1,340 @@
+//! SDF (Standard Delay Format) writer.
+//!
+//! Exports the per-instance cell delays and per-net interconnect delays of
+//! a completed analysis as SDF 3.0 — the format gate-level simulators use
+//! for back-annotation. Cell `IOPATH` delays come from the analysis's
+//! worst-case waveforms (so an `xtalk` run in, say, iterative mode yields
+//! an SDF that *includes* the crosstalk-aware delay bounds); interconnect
+//! delays are the Elmore values of the extracted wires.
+
+use std::fmt::Write as _;
+
+use crate::engine::{NodeState, Sta, StaError};
+use crate::mode::AnalysisMode;
+
+/// Writes the design's delays under `mode` as SDF 3.0 text.
+///
+/// # Errors
+///
+/// Propagates [`StaError`] from the underlying analysis.
+pub fn write_sdf(sta: &Sta<'_>, mode: AnalysisMode) -> Result<String, StaError> {
+    let mut pass_delays = Vec::new();
+    let mut solves = 0usize;
+    let states = sta.compute_states(mode, &mut pass_delays, &mut solves)?;
+    Ok(render(sta, &states))
+}
+
+fn render(sta: &Sta<'_>, states: &[NodeState]) -> String {
+    let netlist = sta.netlist();
+    let library = sta.library();
+    let graph = sta.graph();
+    let mut out = String::new();
+    let _ = writeln!(out, "(DELAYFILE");
+    let _ = writeln!(out, "  (SDFVERSION \"3.0\")");
+    let _ = writeln!(out, "  (DESIGN \"{}\")", netlist.name);
+    let _ = writeln!(out, "  (PROGRAM \"xtalk\")");
+    let _ = writeln!(out, "  (TIMESCALE 1ns)");
+
+    let arrival = |net: xtalk_netlist::NetId, rising: bool| -> Option<f64> {
+        states[graph.net_node[net.index()].index()]
+            .get(rising)
+            .map(|i| i.crossing)
+    };
+
+    for gate in netlist.gates() {
+        let Some(cell) = library.cell(&gate.cell) else {
+            continue;
+        };
+        if cell.is_sequential() {
+            continue; // clk-to-Q covered by the launch model, not IOPATHs
+        }
+        let mut paths = String::new();
+        for (pin, &in_net) in gate.inputs.iter().enumerate() {
+            // Arc polarity under the canonical sensitization.
+            let sides = cell.sensitizing_side_values(pin, sta.process().vdd);
+            let inverting = sides
+                .as_ref()
+                .and_then(|sv| cell.arc_inverting(pin, sv, sta.process().vdd))
+                .unwrap_or(cell.function.is_inverting());
+            let arc = |out_rising: bool| -> Option<f64> {
+                let in_rising = if inverting { !out_rising } else { out_rising };
+                let t_in = arrival(in_net, in_rising)?;
+                let t_out = arrival(gate.output, out_rising)?;
+                let d = t_out - t_in;
+                (d.is_finite() && d >= 0.0).then_some(d)
+            };
+            let (rise, fall) = (arc(true), arc(false));
+            if rise.is_none() && fall.is_none() {
+                continue;
+            }
+            let fmt = |d: Option<f64>| match d {
+                Some(d) => {
+                    let ns = d * 1e9;
+                    format!("({ns:.4}:{ns:.4}:{ns:.4})")
+                }
+                None => "()".to_string(),
+            };
+            let _ = writeln!(
+                paths,
+                "        (IOPATH {} {} {} {})",
+                cell.inputs[pin],
+                cell.output,
+                fmt(rise),
+                fmt(fall)
+            );
+        }
+        if paths.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  (CELL");
+        let _ = writeln!(out, "    (CELLTYPE \"{}\")", gate.cell);
+        let _ = writeln!(out, "    (INSTANCE {})", gate.name);
+        let _ = writeln!(out, "    (DELAY (ABSOLUTE");
+        let _ = write!(out, "{paths}");
+        let _ = writeln!(out, "    ))");
+        let _ = writeln!(out, "  )");
+    }
+
+    // Interconnect delays: driver output to each sink pin (Elmore).
+    let _ = writeln!(out, "  (CELL");
+    let _ = writeln!(out, "    (CELLTYPE \"{}\")", netlist.name);
+    let _ = writeln!(out, "    (INSTANCE)");
+    let _ = writeln!(out, "    (DELAY (ABSOLUTE");
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        let Some(driver) = net.driver else { continue };
+        let np = &sta.parasitics().nets[ni];
+        for (k, &(load, pin)) in net.loads.iter().enumerate() {
+            let pin_c = library
+                .cell(&netlist.gate(load).cell)
+                .and_then(|c| c.input_cap.get(pin).copied())
+                .unwrap_or(0.0);
+            let d = np.elmore(k, pin_c) * 1e9;
+            if d <= 0.0 {
+                continue;
+            }
+            let sink_cell = library.cell(&netlist.gate(load).cell);
+            let sink_pin = sink_cell
+                .map(|c| c.inputs[pin].clone())
+                .unwrap_or_else(|| format!("p{pin}"));
+            let driver_cell = library.cell(&netlist.gate(driver).cell);
+            let driver_pin = driver_cell
+                .map(|c| c.output.clone())
+                .unwrap_or_else(|| "Y".to_string());
+            let _ = writeln!(
+                out,
+                "      (INTERCONNECT {}/{} {}/{} ({d:.4}:{d:.4}:{d:.4}))",
+                netlist.gate(driver).name,
+                driver_pin,
+                netlist.gate(load).name,
+                sink_pin
+            );
+        }
+    }
+    let _ = writeln!(out, "    ))");
+    let _ = writeln!(out, "  )");
+    let _ = writeln!(out, ")");
+    out
+}
+
+/// Parsed contents of an `xtalk`-style SDF file.
+#[derive(Debug, Clone, Default)]
+pub struct SdfDelays {
+    /// `(instance, input pin, output pin, rise ns, fall ns)` per IOPATH
+    /// (a missing delay is `None`).
+    pub iopaths: Vec<(String, String, String, Option<f64>, Option<f64>)>,
+    /// `(from port, to port, delay ns)` per INTERCONNECT.
+    pub interconnects: Vec<(String, String, f64)>,
+}
+
+/// Errors parsing SDF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSdfError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseSdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SDF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSdfError {}
+
+/// Parses the subset of SDF emitted by [`write_sdf`]: `IOPATH` and
+/// `INTERCONNECT` entries with `(min:typ:max)` triples (the typ value is
+/// kept).
+///
+/// # Errors
+///
+/// [`ParseSdfError`] on malformed delay triples.
+pub fn parse_sdf(text: &str) -> Result<SdfDelays, ParseSdfError> {
+    let mut out = SdfDelays::default();
+    let mut instance = String::new();
+    let triple = |tok: &str, line: usize| -> Result<Option<f64>, ParseSdfError> {
+        let inner = tok.trim().trim_start_matches('(').trim_end_matches(')');
+        if inner.is_empty() {
+            return Ok(None);
+        }
+        let mut parts = inner.split(':');
+        let _min = parts.next();
+        let typ = parts.next().ok_or_else(|| ParseSdfError {
+            line,
+            message: format!("bad delay triple `{tok}`"),
+        })?;
+        typ.trim()
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| ParseSdfError {
+                line,
+                message: format!("bad delay value `{typ}`"),
+            })
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("(INSTANCE") {
+            instance = rest.trim().trim_end_matches(')').trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("(IOPATH ") {
+            let rest = rest.trim_end_matches(')');
+            let mut it = rest.split_whitespace();
+            let (Some(a), Some(y)) = (it.next(), it.next()) else {
+                return Err(ParseSdfError {
+                    line: lineno,
+                    message: "IOPATH needs two ports".to_string(),
+                });
+            };
+            let rise = triple(it.next().unwrap_or("()"), lineno)?;
+            let fall = triple(it.next().unwrap_or("()"), lineno)?;
+            out.iopaths
+                .push((instance.clone(), a.to_string(), y.to_string(), rise, fall));
+        } else if let Some(rest) = line.strip_prefix("(INTERCONNECT ") {
+            let rest = rest.trim_end_matches(')');
+            let mut it = rest.split_whitespace();
+            let (Some(from), Some(to), Some(d)) = (it.next(), it.next(), it.next()) else {
+                return Err(ParseSdfError {
+                    line: lineno,
+                    message: "INTERCONNECT needs two ports and a delay".to_string(),
+                });
+            };
+            let d = triple(d, lineno)?.ok_or_else(|| ParseSdfError {
+                line: lineno,
+                message: "INTERCONNECT needs a delay".to_string(),
+            })?;
+            out.interconnects
+                .push((from.to_string(), to.to_string(), d));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_layout::{extract, place, route};
+    use xtalk_netlist::{bench, data, generator, generator::GeneratorConfig};
+    use xtalk_tech::{Library, Process};
+
+    fn sdf_for(text: Option<&str>) -> (String, xtalk_netlist::Netlist) {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let netlist = match text {
+            Some(t) => bench::parse(t, &library).expect("parse"),
+            None => generator::generate(&GeneratorConfig::small(91), &library)
+                .expect("generate"),
+        };
+        let placement = place::place(&netlist, &library, &process);
+        let routes = route::route(&netlist, &placement, &process);
+        let parasitics = extract::extract(&netlist, &routes, &process);
+        let sta = Sta::new(&netlist, &library, &process, &parasitics).expect("sta");
+        let text = write_sdf(&sta, AnalysisMode::OneStep).expect("sdf");
+        (text, netlist)
+    }
+
+    #[test]
+    fn sdf_structure_well_formed() {
+        let (sdf, nl) = sdf_for(Some(data::C17_BENCH));
+        assert!(sdf.starts_with("(DELAYFILE"));
+        assert!(sdf.contains("(SDFVERSION \"3.0\")"));
+        assert!(sdf.contains("(DESIGN \"c17\")"));
+        assert_eq!(sdf.matches('(').count(), sdf.matches(')').count());
+        // One IOPATH per NAND input.
+        assert_eq!(sdf.matches("(IOPATH").count(), 2 * nl.gate_count());
+        assert!(sdf.contains("(INTERCONNECT"));
+    }
+
+    #[test]
+    fn sdf_delays_positive_and_bounded() {
+        let (sdf, _) = sdf_for(None);
+        for line in sdf.lines().filter(|l| l.contains("(IOPATH")) {
+            // Extract the first numeric triple.
+            let nums: Vec<f64> = line
+                .split(|c: char| "():".contains(c))
+                .filter_map(|t| t.trim().parse::<f64>().ok())
+                .collect();
+            assert!(!nums.is_empty(), "no delays in {line}");
+            for d in nums {
+                assert!((0.0..50.0).contains(&d), "implausible delay {d} ns in {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn sdf_roundtrip_parses_every_entry() {
+        let (sdf, _) = sdf_for(None);
+        let parsed = parse_sdf(&sdf).expect("parse");
+        assert_eq!(parsed.iopaths.len(), sdf.matches("(IOPATH").count());
+        assert_eq!(
+            parsed.interconnects.len(),
+            sdf.matches("(INTERCONNECT").count()
+        );
+        for (inst, a, y, rise, fall) in &parsed.iopaths {
+            assert!(!inst.is_empty());
+            assert!(!a.is_empty() && !y.is_empty());
+            assert!(rise.is_some() || fall.is_some());
+            for d in [rise, fall].into_iter().flatten() {
+                assert!(*d >= 0.0 && *d < 50.0);
+            }
+        }
+        for (_, _, d) in &parsed.interconnects {
+            // Sub-femtosecond Elmore values round to 0.0000 in the writer.
+            assert!(*d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn parse_sdf_rejects_garbage_triples() {
+        let text = "(IOPATH A Y (x:y:z) ())";
+        assert!(parse_sdf(text).is_err());
+    }
+
+    #[test]
+    fn crosstalk_mode_sdf_slower_than_best_case() {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let netlist = generator::generate(&GeneratorConfig::small(92), &library)
+            .expect("generate");
+        let placement = place::place(&netlist, &library, &process);
+        let routes = route::route(&netlist, &placement, &process);
+        let parasitics = extract::extract(&netlist, &routes, &process);
+        let sta = Sta::new(&netlist, &library, &process, &parasitics).expect("sta");
+        let best = write_sdf(&sta, AnalysisMode::BestCase).expect("best");
+        let worst = write_sdf(&sta, AnalysisMode::WorstCase).expect("worst");
+        let sum = |sdf: &str| -> f64 {
+            sdf.lines()
+                .filter(|l| l.contains("(IOPATH"))
+                .flat_map(|l| {
+                    l.split(|c: char| "():".contains(c))
+                        .filter_map(|t| t.trim().parse::<f64>().ok())
+                        .collect::<Vec<_>>()
+                })
+                .sum()
+        };
+        assert!(
+            sum(&worst) > sum(&best),
+            "worst-case SDF must carry more delay"
+        );
+    }
+}

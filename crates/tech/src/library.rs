@@ -1,0 +1,565 @@
+//! The transistor-level standard-cell library.
+//!
+//! [`Library::c05um`] builds the cell set used by the reproduction: sized
+//! complementary-CMOS gates for the generic 0.5 µm process. Single-stage
+//! cells (INV, NAND, NOR, AOI, OAI) map to one transistor stage; composite
+//! cells (BUF, AND, OR, XOR, XNOR, MUX) are chains of primitive stages, and
+//! the D flip-flop is a sequential cell whose Q output is re-launched from
+//! the clock through a two-inverter driver.
+//!
+//! ```
+//! use xtalk_tech::{Library, Process};
+//!
+//! let process = Process::c05um();
+//! let lib = Library::c05um(&process);
+//! let nand2 = lib.cell("NAND2X1").expect("library cell");
+//! assert_eq!(nand2.inputs.len(), 2);
+//! assert_eq!(nand2.device_count(), 4);
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::cell::{Cell, Function, Network, SeqSpec, Stage, StageSignal};
+use crate::process::Process;
+
+const L: f64 = 0.5e-6;
+const UM: f64 = 1.0e-6;
+
+/// A named collection of [`Cell`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    cells: BTreeMap<String, Cell>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Library::default()
+    }
+
+    /// Builds the default 0.5 µm library, with input capacitances computed
+    /// from the transistor geometry of `process`.
+    pub fn c05um(process: &Process) -> Self {
+        let mut lib = Library::new();
+        for mut cell in build_cells() {
+            cell.compute_input_caps(process);
+            lib.insert(cell);
+        }
+        lib
+    }
+
+    /// Adds a cell, replacing any cell of the same name.
+    pub fn insert(&mut self, cell: Cell) {
+        self.cells.insert(cell.name.clone(), cell);
+    }
+
+    /// Looks a cell up by name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.cells.get(name)
+    }
+
+    /// Iterates over all cells in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.values()
+    }
+
+    /// Number of cells in the library.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the library holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Picks the canonical cell for a boolean function with `n` inputs, as
+    /// used by the `.bench` reader and the synthetic circuit generator.
+    ///
+    /// Returns `None` when the library has no matching cell.
+    pub fn cell_for_function(&self, function: Function, n: usize) -> Option<&Cell> {
+        let name = match (function, n) {
+            (Function::Inv, _) => "INVX1",
+            (Function::Buf, _) => "BUFX2",
+            (Function::Nand, 2) => "NAND2X1",
+            (Function::Nand, 3) => "NAND3X1",
+            (Function::Nand, 4) => "NAND4X1",
+            (Function::Nor, 2) => "NOR2X1",
+            (Function::Nor, 3) => "NOR3X1",
+            (Function::And, 2) => "AND2X1",
+            (Function::And, 3) => "AND3X1",
+            (Function::Or, 2) => "OR2X1",
+            (Function::Or, 3) => "OR3X1",
+            (Function::Xor, _) => "XOR2X1",
+            (Function::Xnor, _) => "XNOR2X1",
+            (Function::Mux2, _) => "MUX2X1",
+            (Function::Aoi21, _) => "AOI21X1",
+            (Function::Oai21, _) => "OAI21X1",
+            (Function::Dff, _) => "DFFX1",
+            _ => return None,
+        };
+        self.cell(name)
+    }
+}
+
+impl<'a> IntoIterator for &'a Library {
+    type Item = &'a Cell;
+    type IntoIter = std::collections::btree_map::Values<'a, String, Cell>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.values()
+    }
+}
+
+fn letters(n: usize) -> Vec<String> {
+    ["A", "B", "C", "D"][..n].iter().map(|s| s.to_string()).collect()
+}
+
+fn single_stage(
+    name: &str,
+    function: Function,
+    n: usize,
+    pullup: Network,
+    pulldown: Network,
+    area: usize,
+) -> Cell {
+    Cell {
+        name: name.to_string(),
+        inputs: letters(n),
+        output: "Y".to_string(),
+        function,
+        stages: vec![Stage {
+            inputs: (0..n).map(StageSignal::Pin).collect(),
+            output: StageSignal::Pin(0),
+            pullup,
+            pulldown,
+        }],
+        internal_nodes: 0,
+        seq: None,
+        area_sites: area,
+        input_cap: Vec::new(),
+    }
+}
+
+fn inverter_cell(name: &str, scale: f64, area: usize) -> Cell {
+    single_stage(
+        name,
+        Function::Inv,
+        1,
+        Network::device(0, scale * 4.0 * UM, L),
+        Network::device(0, scale * 2.0 * UM, L),
+        area,
+    )
+}
+
+fn nand_cell(name: &str, n: usize, scale: f64, area: usize) -> Cell {
+    // Series NMOS widened by the stack depth to keep the pull-down drive.
+    let wn = scale * 2.0 * UM * n as f64;
+    let wp = scale * 4.0 * UM;
+    single_stage(
+        name,
+        Function::Nand,
+        n,
+        Network::Parallel((0..n).map(|i| Network::device(i, wp, L)).collect()),
+        Network::Series((0..n).map(|i| Network::device(i, wn, L)).collect()),
+        area,
+    )
+}
+
+fn nor_cell(name: &str, n: usize, scale: f64, area: usize) -> Cell {
+    let wp = scale * 4.0 * UM * n as f64;
+    let wn = scale * 2.0 * UM;
+    single_stage(
+        name,
+        Function::Nor,
+        n,
+        Network::Series((0..n).map(|i| Network::device(i, wp, L)).collect()),
+        Network::Parallel((0..n).map(|i| Network::device(i, wn, L)).collect()),
+        area,
+    )
+}
+
+/// NAND2 stage with arbitrary input signals, used inside composite cells.
+fn nand2_stage(a: StageSignal, b: StageSignal, out: StageSignal, scale: f64) -> Stage {
+    Stage {
+        inputs: vec![a, b],
+        output: out,
+        pullup: Network::Parallel(vec![
+            Network::device(0, scale * 4.0 * UM, L),
+            Network::device(1, scale * 4.0 * UM, L),
+        ]),
+        pulldown: Network::Series(vec![
+            Network::device(0, scale * 4.0 * UM, L),
+            Network::device(1, scale * 4.0 * UM, L),
+        ]),
+    }
+}
+
+fn inv_stage(input: StageSignal, output: StageSignal, scale: f64) -> Stage {
+    Stage::inverter(input, output, scale * 4.0 * UM, scale * 2.0 * UM, L)
+}
+
+fn buffer_cell(name: &str, out_scale: f64, area: usize) -> Cell {
+    Cell {
+        name: name.to_string(),
+        inputs: letters(1),
+        output: "Y".to_string(),
+        function: Function::Buf,
+        stages: vec![
+            inv_stage(StageSignal::Pin(0), StageSignal::Internal(0), out_scale * 0.35),
+            inv_stage(StageSignal::Internal(0), StageSignal::Pin(0), out_scale),
+        ],
+        internal_nodes: 1,
+        seq: None,
+        area_sites: area,
+        input_cap: Vec::new(),
+    }
+}
+
+fn and_or_cell(name: &str, function: Function, n: usize, area: usize) -> Cell {
+    // AND = NAND + INV, OR = NOR + INV.
+    let first = match function {
+        Function::And => nand_cell("tmp", n, 1.0, 0).stages.remove(0),
+        Function::Or => nor_cell("tmp", n, 1.0, 0).stages.remove(0),
+        _ => unreachable!("and_or_cell only builds AND/OR"),
+    };
+    let mut first = first;
+    first.output = StageSignal::Internal(0);
+    Cell {
+        name: name.to_string(),
+        inputs: letters(n),
+        output: "Y".to_string(),
+        function,
+        stages: vec![first, inv_stage(StageSignal::Internal(0), StageSignal::Pin(0), 1.0)],
+        internal_nodes: 1,
+        seq: None,
+        area_sites: area,
+        input_cap: Vec::new(),
+    }
+}
+
+fn xor2_cell() -> Cell {
+    // Classic 4-NAND decomposition:
+    //   n0 = NAND(A, B); n1 = NAND(A, n0); n2 = NAND(B, n0); Y = NAND(n1, n2)
+    use StageSignal::{Internal, Pin};
+    Cell {
+        name: "XOR2X1".to_string(),
+        inputs: letters(2),
+        output: "Y".to_string(),
+        function: Function::Xor,
+        stages: vec![
+            nand2_stage(Pin(0), Pin(1), Internal(0), 1.0),
+            nand2_stage(Pin(0), Internal(0), Internal(1), 1.0),
+            nand2_stage(Pin(1), Internal(0), Internal(2), 1.0),
+            nand2_stage(Internal(1), Internal(2), Pin(0), 1.0),
+        ],
+        internal_nodes: 3,
+        seq: None,
+        area_sites: 8,
+        input_cap: Vec::new(),
+    }
+}
+
+fn xnor2_cell() -> Cell {
+    use StageSignal::{Internal, Pin};
+    let mut c = xor2_cell();
+    c.name = "XNOR2X1".to_string();
+    c.function = Function::Xnor;
+    // XOR result goes to an extra internal node, then an inverter drives Y.
+    c.stages[3].output = Internal(3);
+    c.stages.push(inv_stage(Internal(3), Pin(0), 1.0));
+    c.internal_nodes = 4;
+    c.area_sites = 9;
+    c
+}
+
+fn mux2_cell() -> Cell {
+    // Y = NAND(NAND(D0, !S), NAND(D1, S)); inputs [D0, D1, S].
+    use StageSignal::{Internal, Pin};
+    Cell {
+        name: "MUX2X1".to_string(),
+        inputs: vec!["D0".to_string(), "D1".to_string(), "S".to_string()],
+        output: "Y".to_string(),
+        function: Function::Mux2,
+        stages: vec![
+            inv_stage(Pin(2), Internal(0), 1.0),
+            nand2_stage(Pin(0), Internal(0), Internal(1), 1.0),
+            nand2_stage(Pin(1), Pin(2), Internal(2), 1.0),
+            nand2_stage(Internal(1), Internal(2), Pin(0), 1.0),
+        ],
+        internal_nodes: 3,
+        seq: None,
+        area_sites: 8,
+        input_cap: Vec::new(),
+    }
+}
+
+fn dff_cell() -> Cell {
+    use StageSignal::{Internal, Launch, Pin};
+    Cell {
+        name: "DFFX1".to_string(),
+        inputs: vec!["D".to_string(), "CK".to_string()],
+        output: "Q".to_string(),
+        function: Function::Dff,
+        // The Q driver: the timing engine applies the launch transition at
+        // the active clock edge and solves this two-inverter chain for the
+        // clock-to-Q delay and the launched waveform shape.
+        stages: vec![
+            inv_stage(Launch, Internal(0), 0.5),
+            inv_stage(Internal(0), Pin(0), 1.0),
+        ],
+        internal_nodes: 1,
+        seq: Some(SeqSpec { d_pin: 0, clk_pin: 1 }),
+        area_sites: 10,
+        input_cap: Vec::new(),
+    }
+}
+
+fn aoi21_cell() -> Cell {
+    // Y = !((A & B) | C)
+    single_stage(
+        "AOI21X1",
+        Function::Aoi21,
+        3,
+        Network::Series(vec![
+            Network::Parallel(vec![
+                Network::device(0, 8.0 * UM, L),
+                Network::device(1, 8.0 * UM, L),
+            ]),
+            Network::device(2, 8.0 * UM, L),
+        ]),
+        Network::Parallel(vec![
+            Network::Series(vec![
+                Network::device(0, 4.0 * UM, L),
+                Network::device(1, 4.0 * UM, L),
+            ]),
+            Network::device(2, 2.0 * UM, L),
+        ]),
+        4,
+    )
+}
+
+fn oai21_cell() -> Cell {
+    // Y = !((A | B) & C)
+    single_stage(
+        "OAI21X1",
+        Function::Oai21,
+        3,
+        Network::Parallel(vec![
+            Network::Series(vec![
+                Network::device(0, 8.0 * UM, L),
+                Network::device(1, 8.0 * UM, L),
+            ]),
+            Network::device(2, 4.0 * UM, L),
+        ]),
+        Network::Series(vec![
+            Network::Parallel(vec![
+                Network::device(0, 4.0 * UM, L),
+                Network::device(1, 4.0 * UM, L),
+            ]),
+            Network::device(2, 4.0 * UM, L),
+        ]),
+        4,
+    )
+}
+
+fn build_cells() -> Vec<Cell> {
+    let mut cells = vec![
+        inverter_cell("INVX1", 1.0, 2),
+        inverter_cell("INVX2", 2.0, 3),
+        inverter_cell("INVX4", 4.0, 4),
+        inverter_cell("INVX8", 8.0, 6),
+        buffer_cell("BUFX2", 2.0, 4),
+        buffer_cell("BUFX4", 4.0, 5),
+        buffer_cell("CLKBUFX4", 4.0, 6),
+        buffer_cell("CLKBUFX8", 8.0, 8),
+        nand_cell("NAND2X1", 2, 1.0, 3),
+        nand_cell("NAND2X2", 2, 2.0, 4),
+        nand_cell("NAND3X1", 3, 1.0, 4),
+        nand_cell("NAND4X1", 4, 1.0, 5),
+        nor_cell("NOR2X1", 2, 1.0, 3),
+        nor_cell("NOR2X2", 2, 2.0, 4),
+        nor_cell("NOR3X1", 3, 1.0, 4),
+        and_or_cell("AND2X1", Function::And, 2, 4),
+        and_or_cell("AND3X1", Function::And, 3, 5),
+        and_or_cell("OR2X1", Function::Or, 2, 4),
+        and_or_cell("OR3X1", Function::Or, 3, 5),
+        xor2_cell(),
+        xnor2_cell(),
+        mux2_cell(),
+        aoi21_cell(),
+        oai21_cell(),
+        dff_cell(),
+    ];
+    for cell in &mut cells {
+        debug_assert!(!cell.inputs.is_empty());
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::StageSignal;
+
+    fn lib() -> Library {
+        Library::c05um(&Process::c05um())
+    }
+
+    #[test]
+    fn library_has_expected_cells() {
+        let lib = lib();
+        for name in [
+            "INVX1", "INVX2", "INVX4", "INVX8", "BUFX2", "BUFX4", "CLKBUFX4",
+            "CLKBUFX8", "NAND2X1", "NAND2X2", "NAND3X1", "NAND4X1", "NOR2X1",
+            "NOR2X2", "NOR3X1", "AND2X1", "AND3X1", "OR2X1", "OR3X1", "XOR2X1",
+            "XNOR2X1", "MUX2X1", "AOI21X1", "OAI21X1", "DFFX1",
+        ] {
+            assert!(lib.cell(name).is_some(), "missing {name}");
+        }
+        assert_eq!(lib.len(), 25);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn input_caps_computed_and_positive() {
+        let lib = lib();
+        for cell in &lib {
+            assert_eq!(cell.input_cap.len(), cell.inputs.len(), "{}", cell.name);
+            for (pin, cap) in cell.input_cap.iter().enumerate() {
+                assert!(
+                    *cap > 0.5e-15 && *cap < 200e-15,
+                    "{} pin {pin}: implausible cap {cap}",
+                    cell.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_outputs_wellformed() {
+        let lib = lib();
+        for cell in &lib {
+            let last = cell.stages.last().expect("cells have stages");
+            assert_eq!(
+                last.output,
+                StageSignal::Pin(0),
+                "{}: final stage must drive the output pin",
+                cell.name
+            );
+            for stage in &cell.stages {
+                for sig in &stage.inputs {
+                    match sig {
+                        StageSignal::Pin(i) => assert!(*i < cell.inputs.len()),
+                        StageSignal::Internal(i) => assert!(*i < cell.internal_nodes),
+                        StageSignal::Launch => assert!(cell.is_sequential()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn internal_nodes_driven_exactly_once() {
+        let lib = lib();
+        for cell in &lib {
+            let mut driven = vec![0usize; cell.internal_nodes];
+            for stage in &cell.stages {
+                if let StageSignal::Internal(i) = stage.output {
+                    driven[i] += 1;
+                }
+            }
+            for (i, d) in driven.iter().enumerate() {
+                assert_eq!(*d, 1, "{}: internal node {i} driven {d} times", cell.name);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_decomposition_is_logically_xor() {
+        let lib = lib();
+        let xor = lib.cell("XOR2X1").expect("xor cell");
+        for a in [false, true] {
+            for b in [false, true] {
+                let mut internals = vec![None; xor.internal_nodes];
+                let mut out = None;
+                for stage in &xor.stages {
+                    let val = |slot: usize| match stage.inputs[slot] {
+                        StageSignal::Pin(0) => Some(a),
+                        StageSignal::Pin(1) => Some(b),
+                        StageSignal::Internal(i) => internals[i],
+                        _ => None,
+                    };
+                    let v = stage.eval(val);
+                    match stage.output {
+                        StageSignal::Internal(i) => internals[i] = v,
+                        StageSignal::Pin(0) => out = v,
+                        _ => {}
+                    }
+                }
+                assert_eq!(out, Some(a ^ b), "XOR({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_decomposition_is_logically_mux() {
+        let lib = lib();
+        let mux = lib.cell("MUX2X1").expect("mux cell");
+        for d0 in [false, true] {
+            for d1 in [false, true] {
+                for s in [false, true] {
+                    let mut internals = vec![None; mux.internal_nodes];
+                    let mut out = None;
+                    for stage in &mux.stages {
+                        let val = |slot: usize| match stage.inputs[slot] {
+                            StageSignal::Pin(0) => Some(d0),
+                            StageSignal::Pin(1) => Some(d1),
+                            StageSignal::Pin(2) => Some(s),
+                            StageSignal::Internal(i) => internals[i],
+                            _ => None,
+                        };
+                        let v = stage.eval(val);
+                        match stage.output {
+                            StageSignal::Internal(i) => internals[i] = v,
+                            StageSignal::Pin(0) => out = v,
+                            _ => {}
+                        }
+                    }
+                    assert_eq!(out, Some(if s { d1 } else { d0 }), "MUX({d0},{d1},{s})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dff_is_sequential_with_pins() {
+        let lib = lib();
+        let dff = lib.cell("DFFX1").expect("dff cell");
+        let seq = dff.seq.as_ref().expect("sequential spec");
+        assert_eq!(dff.inputs[seq.d_pin], "D");
+        assert_eq!(dff.inputs[seq.clk_pin], "CK");
+        assert!(dff.is_sequential());
+    }
+
+    #[test]
+    fn function_selection() {
+        let lib = lib();
+        assert_eq!(
+            lib.cell_for_function(Function::Nand, 3).map(|c| c.name.as_str()),
+            Some("NAND3X1")
+        );
+        assert_eq!(
+            lib.cell_for_function(Function::Inv, 1).map(|c| c.name.as_str()),
+            Some("INVX1")
+        );
+        assert!(lib.cell_for_function(Function::Nand, 7).is_none());
+    }
+
+    #[test]
+    fn bigger_drives_have_bigger_caps() {
+        let lib = lib();
+        let x1 = lib.cell("INVX1").expect("invx1").input_cap[0];
+        let x4 = lib.cell("INVX4").expect("invx4").input_cap[0];
+        assert!(x4 > 3.0 * x1 && x4 < 5.0 * x1);
+    }
+}

@@ -1,0 +1,353 @@
+//! Newtypes for physical quantities.
+//!
+//! Internally the numeric kernels of `xtalk` work on plain SI `f64` values
+//! (volts, seconds, farads, ohms, amperes, metres) for speed; these newtypes
+//! are used at public API boundaries where confusing a capacitance for a
+//! resistance would be a silent disaster. Each type wraps an SI value and
+//! offers convenience constructors/accessors in the unit engineers actually
+//! use for the quantity (nanoseconds, femtofarads, microns, ...).
+//!
+//! ```
+//! use xtalk_tech::units::{Farads, Seconds};
+//!
+//! let c = Farads::from_ff(12.5);
+//! assert!((c.as_ff() - 12.5).abs() < 1e-9);
+//! let t = Seconds::from_ns(0.35);
+//! assert!((t.get() - 0.35e-9).abs() < 1e-21);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero of this quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a value from the base SI amount.
+            pub const fn new(si: f64) -> Self {
+                $name(si)
+            }
+
+            /// Returns the base SI amount.
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// The larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// The smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// `true` when the value is finite (not NaN / infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: Self) -> Self {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: Self) -> Self {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> Self {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> Self {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> Self {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(si: f64) -> Self {
+                $name(si)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit_newtype!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit_newtype!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit_newtype!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ohm"
+);
+unit_newtype!(
+    /// Current in amperes.
+    Amps,
+    "A"
+);
+unit_newtype!(
+    /// Length in metres.
+    Metres,
+    "m"
+);
+
+impl Seconds {
+    /// Creates a time from nanoseconds.
+    pub fn from_ns(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Creates a time from picoseconds.
+    pub fn from_ps(ps: f64) -> Self {
+        Seconds(ps * 1e-12)
+    }
+
+    /// Returns the time expressed in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the time expressed in picoseconds.
+    pub fn as_ps(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl Farads {
+    /// Creates a capacitance from femtofarads.
+    pub fn from_ff(ff: f64) -> Self {
+        Farads(ff * 1e-15)
+    }
+
+    /// Creates a capacitance from picofarads.
+    pub fn from_pf(pf: f64) -> Self {
+        Farads(pf * 1e-12)
+    }
+
+    /// Returns the capacitance expressed in femtofarads.
+    pub fn as_ff(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Returns the capacitance expressed in picofarads.
+    pub fn as_pf(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl Metres {
+    /// Creates a length from microns.
+    pub fn from_um(um: f64) -> Self {
+        Metres(um * 1e-6)
+    }
+
+    /// Returns the length expressed in microns.
+    pub fn as_um(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Ohms {
+    /// Creates a resistance from kilo-ohms.
+    pub fn from_kohm(kohm: f64) -> Self {
+        Ohms(kohm * 1e3)
+    }
+
+    /// Returns the resistance expressed in kilo-ohms.
+    pub fn as_kohm(self) -> f64 {
+        self.0 * 1e-3
+    }
+}
+
+impl Amps {
+    /// Creates a current from microamperes.
+    pub fn from_ua(ua: f64) -> Self {
+        Amps(ua * 1e-6)
+    }
+
+    /// Returns the current expressed in microamperes.
+    pub fn as_ua(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+/// `R * C` gives a time constant.
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds::new(self.get() * rhs.get())
+    }
+}
+
+/// `C * R` gives a time constant.
+impl Mul<Ohms> for Farads {
+    type Output = Seconds;
+    fn mul(self, rhs: Ohms) -> Seconds {
+        Seconds::new(self.get() * rhs.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_si_roundtrip() {
+        let v = Volts::new(3.3);
+        assert_eq!(v.get(), 3.3);
+        assert_eq!(f64::from(v), 3.3);
+        assert_eq!(Volts::from(1.0), Volts::new(1.0));
+    }
+
+    #[test]
+    fn scaled_constructors() {
+        assert!((Seconds::from_ns(1.0).get() - 1e-9).abs() < 1e-24);
+        assert!((Seconds::from_ps(1.0).get() - 1e-12).abs() < 1e-24);
+        assert!((Farads::from_ff(1.0).get() - 1e-15).abs() < 1e-30);
+        assert!((Farads::from_pf(1.0).get() - 1e-12).abs() < 1e-27);
+        assert!((Metres::from_um(1.0).get() - 1e-6).abs() < 1e-20);
+        assert!((Ohms::from_kohm(1.0).get() - 1e3).abs() < 1e-9);
+        assert!((Amps::from_ua(1.0).get() - 1e-6).abs() < 1e-20);
+    }
+
+    #[test]
+    fn scaled_accessors_roundtrip() {
+        assert!((Seconds::from_ns(2.5).as_ns() - 2.5).abs() < 1e-12);
+        assert!((Seconds::from_ps(2.5).as_ps() - 2.5).abs() < 1e-9);
+        assert!((Farads::from_ff(7.0).as_ff() - 7.0).abs() < 1e-9);
+        assert!((Farads::from_pf(7.0).as_pf() - 7.0).abs() < 1e-9);
+        assert!((Metres::from_um(40.0).as_um() - 40.0).abs() < 1e-9);
+        assert!((Ohms::from_kohm(3.0).as_kohm() - 3.0).abs() < 1e-12);
+        assert!((Amps::from_ua(150.0).as_ua() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Seconds::from_ns(1.0);
+        let b = Seconds::from_ns(2.0);
+        assert!((a + b).as_ns() - 3.0 < 1e-9);
+        assert!((b - a).as_ns() - 1.0 < 1e-9);
+        assert!(((b * 2.0).as_ns() - 4.0).abs() < 1e-9);
+        assert!(((b / 2.0).as_ns() - 1.0).abs() < 1e-9);
+        assert!((b / a - 2.0).abs() < 1e-12);
+        assert_eq!(-a, Seconds::from_ns(-1.0));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn assign_ops_and_sum() {
+        let mut t = Seconds::ZERO;
+        t += Seconds::from_ns(1.0);
+        t += Seconds::from_ns(2.0);
+        t -= Seconds::from_ns(0.5);
+        assert!((t.as_ns() - 2.5).abs() < 1e-9);
+
+        let total: Farads = [1.0, 2.0, 3.0].iter().map(|&ff| Farads::from_ff(ff)).sum();
+        assert!((total.as_ff() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_product_is_time() {
+        let tau = Ohms::from_kohm(1.0) * Farads::from_pf(1.0);
+        assert!((tau.as_ns() - 1.0).abs() < 1e-9);
+        let tau2 = Farads::from_pf(1.0) * Ohms::from_kohm(1.0);
+        assert_eq!(tau, tau2);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Volts::new(3.3)), "3.3 V");
+        assert_eq!(format!("{}", Ohms::new(10.0)), "10 Ohm");
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Volts::new(1.0).is_finite());
+        assert!(!Volts::new(f64::NAN).is_finite());
+        assert!(!Volts::new(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,355 @@
+//! Standard-cell timing characterization.
+//!
+//! Sweeps every sensitizable cell arc over an input-slew × output-load grid
+//! with the transistor-level stage solver, producing the NLDM-style lookup
+//! tables a downstream gate-level flow would consume (see
+//! [`crate::liberty`] for the Liberty writer). Multi-stage cells are
+//! characterized by propagating the transition through their internal
+//! stage chain, with internal nodes loaded exactly as in the timing
+//! engine's expansion.
+
+use xtalk_tech::cell::{Cell, StageSignal};
+use xtalk_tech::Process;
+
+use crate::pwl::Waveform;
+use crate::stage::{Load, StageError, StageSolver};
+
+/// Characterized tables of one timing arc.
+#[derive(Debug, Clone)]
+pub struct ArcTable {
+    /// Input pin index.
+    pub pin: usize,
+    /// `true` for the output-rising transition.
+    pub output_rising: bool,
+    /// Input transition times (full-swing ramp durations), seconds.
+    pub slews: Vec<f64>,
+    /// Output load capacitances, farads.
+    pub loads: Vec<f64>,
+    /// `delay[i][j]`: Vdd/2-to-Vdd/2 delay at `slews[i]`, `loads[j]`.
+    pub delay: Vec<Vec<f64>>,
+    /// `out_slew[i][j]`: output 10–90% transition time.
+    pub out_slew: Vec<Vec<f64>>,
+}
+
+/// All characterized arcs of one cell.
+#[derive(Debug, Clone)]
+pub struct CellTables {
+    /// Library cell name.
+    pub cell: String,
+    /// Arc tables (one per sensitizable pin/direction pair).
+    pub arcs: Vec<ArcTable>,
+}
+
+/// Characterizes one combinational cell over the given grids.
+///
+/// Sequential cells and non-sensitizable arcs are skipped (a DFF yields an
+/// empty arc list).
+///
+/// # Errors
+///
+/// Propagates [`StageError`] from the underlying stage solutions.
+pub fn characterize_cell(
+    process: &Process,
+    cell: &Cell,
+    slews: &[f64],
+    loads: &[f64],
+) -> Result<CellTables, StageError> {
+    let vdd = process.vdd;
+    let th = process.delay_threshold();
+    let (slo, shi) = process.slew_thresholds();
+    let solver = StageSolver::new(process);
+    let mut arcs = Vec::new();
+
+    if cell.is_sequential() {
+        return Ok(CellTables {
+            cell: cell.name.clone(),
+            arcs,
+        });
+    }
+
+    for pin in 0..cell.inputs.len() {
+        let Some(sides) = cell.sensitizing_side_values(pin, vdd) else {
+            continue;
+        };
+        let Some(inverting) = cell.arc_inverting(pin, &sides, vdd) else {
+            continue;
+        };
+        for output_rising in [false, true] {
+            // Input direction implied by the arc polarity.
+            let input_rising = if inverting {
+                !output_rising
+            } else {
+                output_rising
+            };
+            let mut delay = vec![vec![0.0; loads.len()]; slews.len()];
+            let mut out_slew = vec![vec![0.0; loads.len()]; slews.len()];
+            for (i, &slew) in slews.iter().enumerate() {
+                for (j, &cload) in loads.iter().enumerate() {
+                    let (v0, v1) = if input_rising { (0.0, vdd) } else { (vdd, 0.0) };
+                    let input = Waveform::ramp(0.0, slew.max(1e-12), v0, v1)
+                        .expect("characterization ramps are valid");
+                    let out = propagate(
+                        &solver, process, cell, pin, &sides, &input, cload,
+                    )?;
+                    let d = out
+                        .crossing(th)
+                        .and_then(|tc| input.crossing(th).map(|ti| tc - ti))
+                        .unwrap_or(f64::NAN);
+                    delay[i][j] = d;
+                    out_slew[i][j] = out.slew(slo, shi).unwrap_or(f64::NAN);
+                }
+            }
+            arcs.push(ArcTable {
+                pin,
+                output_rising,
+                slews: slews.to_vec(),
+                loads: loads.to_vec(),
+                delay,
+                out_slew,
+            });
+        }
+    }
+    Ok(CellTables {
+        cell: cell.name.clone(),
+        arcs,
+    })
+}
+
+/// Propagates `input` on `pin` through the cell's stage chain to the output
+/// pin, with the final stage driving `cload`.
+fn propagate(
+    solver: &StageSolver<'_>,
+    process: &Process,
+    cell: &Cell,
+    pin: usize,
+    side_voltages: &[f64],
+    input: &Waveform,
+    cload: f64,
+) -> Result<Waveform, StageError> {
+    let vdd = process.vdd;
+    // DC logic values of the cell pins with the switching pin at its
+    // *initial* level; internal nodes follow by stage evaluation.
+    let pin_value = |p: usize, switching_high: bool| -> Option<bool> {
+        if p == pin {
+            Some(switching_high)
+        } else {
+            Some(side_voltages.get(p).copied().unwrap_or(0.0) > 0.5 * vdd)
+        }
+    };
+    let eval_internals = |switching_high: bool| -> Vec<Option<bool>> {
+        let mut vals = vec![None; cell.internal_nodes];
+        for stage in &cell.stages {
+            let v = stage.eval(|slot| match stage.inputs[slot] {
+                StageSignal::Pin(p) => pin_value(p, switching_high),
+                StageSignal::Internal(k) => vals[k],
+                StageSignal::Launch => None,
+            });
+            if let StageSignal::Internal(k) = stage.output {
+                vals[k] = v;
+            }
+        }
+        vals
+    };
+    let input_starts_high = !input.is_rising();
+    let initial = eval_internals(input_starts_high);
+    let finals = eval_internals(!input_starts_high);
+
+    // Internal nodes loaded by the gate caps of the stages they feed.
+    let mut internal_load = vec![0.0f64; cell.internal_nodes];
+    for stage in &cell.stages {
+        for (slot, sig) in stage.inputs.iter().enumerate() {
+            if let StageSignal::Internal(k) = sig {
+                internal_load[*k] += stage.input_cap(slot, process);
+            }
+        }
+    }
+
+    // Waveform per internal node (None = static), propagated stage by
+    // stage; on reconvergence the latest-arriving changed input wins
+    // (worst case).
+    let mut internal_wave: Vec<Option<Waveform>> = vec![None; cell.internal_nodes];
+    let mut output_wave: Option<Waveform> = None;
+    for stage in &cell.stages {
+        // Collect changed inputs of this stage.
+        let mut candidates: Vec<(usize, Waveform)> = Vec::new();
+        let mut side = vec![0.0f64; stage.inputs.len()];
+        for (slot, sig) in stage.inputs.iter().enumerate() {
+            match sig {
+                StageSignal::Pin(p) => {
+                    if *p == pin {
+                        candidates.push((slot, input.clone()));
+                    } else {
+                        side[slot] = side_voltages.get(*p).copied().unwrap_or(0.0);
+                    }
+                }
+                StageSignal::Internal(k) => {
+                    if let Some(w) = &internal_wave[*k] {
+                        candidates.push((slot, w.clone()));
+                    } else {
+                        side[slot] = match initial[*k] {
+                            Some(true) => vdd,
+                            _ => 0.0,
+                        };
+                    }
+                }
+                StageSignal::Launch => {}
+            }
+        }
+        if candidates.is_empty() {
+            continue;
+        }
+        // A stage whose output is logically constant under the side
+        // assignment (e.g. NAND(A, B=0) inside an XOR) must not be
+        // integrated — its output never transitions.
+        let eval_ctx = |vals: &[Option<bool>], switching_high: bool| {
+            stage.eval(|slot| match stage.inputs[slot] {
+                StageSignal::Pin(p) => pin_value(p, switching_high),
+                StageSignal::Internal(k) => vals[k],
+                StageSignal::Launch => None,
+            })
+        };
+        let out_initial = eval_ctx(&initial, input_starts_high);
+        let out_final = eval_ctx(&finals, !input_starts_high);
+        if out_initial.is_some() && out_initial == out_final {
+            continue;
+        }
+        // Other changed inputs sit at their *final* DC level while the
+        // worst (latest) one switches.
+        let mut worst: Option<Waveform> = None;
+        for (slot, wave) in &candidates {
+            let mut side_local = side.clone();
+            for (other_slot, _) in &candidates {
+                if other_slot == slot {
+                    continue;
+                }
+                let final_high = match stage.inputs[*other_slot] {
+                    StageSignal::Pin(p) => {
+                        if p == pin {
+                            input.is_rising()
+                        } else {
+                            side_voltages.get(p).copied().unwrap_or(0.0) > 0.5 * vdd
+                        }
+                    }
+                    StageSignal::Internal(k) => finals[k] == Some(true),
+                    StageSignal::Launch => false,
+                };
+                side_local[*other_slot] = if final_high { vdd } else { 0.0 };
+            }
+            let load = match stage.output {
+                StageSignal::Pin(_) => Load::grounded(
+                    stage.output_diffusion_cap(process) + cload,
+                ),
+                StageSignal::Internal(k) => Load::grounded(
+                    stage.output_diffusion_cap(process) + internal_load[k],
+                ),
+                StageSignal::Launch => Load::grounded(cload),
+            };
+            let r = solver.solve(stage, *slot, wave, &side_local, load)?;
+            let th = process.delay_threshold();
+            let is_worse = match (&worst, r.wave.crossing(th)) {
+                (None, _) => true,
+                (Some(w), Some(c)) => w.crossing(th).map(|wc| c > wc).unwrap_or(true),
+                (Some(_), None) => false,
+            };
+            if is_worse {
+                worst = Some(r.wave);
+            }
+        }
+        let wave = worst.expect("at least one candidate solved");
+        match stage.output {
+            StageSignal::Internal(k) => internal_wave[k] = Some(wave),
+            StageSignal::Pin(_) => output_wave = Some(wave),
+            StageSignal::Launch => {}
+        }
+    }
+    output_wave.ok_or(StageError::DidNotConverge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_tech::{Library, Process};
+
+    fn setup() -> (Process, Library) {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        (p, l)
+    }
+
+    const SLEWS: [f64; 3] = [0.05e-9, 0.2e-9, 0.8e-9];
+    const LOADS: [f64; 3] = [5e-15, 25e-15, 100e-15];
+
+    #[test]
+    fn inverter_tables_monotone() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let t = characterize_cell(&p, inv, &SLEWS, &LOADS).expect("characterize");
+        assert_eq!(t.arcs.len(), 2, "rise + fall");
+        for arc in &t.arcs {
+            for row in &arc.delay {
+                // Delay increases with load.
+                for w in row.windows(2) {
+                    assert!(w[1] > w[0], "delay must grow with load: {row:?}");
+                }
+            }
+            for j in 0..LOADS.len() {
+                // Delay grows (weakly) with input slew.
+                for i in 1..SLEWS.len() {
+                    assert!(
+                        arc.delay[i][j] >= arc.delay[i - 1][j] * 0.8,
+                        "slew dependence broken"
+                    );
+                }
+            }
+            // Output slew grows with load.
+            for row in &arc.out_slew {
+                assert!(row[2] > row[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn nand_has_arcs_per_pin() {
+        let (p, l) = setup();
+        let nand = l.cell("NAND2X1").expect("nand");
+        let t = characterize_cell(&p, nand, &SLEWS, &LOADS).expect("characterize");
+        assert_eq!(t.arcs.len(), 4, "2 pins x 2 directions");
+        for arc in &t.arcs {
+            assert!(arc.delay.iter().flatten().all(|d| d.is_finite() && *d > 0.0));
+        }
+    }
+
+    #[test]
+    fn composite_and_cell_characterizes_through_both_stages() {
+        let (p, l) = setup();
+        let and2 = l.cell("AND2X1").expect("and2");
+        let inv = l.cell("INVX1").expect("inv");
+        let t_and = characterize_cell(&p, and2, &SLEWS, &LOADS).expect("and2");
+        let t_inv = characterize_cell(&p, inv, &SLEWS, &LOADS).expect("inv");
+        // A two-stage AND2 must be slower than a single inverter.
+        let d_and = t_and.arcs[0].delay[1][1];
+        let d_inv = t_inv.arcs[0].delay[1][1];
+        assert!(d_and > d_inv, "AND2 {d_and} vs INV {d_inv}");
+    }
+
+    #[test]
+    fn xor_characterizes_with_reconvergence() {
+        let (p, l) = setup();
+        let xor = l.cell("XOR2X1").expect("xor");
+        let t = characterize_cell(&p, xor, &SLEWS, &LOADS).expect("xor");
+        assert!(!t.arcs.is_empty());
+        for arc in &t.arcs {
+            for d in arc.delay.iter().flatten() {
+                assert!(d.is_finite() && *d > 0.0, "XOR delay {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dff_yields_no_combinational_arcs() {
+        let (p, l) = setup();
+        let dff = l.cell("DFFX1").expect("dff");
+        let t = characterize_cell(&p, dff, &SLEWS, &LOADS).expect("dff");
+        assert!(t.arcs.is_empty());
+    }
+}

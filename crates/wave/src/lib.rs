@@ -1,0 +1,60 @@
+//! Waveform engine: PWL waveforms and the transistor-level stage solver.
+//!
+//! This crate implements §2 and §3 of Ringe/Lindenkreuz/Barke (DATE 2000):
+//!
+//! - [`pwl`]: monotone piecewise-linear voltage [`Waveform`]s with crossing
+//!   queries — the objects propagated through the timing graph.
+//! - [`newton`]: the classical safeguarded Newton iteration used everywhere
+//!   a scalar nonlinear equation must be solved (§3: "it uses the classical
+//!   Newton approximation instead of the successive chord method").
+//! - [`network`]: exact DC evaluation of series/parallel transistor networks
+//!   against the table-based device models, including internal stack nodes.
+//! - [`stage`]: backward-Euler integration of one complementary-CMOS stage
+//!   driving a lumped load with coupling capacitances, implementing the
+//!   paper's three-phase coupling model: grounded coupling cap while the
+//!   aggressor is quiet, an instantaneous capacitive-divider *snap* back to
+//!   `Vth` when it fires, grounded again afterwards, and the propagated
+//!   waveform restarted at `Vth` (§2).
+//! - [`sensitize`]: side-input assignment for multi-input stages so the
+//!   switching pin controls the output (worst-case single-input switching).
+//! - [`characterize`] and [`liberty`]: NLDM cell characterization over
+//!   slew/load grids and a Liberty (`.lib`) writer, so the library can feed
+//!   conventional gate-level flows.
+//!
+//! # Example: an inverter with and without an active aggressor
+//!
+//! ```
+//! use xtalk_tech::{Library, Process};
+//! use xtalk_wave::pwl::Waveform;
+//! use xtalk_wave::stage::{Coupling, CouplingMode, Load, StageSolver};
+//!
+//! let process = Process::c05um();
+//! let lib = Library::c05um(&process);
+//! let inv = lib.cell("INVX1").expect("INVX1");
+//! let solver = StageSolver::new(&process);
+//! let input = Waveform::ramp(0.0, 0.2e-9, process.vdd, 0.0)?; // falling input
+//!
+//! let quiet = Load { cground: 30e-15, couplings: vec![Coupling::new(10e-15, CouplingMode::Grounded)] };
+//! let noisy = Load { cground: 30e-15, couplings: vec![Coupling::new(10e-15, CouplingMode::Active)] };
+//! let r_quiet = solver.solve(&inv.stages[0], 0, &input, &[], quiet)?;
+//! let r_noisy = solver.solve(&inv.stages[0], 0, &input, &[], noisy)?;
+//! let th = process.delay_threshold();
+//! let quiet_cross = r_quiet.wave.crossing(th).expect("crosses");
+//! let noisy_cross = r_noisy.wave.crossing(th).expect("crosses");
+//! assert!(noisy_cross > quiet_cross, "an active aggressor adds delay");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod liberty;
+pub mod network;
+pub mod newton;
+pub mod pwl;
+pub mod sensitize;
+pub mod stage;
+
+pub use pwl::{Waveform, WaveformError};
+pub use stage::{Coupling, CouplingMode, Load, Snap, StageResult, StageSolver};

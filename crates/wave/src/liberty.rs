@@ -1,0 +1,238 @@
+//! Liberty (`.lib`) writer for characterized cell timing.
+//!
+//! Emits a minimal-but-well-formed NLDM Liberty library from
+//! [`crate::characterize`] results: per-cell area and pin capacitances,
+//! boolean functions, and `cell_rise`/`cell_fall`/`rise_transition`/
+//! `fall_transition` lookup tables — enough for a conventional gate-level
+//! STA or synthesis tool to consume the `xtalk` cell library.
+
+use std::fmt::Write as _;
+
+use xtalk_tech::cell::Function;
+use xtalk_tech::{Library, Process};
+
+use crate::characterize::{ArcTable, CellTables};
+
+/// Liberty boolean-function string of a cell.
+fn function_string(function: Function, inputs: &[String]) -> String {
+    let join = |op: &str| {
+        inputs
+            .iter()
+            .map(|p| p.as_str())
+            .collect::<Vec<_>>()
+            .join(op)
+    };
+    match function {
+        Function::Inv => format!("(!{})", inputs[0]),
+        Function::Buf => inputs[0].clone(),
+        Function::And => format!("({})", join("*")),
+        Function::Nand => format!("(!({}))", join("*")),
+        Function::Or => format!("({})", join("+")),
+        Function::Nor => format!("(!({}))", join("+")),
+        Function::Xor => format!("({}^{})", inputs[0], inputs[1]),
+        Function::Xnor => format!("(!({}^{}))", inputs[0], inputs[1]),
+        Function::Mux2 => format!(
+            "(({d0}*!{s})+({d1}*{s}))",
+            d0 = inputs[0],
+            d1 = inputs[1],
+            s = inputs[2]
+        ),
+        Function::Aoi21 => format!(
+            "(!(({a}*{b})+{c}))",
+            a = inputs[0],
+            b = inputs[1],
+            c = inputs[2]
+        ),
+        Function::Oai21 => format!(
+            "(!(({a}+{b})*{c}))",
+            a = inputs[0],
+            b = inputs[1],
+            c = inputs[2]
+        ),
+        Function::Dff => "IQ".to_string(),
+    }
+}
+
+fn write_values(out: &mut String, indent: &str, table: &[Vec<f64>], scale: f64) {
+    let rows: Vec<String> = table
+        .iter()
+        .map(|row| {
+            let vals: Vec<String> = row.iter().map(|v| format!("{:.5}", v * scale)).collect();
+            format!("\"{}\"", vals.join(", "))
+        })
+        .collect();
+    let _ = writeln!(out, "{indent}values ( \\");
+    for (k, row) in rows.iter().enumerate() {
+        let sep = if k + 1 == rows.len() { "" } else { ", \\" };
+        let _ = writeln!(out, "{indent}  {row}{sep}");
+    }
+    let _ = writeln!(out, "{indent});");
+}
+
+fn write_index(out: &mut String, indent: &str, name: &str, values: &[f64], scale: f64) {
+    let vals: Vec<String> = values.iter().map(|v| format!("{:.5}", v * scale)).collect();
+    let _ = writeln!(out, "{indent}{name} (\"{}\");", vals.join(", "));
+}
+
+fn write_table(out: &mut String, name: &str, arc: &ArcTable, values: &[Vec<f64>]) {
+    let _ = writeln!(out, "        {name} (xtalk_tmpl) {{");
+    write_index(out, "          ", "index_1", &arc.slews, 1e9);
+    write_index(out, "          ", "index_2", &arc.loads, 1e15);
+    write_values(out, "          ", values, 1e9);
+    let _ = writeln!(out, "        }}");
+}
+
+/// Writes a Liberty library for `cells` (characterized tables paired with
+/// the library they came from).
+pub fn write(process: &Process, library: &Library, tables: &[CellTables]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library (xtalk_c05um) {{");
+    let _ = writeln!(out, "  delay_model : table_lookup;");
+    let _ = writeln!(out, "  time_unit : \"1ns\";");
+    let _ = writeln!(out, "  voltage_unit : \"1V\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  nom_voltage : {:.2};", process.vdd);
+    let _ = writeln!(out, "  slew_lower_threshold_pct_rise : {:.0};", process.slew_lo_frac * 100.0);
+    let _ = writeln!(out, "  slew_upper_threshold_pct_rise : {:.0};", process.slew_hi_frac * 100.0);
+    let _ = writeln!(out, "  input_threshold_pct_rise : 50;");
+    let _ = writeln!(out, "  output_threshold_pct_rise : 50;");
+    let _ = writeln!(out);
+    if let Some(first) = tables.iter().find(|t| !t.arcs.is_empty()) {
+        let arc = &first.arcs[0];
+        let _ = writeln!(out, "  lu_table_template (xtalk_tmpl) {{");
+        let _ = writeln!(out, "    variable_1 : input_net_transition;");
+        let _ = writeln!(out, "    variable_2 : total_output_net_capacitance;");
+        write_index(&mut out, "    ", "index_1", &arc.slews, 1e9);
+        write_index(&mut out, "    ", "index_2", &arc.loads, 1e15);
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out);
+    }
+
+    for t in tables {
+        let Some(cell) = library.cell(&t.cell) else {
+            continue;
+        };
+        let _ = writeln!(out, "  cell ({}) {{", cell.name);
+        let _ = writeln!(out, "    area : {};", cell.area_sites);
+        if cell.is_sequential() {
+            let _ = writeln!(out, "    ff (IQ, IQN) {{");
+            let _ = writeln!(out, "      next_state : \"D\";");
+            let _ = writeln!(out, "      clocked_on : \"CK\";");
+            let _ = writeln!(out, "    }}");
+        }
+        for (pin, name) in cell.inputs.iter().enumerate() {
+            let _ = writeln!(out, "    pin ({name}) {{");
+            let _ = writeln!(out, "      direction : input;");
+            let _ = writeln!(
+                out,
+                "      capacitance : {:.4};",
+                cell.input_cap.get(pin).copied().unwrap_or(0.0) * 1e15
+            );
+            if cell.is_sequential() && name == "CK" {
+                let _ = writeln!(out, "      clock : true;");
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "    pin ({}) {{", cell.output);
+        let _ = writeln!(out, "      direction : output;");
+        let _ = writeln!(
+            out,
+            "      function : \"{}\";",
+            function_string(cell.function, &cell.inputs)
+        );
+        for arc in &t.arcs {
+            let related = &cell.inputs[arc.pin];
+            // Emit one timing group per (pin, direction) pair.
+            let _ = writeln!(out, "      timing () {{");
+            let _ = writeln!(out, "        related_pin : \"{related}\";");
+            let sense = match cell.arc_inverting(
+                arc.pin,
+                &cell.sensitizing_side_values(arc.pin, process.vdd).unwrap_or_default(),
+                process.vdd,
+            ) {
+                Some(true) => "negative_unate",
+                Some(false) => "positive_unate",
+                None => "non_unate",
+            };
+            let _ = writeln!(out, "        timing_sense : {sense};");
+            if arc.output_rising {
+                write_table(&mut out, "cell_rise", arc, &arc.delay);
+                write_table(&mut out, "rise_transition", arc, &arc.out_slew);
+            } else {
+                write_table(&mut out, "cell_fall", arc, &arc.delay);
+                write_table(&mut out, "fall_transition", arc, &arc.out_slew);
+            }
+            let _ = writeln!(out, "      }}");
+        }
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize_cell;
+    use xtalk_tech::{Library, Process};
+
+    #[test]
+    fn liberty_output_well_formed() {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        let slews = [0.1e-9, 0.4e-9];
+        let loads = [10e-15, 50e-15];
+        let mut tables = Vec::new();
+        for name in ["INVX1", "NAND2X1", "DFFX1"] {
+            let cell = l.cell(name).expect("cell");
+            tables.push(characterize_cell(&p, cell, &slews, &loads).expect("char"));
+        }
+        let text = write(&p, &l, &tables);
+        // Structure.
+        assert!(text.starts_with("library (xtalk_c05um) {"));
+        assert!(text.trim_end().ends_with('}'));
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "balanced braces"
+        );
+        // Content.
+        assert!(text.contains("cell (INVX1)"));
+        assert!(text.contains("function : \"(!A)\";"));
+        assert!(text.contains("cell_rise"));
+        assert!(text.contains("fall_transition"));
+        assert!(text.contains("timing_sense : negative_unate;"));
+        assert!(text.contains("ff (IQ, IQN)"));
+        assert!(text.contains("clock : true;"));
+        // Values are nanoseconds: small positive numbers.
+        assert!(text.contains("values ("));
+    }
+
+    #[test]
+    fn function_strings() {
+        assert_eq!(
+            function_string(Function::Nand, &["A".into(), "B".into()]),
+            "(!(A*B))"
+        );
+        assert_eq!(
+            function_string(Function::Xor, &["A".into(), "B".into()]),
+            "(A^B)"
+        );
+        assert_eq!(
+            function_string(
+                Function::Mux2,
+                &["D0".into(), "D1".into(), "S".into()]
+            ),
+            "((D0*!S)+(D1*S))"
+        );
+        assert_eq!(
+            function_string(
+                Function::Aoi21,
+                &["A".into(), "B".into(), "C".into()]
+            ),
+            "(!((A*B)+C))"
+        );
+    }
+}

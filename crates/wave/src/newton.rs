@@ -1,0 +1,225 @@
+//! Safeguarded scalar Newton iteration.
+//!
+//! Classical Newton with a bisection fallback that keeps the iterate inside
+//! a sign-changing bracket — robust on the piecewise-linear table models
+//! (whose derivative is discontinuous at cell boundaries) yet quadratically
+//! fast where Newton behaves. This is the iteration the paper adopts in §3.
+
+/// Outcome of a [`solve_bracketed`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonResult {
+    /// The root estimate.
+    pub x: f64,
+    /// Residual `f(x)` at the estimate.
+    pub residual: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Solves `f(x) = 0` for `x` in `[lo, hi]`.
+///
+/// `f` returns `(value, derivative)`. If `f(lo)` and `f(hi)` do not bracket
+/// a sign change the solver still runs (useful when both residuals are tiny,
+/// e.g. an all-off transistor stack) and returns the endpoint or iterate
+/// with the smallest |residual|.
+///
+/// `x_tol` is the absolute tolerance on `x`; iteration also stops when the
+/// residual magnitude drops below `f_tol`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or a bound is not finite.
+pub fn solve_bracketed(
+    mut f: impl FnMut(f64) -> (f64, f64),
+    lo: f64,
+    hi: f64,
+    x_tol: f64,
+    f_tol: f64,
+    max_iter: usize,
+) -> NewtonResult {
+    solve_bracketed_from(&mut f, lo, hi, None, x_tol, f_tol, max_iter)
+}
+
+/// Like [`solve_bracketed`] but starting the iteration at `x0` (when given
+/// and inside the bracket) — used to warm-start from a previous timestep's
+/// solution.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or a bound is not finite.
+pub fn solve_bracketed_from(
+    f: &mut impl FnMut(f64) -> (f64, f64),
+    lo: f64,
+    hi: f64,
+    x0: Option<f64>,
+    x_tol: f64,
+    f_tol: f64,
+    max_iter: usize,
+) -> NewtonResult {
+    assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
+    assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+
+    let (mut a, mut b) = (lo, hi);
+    let (fa, _) = f(a);
+    let (fb, _) = f(b);
+    if fa.abs() <= f_tol {
+        return NewtonResult {
+            x: a,
+            residual: fa,
+            iterations: 0,
+            converged: true,
+        };
+    }
+    if fb.abs() <= f_tol {
+        return NewtonResult {
+            x: b,
+            residual: fb,
+            iterations: 0,
+            converged: true,
+        };
+    }
+    let bracketed = (fa > 0.0) != (fb > 0.0);
+    let sign_a = fa > 0.0;
+    // Without a sign change: fall back to damped Newton from the start
+    // point, reporting the best point seen.
+    let mut x = match x0 {
+        Some(x0) if x0 > a && x0 < b => x0,
+        _ => 0.5 * (a + b),
+    };
+    let mut best = if fa.abs() < fb.abs() { (a, fa) } else { (b, fb) };
+
+    for it in 0..max_iter {
+        let (fx, dfx) = f(x);
+        if fx.abs() < best.1.abs() {
+            best = (x, fx);
+        }
+        if fx.abs() <= f_tol {
+            return NewtonResult {
+                x,
+                residual: fx,
+                iterations: it + 1,
+                converged: true,
+            };
+        }
+        if bracketed {
+            // Maintain the bracket.
+            if (fx > 0.0) == sign_a {
+                a = x;
+            } else {
+                b = x;
+            }
+        }
+        // Newton step, guarded.
+        let mut next = if dfx.abs() > 1e-300 { x - fx / dfx } else { f64::NAN };
+        if !next.is_finite() || next <= a || next >= b {
+            next = 0.5 * (a + b); // bisect
+        }
+        if (next - x).abs() <= x_tol {
+            let (fnext, _) = f(next);
+            let (rx, rres) = if fnext.abs() < fx.abs() { (next, fnext) } else { (x, fx) };
+            return NewtonResult {
+                x: rx,
+                residual: rres,
+                iterations: it + 1,
+                converged: rres.abs() <= f_tol || (next - x).abs() <= x_tol,
+            };
+        }
+        x = next;
+        if bracketed && (b - a) <= x_tol {
+            let (fx, _) = f(x);
+            return NewtonResult {
+                x,
+                residual: fx,
+                iterations: it + 1,
+                converged: true,
+            };
+        }
+    }
+    NewtonResult {
+        x: best.0,
+        residual: best.1,
+        iterations: max_iter,
+        converged: best.1.abs() <= f_tol,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(x: f64) -> (f64, f64) {
+        (x * x - 2.0, 2.0 * x)
+    }
+
+    #[test]
+    fn finds_sqrt2() {
+        let r = solve_bracketed(quadratic, 0.0, 2.0, 1e-12, 1e-12, 100);
+        assert!(r.converged);
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-9, "{}", r.x);
+    }
+
+    #[test]
+    fn converges_fast_on_smooth_functions() {
+        let r = solve_bracketed(quadratic, 1.0, 2.0, 1e-14, 1e-14, 100);
+        assert!(r.converged);
+        assert!(r.iterations <= 8, "took {} iterations", r.iterations);
+    }
+
+    #[test]
+    fn handles_flat_derivative_by_bisection() {
+        // Derivative reported as zero: must still converge via bisection.
+        let f = |x: f64| (x - 0.7, 0.0);
+        let r = solve_bracketed(f, 0.0, 1.0, 1e-10, 1e-12, 200);
+        assert!(r.converged);
+        assert!((r.x - 0.7).abs() < 1e-8, "{}", r.x);
+    }
+
+    #[test]
+    fn handles_kinked_function() {
+        // Piecewise-linear with a kink (like a table model cell boundary).
+        let f = |x: f64| {
+            if x < 0.5 {
+                (x - 0.6, 1.0)
+            } else {
+                (5.0 * (x - 0.52), 5.0)
+            }
+        };
+        let r = solve_bracketed(f, 0.0, 1.0, 1e-12, 1e-12, 200);
+        assert!(r.converged);
+        assert!((r.x - 0.52).abs() < 1e-8, "{}", r.x);
+    }
+
+    #[test]
+    fn endpoint_roots_detected_immediately() {
+        let f = |x: f64| (x, 1.0);
+        let r = solve_bracketed(f, 0.0, 1.0, 1e-12, 1e-12, 100);
+        assert!(r.converged);
+        assert_eq!(r.x, 0.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn unbracketed_all_off_returns_small_residual_point() {
+        // Models an all-off stack: residual tiny everywhere.
+        let f = |_x: f64| (1e-18, 0.0);
+        let r = solve_bracketed(f, 0.0, 1.0, 1e-9, 1e-12, 50);
+        assert!(r.converged, "tiny residual counts as converged");
+        assert!(r.residual.abs() <= 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn rejects_reversed_bracket() {
+        solve_bracketed(quadratic, 2.0, 0.0, 1e-9, 1e-9, 10);
+    }
+
+    #[test]
+    fn steep_exponential() {
+        let f = |x: f64| ((x * 20.0).exp() - 100.0, 20.0 * (x * 20.0).exp());
+        let r = solve_bracketed(f, 0.0, 1.0, 1e-12, 1e-9, 100);
+        assert!(r.converged);
+        assert!((r.x - 100.0f64.ln() / 20.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,448 @@
+//! Monotone piecewise-linear waveforms.
+//!
+//! A [`Waveform`] is the unit of information propagated along the timing
+//! graph: a voltage-vs-time trace that is monotone (purely rising or purely
+//! falling), exactly as the paper's coupling model requires ("It also keeps
+//! all waveforms monotonously rising or falling", §2). Before the first
+//! point the waveform holds its initial value; after the last point its
+//! final value.
+
+use std::fmt;
+
+/// Errors constructing a [`Waveform`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WaveformError {
+    /// Fewer than two points were supplied.
+    TooFewPoints,
+    /// Time stamps are not strictly increasing.
+    NonIncreasingTime {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// Voltages are not monotone.
+    NonMonotone {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A coordinate is NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::TooFewPoints => write!(f, "waveform needs at least two points"),
+            WaveformError::NonIncreasingTime { index } => {
+                write!(f, "time stamps must strictly increase (point {index})")
+            }
+            WaveformError::NonMonotone { index } => {
+                write!(f, "voltages must be monotone (point {index})")
+            }
+            WaveformError::NonFinite => write!(f, "coordinates must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}
+
+/// A monotone piecewise-linear voltage waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    /// `(time, voltage)` breakpoints; time strictly increasing, voltage
+    /// monotone.
+    points: Vec<(f64, f64)>,
+}
+
+impl Waveform {
+    /// Builds a waveform from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// See [`WaveformError`]. A flat waveform (all voltages equal) counts as
+    /// rising for direction queries but is valid.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, WaveformError> {
+        if points.len() < 2 {
+            return Err(WaveformError::TooFewPoints);
+        }
+        if points.iter().any(|(t, v)| !t.is_finite() || !v.is_finite()) {
+            return Err(WaveformError::NonFinite);
+        }
+        let rising = points.last().expect("nonempty").1 >= points[0].1;
+        for i in 1..points.len() {
+            if points[i].0 <= points[i - 1].0 {
+                return Err(WaveformError::NonIncreasingTime { index: i });
+            }
+            let dv = points[i].1 - points[i - 1].1;
+            if (rising && dv < -1e-12) || (!rising && dv > 1e-12) {
+                return Err(WaveformError::NonMonotone { index: i });
+            }
+        }
+        Ok(Waveform { points })
+    }
+
+    /// A linear ramp from `(t0, v_from)` to `(t0 + duration, v_to)`.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError`] when `duration <= 0` or a value is non-finite.
+    pub fn ramp(t0: f64, duration: f64, v_from: f64, v_to: f64) -> Result<Self, WaveformError> {
+        Waveform::new(vec![(t0, v_from), (t0 + duration, v_to)])
+    }
+
+    /// A (numerically) instantaneous transition at `t` — a 1 fs ramp, the
+    /// paper's "instantaneous voltage drop" aggressor (§2).
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::NonFinite`] for non-finite arguments.
+    pub fn step(t: f64, v_from: f64, v_to: f64) -> Result<Self, WaveformError> {
+        Waveform::new(vec![(t, v_from), (t + 1e-15, v_to)])
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// `true` when the waveform rises (flat waveforms count as rising).
+    pub fn is_rising(&self) -> bool {
+        self.points.last().expect("invariant: >= 2 points").1 >= self.points[0].1
+    }
+
+    /// Time of the first breakpoint.
+    pub fn start_time(&self) -> f64 {
+        self.points[0].0
+    }
+
+    /// Time of the last breakpoint.
+    pub fn end_time(&self) -> f64 {
+        self.points.last().expect("invariant: >= 2 points").0
+    }
+
+    /// Voltage before the waveform starts.
+    pub fn initial_value(&self) -> f64 {
+        self.points[0].1
+    }
+
+    /// Voltage after the waveform ends.
+    pub fn final_value(&self) -> f64 {
+        self.points.last().expect("invariant: >= 2 points").1
+    }
+
+    /// Voltage at time `t` (clamped to the initial/final value outside the
+    /// breakpoint range).
+    pub fn value_at(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the segment containing t.
+        let mut lo = 0;
+        let mut hi = pts.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if pts[mid].0 <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (t0, v0) = pts[lo];
+        let (t1, v1) = pts[hi];
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Time at which the waveform crosses voltage `v` (unique thanks to
+    /// monotonicity), or `None` if `v` lies outside the waveform's range.
+    ///
+    /// On a flat segment exactly at `v`, the earliest time is returned.
+    pub fn crossing(&self, v: f64) -> Option<f64> {
+        let (lo_v, hi_v) = if self.is_rising() {
+            (self.initial_value(), self.final_value())
+        } else {
+            (self.final_value(), self.initial_value())
+        };
+        if v < lo_v - 1e-12 || v > hi_v + 1e-12 {
+            return None;
+        }
+        let pts = &self.points;
+        for i in 1..pts.len() {
+            let (t0, v0) = pts[i - 1];
+            let (t1, v1) = pts[i];
+            let (seg_lo, seg_hi) = if v0 <= v1 { (v0, v1) } else { (v1, v0) };
+            if v >= seg_lo - 1e-12 && v <= seg_hi + 1e-12 {
+                if (v1 - v0).abs() < 1e-15 {
+                    return Some(t0);
+                }
+                let t = t0 + (t1 - t0) * (v - v0) / (v1 - v0);
+                return Some(t.clamp(t0, t1));
+            }
+        }
+        // v equals an endpoint within tolerance.
+        if (v - self.initial_value()).abs() <= 1e-12 {
+            Some(self.start_time())
+        } else {
+            Some(self.end_time())
+        }
+    }
+
+    /// The waveform shifted later by `dt` (negative shifts earlier).
+    pub fn shifted(&self, dt: f64) -> Waveform {
+        Waveform {
+            points: self.points.iter().map(|&(t, v)| (t + dt, v)).collect(),
+        }
+    }
+
+    /// Transition time between the two voltage thresholds `(lo, hi)`
+    /// (order-insensitive), or `None` if either is not crossed.
+    pub fn slew(&self, lo: f64, hi: f64) -> Option<f64> {
+        let a = self.crossing(lo)?;
+        let b = self.crossing(hi)?;
+        Some((b - a).abs())
+    }
+
+    /// Removes breakpoints that deviate less than `tol_v` from the straight
+    /// line between their retained neighbours (Douglas-Peucker style sweep),
+    /// bounding the memory of long integrations.
+    pub fn simplify(&self, tol_v: f64) -> Waveform {
+        if self.points.len() <= 2 {
+            return self.clone();
+        }
+        let mut kept: Vec<(f64, f64)> = vec![self.points[0]];
+        let mut anchor = 0;
+        let pts = &self.points;
+        let mut i = 1;
+        while i + 1 < pts.len() {
+            // Check whether all points between anchor and i+1 fit the chord.
+            let (t0, v0) = pts[anchor];
+            let (t1, v1) = pts[i + 1];
+            let mut ok = true;
+            for p in &pts[anchor + 1..=i] {
+                let f = (p.0 - t0) / (t1 - t0);
+                let line = v0 + (v1 - v0) * f;
+                if (p.1 - line).abs() > tol_v {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                kept.push(pts[i]);
+                anchor = i;
+            }
+            i += 1;
+        }
+        kept.push(*pts.last().expect("invariant: >= 2 points"));
+        Waveform { points: kept }
+    }
+
+    /// Stretches the waveform in time around its crossing of `pivot_v` by
+    /// `factor` — used to degrade slew through RC wires (PERI rule).
+    ///
+    /// Returns `self` unchanged when the pivot is not crossed.
+    pub fn stretched_around(&self, pivot_v: f64, factor: f64) -> Waveform {
+        let Some(tp) = self.crossing(pivot_v) else {
+            return self.clone();
+        };
+        let factor = factor.max(1e-6);
+        Waveform {
+            points: self
+                .points
+                .iter()
+                .map(|&(t, v)| (tp + (t - tp) * factor, v))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Waveform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} wave, {} pts, {:.4}ns..{:.4}ns, {:.3}V..{:.3}V",
+            if self.is_rising() { "rising" } else { "falling" },
+            self.points.len(),
+            self.start_time() * 1e9,
+            self.end_time() * 1e9,
+            self.initial_value(),
+            self.final_value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ramp_basic_queries() {
+        let w = Waveform::ramp(1e-9, 2e-9, 0.0, 3.3).expect("ramp");
+        assert!(w.is_rising());
+        assert_eq!(w.start_time(), 1e-9);
+        assert!((w.end_time() - 3e-9).abs() < 1e-18);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(5e-9), 3.3);
+        assert!((w.value_at(2e-9) - 1.65).abs() < 1e-12);
+        let c = w.crossing(1.65).expect("crossing exists");
+        assert!((c - 2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn falling_ramp() {
+        let w = Waveform::ramp(0.0, 1e-9, 3.3, 0.0).expect("ramp");
+        assert!(!w.is_rising());
+        let c = w.crossing(0.33).expect("crossing");
+        assert!((c - 0.9e-9).abs() < 1e-13, "{c}");
+        assert_eq!(w.crossing(4.0), None);
+        assert_eq!(w.crossing(-1.0), None);
+    }
+
+    #[test]
+    fn step_is_nearly_instant() {
+        let w = Waveform::step(1e-9, 3.3, 0.0).expect("step");
+        assert!(w.end_time() - w.start_time() < 1e-14);
+        assert!(!w.is_rising());
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert_eq!(
+            Waveform::new(vec![(0.0, 0.0)]).unwrap_err(),
+            WaveformError::TooFewPoints
+        );
+        assert_eq!(
+            Waveform::new(vec![(0.0, 0.0), (0.0, 1.0)]).unwrap_err(),
+            WaveformError::NonIncreasingTime { index: 1 }
+        );
+        assert_eq!(
+            Waveform::new(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]).unwrap_err(),
+            WaveformError::NonMonotone { index: 2 }
+        );
+        assert_eq!(
+            Waveform::new(vec![(0.0, f64::NAN), (1.0, 1.0)]).unwrap_err(),
+            WaveformError::NonFinite
+        );
+        assert!(Waveform::ramp(0.0, 0.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn shift_moves_times_only() {
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let s = w.shifted(0.5e-9);
+        assert_eq!(s.start_time(), 0.5e-9);
+        assert_eq!(s.initial_value(), 0.0);
+        assert_eq!(s.final_value(), 3.3);
+    }
+
+    #[test]
+    fn slew_measures_threshold_distance() {
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let s = w.slew(0.33, 2.97).expect("slew");
+        assert!((s - 0.8e-9).abs() < 1e-13);
+        // Order-insensitive.
+        assert_eq!(w.slew(2.97, 0.33), w.slew(0.33, 2.97));
+    }
+
+    #[test]
+    fn simplify_drops_collinear_points() {
+        let pts: Vec<(f64, f64)> = (0..=100)
+            .map(|i| (i as f64 * 1e-11, i as f64 * 0.033))
+            .collect();
+        let w = Waveform::new(pts).expect("valid");
+        let s = w.simplify(1e-4);
+        assert!(s.points().len() <= 3, "got {}", s.points().len());
+        for i in 0..=100 {
+            let t = i as f64 * 1e-11;
+            assert!((s.value_at(t) - w.value_at(t)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn simplify_keeps_curvature() {
+        let pts: Vec<(f64, f64)> = (0..=100)
+            .map(|i| {
+                let t = i as f64 / 100.0;
+                (t * 1e-9, 3.3 * t * t)
+            })
+            .collect();
+        let w = Waveform::new(pts).expect("valid");
+        let s = w.simplify(0.01);
+        assert!(s.points().len() > 3);
+        for i in 0..=100 {
+            let t = i as f64 / 100.0 * 1e-9;
+            assert!((s.value_at(t) - w.value_at(t)).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn stretch_preserves_pivot_crossing() {
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let s = w.stretched_around(1.65, 2.0);
+        let before = w.crossing(1.65).expect("pivot");
+        let after = s.crossing(1.65).expect("pivot");
+        assert!((before - after).abs() < 1e-14);
+        let slew_w = w.slew(0.33, 2.97).expect("slew");
+        let slew_s = s.slew(0.33, 2.97).expect("slew");
+        assert!((slew_s / slew_w - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_direction() {
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        assert!(w.to_string().contains("rising"));
+    }
+
+    proptest! {
+        #[test]
+        fn crossing_value_roundtrip(
+            t0 in -5.0f64..5.0,
+            dur in 1e-3f64..10.0,
+            v in 0.01f64..0.99,
+        ) {
+            let w = Waveform::ramp(t0 * 1e-9, dur * 1e-9, 0.0, 3.3).expect("ramp");
+            let target = v * 3.3;
+            let t = w.crossing(target).expect("in range");
+            prop_assert!((w.value_at(t) - target).abs() < 1e-9);
+        }
+
+        #[test]
+        fn value_at_monotone(
+            dur in 1e-3f64..10.0,
+            a in 0.0f64..1.0,
+            b in 0.0f64..1.0,
+        ) {
+            let w = Waveform::ramp(0.0, dur * 1e-9, 0.0, 3.3).expect("ramp");
+            let (a, b) = (a.min(b), a.max(b));
+            prop_assert!(w.value_at(a * dur * 1e-9) <= w.value_at(b * dur * 1e-9) + 1e-12);
+        }
+
+        #[test]
+        fn simplify_never_exceeds_tolerance(
+            n in 3usize..40,
+            seed in 0u64..1000,
+        ) {
+            // Build a random monotone waveform.
+            let mut t = 0.0;
+            let mut v = 0.0;
+            let mut pts = vec![(t, v)];
+            let mut s = seed;
+            for _ in 0..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t += 1e-12 + (s >> 33) as f64 * 1e-22;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v += (s >> 33) as f64 * 1e-11;
+                pts.push((t, v));
+            }
+            let w = Waveform::new(pts).expect("monotone by construction");
+            let tol = 0.01;
+            let simp = w.simplify(tol);
+            for &(t, v) in w.points() {
+                prop_assert!((simp.value_at(t) - v).abs() <= tol + 1e-9);
+            }
+        }
+    }
+}

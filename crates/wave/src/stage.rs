@@ -1,0 +1,721 @@
+//! Transistor-level solution of one complementary-CMOS stage under
+//! capacitive coupling — the paper's §2 + §3 in executable form.
+//!
+//! [`StageSolver::solve`] integrates the output node of a [`Stage`] with
+//! backward Euler, solving the nonlinear device equations at every timestep
+//! with Newton iteration against the table models. The output load is a
+//! lumped ground capacitance plus any number of coupling capacitances, each
+//! in one of three modes:
+//!
+//! - [`CouplingMode::Grounded`]: the aggressor is provably quiet; the cap is
+//!   an ordinary grounded load at face value (paper's "best case").
+//! - [`CouplingMode::Doubled`]: grounded at twice its value — the classical
+//!   static crosstalk margin the paper argues against ("static doubled").
+//! - [`CouplingMode::Active`]: the paper's three-phase worst-case model.
+//!   The cap loads the net as a grounded cap until the victim waveform
+//!   reaches the trigger voltage `Vth + dV` (with `dV = Vdd*Cc/Ctot` the
+//!   capacitive-divider step of an instantaneous opposite transition on the
+//!   aggressor); at that instant the victim snaps back to `Vth`, the cap
+//!   becomes passive again, and the *propagated* waveform is restarted at
+//!   `Vth` — so crosstalk appears purely as extra delay and waveforms stay
+//!   monotone.
+
+use std::fmt;
+
+use xtalk_tech::cell::Stage;
+use xtalk_tech::mosfet::DeviceType;
+use xtalk_tech::Process;
+
+use crate::network::{NetworkEval, WarmStart};
+use crate::pwl::{Waveform, WaveformError};
+
+/// How a coupling capacitance participates in a stage solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CouplingMode {
+    /// Aggressor quiet: grounded cap at face value.
+    Grounded,
+    /// Classical pessimism: grounded cap at twice its value.
+    Doubled,
+    /// Worst-case active coupling per the three-phase model.
+    Active,
+    /// Aggressor switching in the *same* direction simultaneously: the
+    /// charge across the cap barely changes, so it loads the victim with
+    /// (at most) nothing — the fastest case. Used by min-delay (hold)
+    /// analysis, the extension the paper leaves out of scope ("switching in
+    /// the same direction may occur, but this is not within the scope of
+    /// this discussion", §5.1).
+    Assisting,
+}
+
+/// One coupling capacitance on the victim net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coupling {
+    /// Capacitance to the aggressor wire, farads.
+    pub c: f64,
+    /// Treatment during this solve.
+    pub mode: CouplingMode,
+}
+
+impl Coupling {
+    /// Creates a coupling capacitance.
+    pub fn new(c: f64, mode: CouplingMode) -> Self {
+        Coupling { c, mode }
+    }
+}
+
+/// The lumped load a stage drives.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Load {
+    /// Grounded capacitance: diffusion + wire-to-ground + fan-in pin caps.
+    pub cground: f64,
+    /// Coupling capacitances with their modes.
+    pub couplings: Vec<Coupling>,
+}
+
+impl Load {
+    /// A purely grounded load.
+    pub fn grounded(cground: f64) -> Self {
+        Load {
+            cground,
+            couplings: Vec::new(),
+        }
+    }
+
+    /// Total capacitance seen by the integrator (Active and Grounded caps
+    /// load at face value, Doubled at twice).
+    pub fn total_cap(&self) -> f64 {
+        self.cground
+            + self
+                .couplings
+                .iter()
+                .map(|c| match c.mode {
+                    CouplingMode::Grounded | CouplingMode::Active => c.c,
+                    CouplingMode::Doubled => 2.0 * c.c,
+                    CouplingMode::Assisting => 0.0,
+                })
+                .sum::<f64>()
+    }
+}
+
+/// A coupling event fired during integration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snap {
+    /// Time of the aggressor transition.
+    pub time: f64,
+    /// Magnitude of the capacitive-divider step, volts.
+    pub delta_v: f64,
+}
+
+/// Result of a stage solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageResult {
+    /// The propagated output waveform (restarted at `Vth` after the last
+    /// snap, per the paper's model).
+    pub wave: Waveform,
+    /// Coupling events that fired, in time order.
+    pub snaps: Vec<Snap>,
+    /// Raw integration trace including the snap dips (for plotting and for
+    /// the Fig. 1 reproduction); not monotone when snaps fired.
+    pub raw: Vec<(f64, f64)>,
+    /// Timesteps taken.
+    pub steps: usize,
+}
+
+impl StageResult {
+    /// Stage delay: output crossing of `threshold` minus input crossing.
+    pub fn delay_from(&self, input: &Waveform, threshold: f64) -> Option<f64> {
+        Some(self.wave.crossing(threshold)? - input.crossing(threshold)?)
+    }
+}
+
+/// Errors from [`StageSolver::solve`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StageError {
+    /// A non-switching input slot has no side value.
+    MissingSideValue {
+        /// The slot lacking a value.
+        slot: usize,
+    },
+    /// The switching slot index is out of range.
+    BadSlot {
+        /// The offending slot.
+        slot: usize,
+    },
+    /// The integrator exceeded its step budget.
+    DidNotConverge,
+    /// The integration produced an invalid waveform (should not happen).
+    Waveform(WaveformError),
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageError::MissingSideValue { slot } => {
+                write!(f, "no side value for input slot {slot}")
+            }
+            StageError::BadSlot { slot } => write!(f, "switching slot {slot} out of range"),
+            StageError::DidNotConverge => write!(f, "stage integration exceeded step budget"),
+            StageError::Waveform(e) => write!(f, "invalid output waveform: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
+impl From<WaveformError> for StageError {
+    fn from(e: WaveformError) -> Self {
+        StageError::Waveform(e)
+    }
+}
+
+/// Transistor-level solver for single stages.
+#[derive(Debug, Clone, Copy)]
+pub struct StageSolver<'a> {
+    process: &'a Process,
+}
+
+impl<'a> StageSolver<'a> {
+    /// Creates a solver bound to a process (device tables, Vdd, thresholds).
+    pub fn new(process: &'a Process) -> Self {
+        StageSolver { process }
+    }
+
+    /// The process this solver evaluates against.
+    pub fn process(&self) -> &Process {
+        self.process
+    }
+
+    /// Solves the stage's output transition for a transition of `input` on
+    /// input slot `switching`, with the remaining inputs held at
+    /// `side[slot]` volts (`side` may be empty for single-input stages).
+    ///
+    /// The output direction is the complement of the input direction (all
+    /// stages are inverting complementary CMOS).
+    ///
+    /// # Errors
+    ///
+    /// See [`StageError`].
+    pub fn solve(
+        &self,
+        stage: &Stage,
+        switching: usize,
+        input: &Waveform,
+        side: &[f64],
+        load: Load,
+    ) -> Result<StageResult, StageError> {
+        let n_slots = stage.inputs.len();
+        if switching >= n_slots {
+            return Err(StageError::BadSlot { slot: switching });
+        }
+        let mut gates = vec![0.0f64; n_slots];
+        for (slot, gate) in gates.iter_mut().enumerate() {
+            if slot == switching {
+                continue;
+            }
+            *gate = *side
+                .get(slot)
+                .ok_or(StageError::MissingSideValue { slot })?;
+        }
+
+        let vdd = self.process.vdd;
+        let vth = self.process.coupling_vth;
+        let rising = !input.is_rising();
+        let ctot = load.total_cap().max(1e-18);
+
+        // Active couplings: trigger voltages and divider steps (§2).
+        let mut pending: Vec<(f64, f64)> = load
+            .couplings
+            .iter()
+            .filter(|c| c.mode == CouplingMode::Active)
+            .map(|c| {
+                let dv = vdd * c.c / ctot;
+                let trig = if rising {
+                    (vth + dv).min(0.98 * vdd)
+                } else {
+                    (vdd - vth - dv).max(0.02 * vdd)
+                };
+                (trig, dv)
+            })
+            .collect();
+        if rising {
+            pending.sort_by(|a, b| a.0.total_cmp(&b.0));
+        } else {
+            pending.sort_by(|a, b| b.0.total_cmp(&a.0));
+        }
+        let reset_v = if rising { vth } else { vdd - vth };
+
+        let ev_p = NetworkEval::new(self.process, DeviceType::Pmos);
+        let ev_n = NetworkEval::new(self.process, DeviceType::Nmos);
+        let mut warm_p = WarmStart::new();
+        let mut warm_n = WarmStart::new();
+
+        let t0 = input.start_time();
+        let input_end = input.end_time();
+        let input_dur = (input_end - t0).max(1e-14);
+        let mut t = t0;
+        let mut v = if rising { 0.0 } else { vdd };
+        let mut points: Vec<(f64, f64)> = vec![(t, v)];
+        let mut snaps: Vec<Snap> = Vec::new();
+
+        let h_min = 1e-15;
+        let h_max = 2e-10;
+        let mut h = (input_dur / 24.0).clamp(1e-13, h_max);
+        let end_hi = 0.995 * vdd;
+        let end_lo = 0.005 * vdd;
+
+        let max_steps = 200_000usize;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > max_steps {
+                return Err(StageError::DidNotConverge);
+            }
+            // Keep resolution while the input is still moving.
+            let h_eff = if t < input_end {
+                h.min(input_dur / 10.0)
+            } else {
+                h
+            };
+            let t1 = t + h_eff;
+            let vin = input.value_at(t1).clamp(0.0, vdd);
+            gates[switching] = vin;
+
+            // Backward Euler: ctot*(v1 - v)/h = i_net(t1, v1), Newton on v1.
+            let mut v1 = v;
+            for _ in 0..14 {
+                let pu = ev_p.current(&stage.pullup, v1, vdd, &gates, &mut warm_p);
+                let pd = ev_n.current(&stage.pulldown, v1, 0.0, &gates, &mut warm_n);
+                let i_net = -(pu.i + pd.i); // current *into* the output node
+                let di_dv = -(pu.di_da + pd.di_da);
+                let g = ctot * (v1 - v) / h_eff - i_net;
+                let dg = ctot / h_eff - di_dv;
+                if dg.abs() < 1e-30 {
+                    break;
+                }
+                let step = g / dg;
+                v1 = (v1 - step).clamp(-0.5, vdd + 0.5);
+                if step.abs() < 1e-6 {
+                    break;
+                }
+            }
+
+            // Step-size control: redo overly large steps.
+            let dv_step = (v1 - v).abs();
+            if dv_step > vdd / 12.0 && h_eff > 2.0 * h_min {
+                h = (h_eff * 0.5).max(h_min);
+                continue;
+            }
+            t = t1;
+            v = v1;
+            points.push((t, v));
+
+            // Coupling events (§2): snap back to Vth when the trigger is hit.
+            while let Some(&(trig, dv)) = pending.first() {
+                let hit = if rising { v >= trig } else { v <= trig };
+                if !hit {
+                    break;
+                }
+                // Interpolate the exact crossing inside the last segment.
+                let (tp, vp) = points[points.len() - 2];
+                let frac = if (v - vp).abs() > 1e-15 {
+                    ((trig - vp) / (v - vp)).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                let t_cross = tp + (t - tp) * frac;
+                points.pop();
+                // Guard against zero-width segments.
+                let t_cross = t_cross.max(tp + 1e-16);
+                points.push((t_cross, trig));
+                let t_after = t_cross + 1e-15;
+                points.push((t_after, reset_v));
+                snaps.push(Snap {
+                    time: t_cross,
+                    delta_v: dv,
+                });
+                pending.remove(0);
+                t = t_after;
+                v = reset_v;
+            }
+
+            // Grow the step when the node barely moves.
+            if dv_step < vdd / 150.0 {
+                h = (h * 1.6).min(h_max);
+            }
+
+            let done = pending.is_empty()
+                && if rising { v >= end_hi } else { v <= end_lo }
+                && t >= input_end;
+            if done {
+                break;
+            }
+        }
+
+        // Propagated waveform: everything before the last snap is discarded
+        // and the waveform restarts at Vth (paper §2).
+        let start_idx = if let Some(last) = snaps.last() {
+            points
+                .iter()
+                .position(|&(t, _)| t >= last.time + 0.5e-15)
+                .unwrap_or(points.len() - 2)
+        } else {
+            0
+        };
+        let mut final_pts: Vec<(f64, f64)> = points[start_idx..].to_vec();
+        // Monotone clamp against sub-microvolt Newton noise near the rails.
+        if rising {
+            let mut run = f64::NEG_INFINITY;
+            for p in &mut final_pts {
+                run = run.max(p.1);
+                p.1 = run;
+            }
+        } else {
+            let mut run = f64::INFINITY;
+            for p in &mut final_pts {
+                run = run.min(p.1);
+                p.1 = run;
+            }
+        }
+        if final_pts.len() < 2 {
+            let last = *points.last().expect("at least one point");
+            final_pts = vec![(last.0 - 1e-15, reset_v), last];
+        }
+        let wave = Waveform::new(final_pts)?.simplify(2e-3);
+        Ok(StageResult {
+            wave,
+            snaps,
+            raw: points,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_tech::{Library, Process};
+
+    fn setup() -> (Process, Library) {
+        let p = Process::c05um();
+        let l = Library::c05um(&p);
+        (p, l)
+    }
+
+    fn falling_input(p: &Process) -> Waveform {
+        Waveform::ramp(0.0, 0.2e-9, p.vdd, 0.0).expect("ramp")
+    }
+
+    fn rising_input(p: &Process) -> Waveform {
+        Waveform::ramp(0.0, 0.2e-9, 0.0, p.vdd).expect("ramp")
+    }
+
+    #[test]
+    fn inverter_rise_delay_plausible() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = falling_input(&p);
+        // FO4-ish load.
+        let load = Load::grounded(4.0 * inv.input_cap[0] + 6e-15);
+        let r = solver
+            .solve(&inv.stages[0], 0, &input, &[], load)
+            .expect("solve");
+        assert!(r.wave.is_rising());
+        let d = r.delay_from(&input, p.delay_threshold()).expect("delay");
+        // 0.5um FO4: tens to a few hundred ps.
+        assert!(d > 20e-12 && d < 500e-12, "FO4 rise delay {d}");
+    }
+
+    #[test]
+    fn inverter_fall_delay_plausible() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = rising_input(&p);
+        let load = Load::grounded(4.0 * inv.input_cap[0] + 6e-15);
+        let r = solver
+            .solve(&inv.stages[0], 0, &input, &[], load)
+            .expect("solve");
+        assert!(!r.wave.is_rising());
+        let d = r.delay_from(&input, p.delay_threshold()).expect("delay");
+        assert!(d > 10e-12 && d < 500e-12, "FO4 fall delay {d}");
+    }
+
+    #[test]
+    fn heavier_load_is_slower() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = falling_input(&p);
+        let d1 = solver
+            .solve(&inv.stages[0], 0, &input, &[], Load::grounded(20e-15))
+            .expect("light")
+            .delay_from(&input, p.delay_threshold())
+            .expect("delay");
+        let d2 = solver
+            .solve(&inv.stages[0], 0, &input, &[], Load::grounded(80e-15))
+            .expect("heavy")
+            .delay_from(&input, p.delay_threshold())
+            .expect("delay");
+        assert!(d2 > 2.0 * d1, "4x load must be much slower: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn nand_slower_than_inverter_for_same_load() {
+        let (p, l) = setup();
+        let solver = StageSolver::new(&p);
+        let input = rising_input(&p); // output falls through the NMOS stack
+        let load = Load::grounded(40e-15);
+        let inv = l.cell("INVX1").expect("inv");
+        let nand = l.cell("NAND2X1").expect("nand");
+        let d_inv = solver
+            .solve(&inv.stages[0], 0, &input, &[], load.clone())
+            .expect("inv")
+            .delay_from(&input, p.delay_threshold())
+            .expect("delay");
+        let d_nand = solver
+            .solve(&nand.stages[0], 0, &input, &[0.0, p.vdd], load)
+            .expect("nand")
+            .delay_from(&input, p.delay_threshold())
+            .expect("delay");
+        // NAND2 NMOS is upsized 2x to compensate the stack, so the fall
+        // delays are close; the stack plus higher diffusion still makes it
+        // no faster than the inverter.
+        assert!(
+            d_nand > 0.6 * d_inv && d_nand < 1.6 * d_inv,
+            "NAND2 fall {d_nand} vs INV fall {d_inv}"
+        );
+        // The rise arc uses a single PMOS of the same size as the inverter's
+        // but carries more diffusion, so it must not be faster.
+        let input_f = falling_input(&p);
+        let r_inv = solver
+            .solve(&inv.stages[0], 0, &input_f, &[], Load::grounded(40e-15))
+            .expect("inv rise")
+            .delay_from(&input_f, p.delay_threshold())
+            .expect("delay");
+        let r_nand = solver
+            .solve(&nand.stages[0], 0, &input_f, &[p.vdd, p.vdd], Load::grounded(40e-15))
+            .expect("nand rise")
+            .delay_from(&input_f, p.delay_threshold())
+            .expect("delay");
+        assert!(r_nand > 0.95 * r_inv, "NAND2 rise {r_nand} vs INV rise {r_inv}");
+    }
+
+    #[test]
+    fn coupling_mode_ordering_matches_paper() {
+        // best (grounded) < doubled < active, for the same coupling cap.
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = falling_input(&p);
+        let cc = 15e-15;
+        let mk = |mode| Load {
+            cground: 25e-15,
+            couplings: vec![Coupling::new(cc, mode)],
+        };
+        let th = p.delay_threshold();
+        let d = |mode| {
+            solver
+                .solve(&inv.stages[0], 0, &input, &[], mk(mode))
+                .expect("solve")
+                .delay_from(&input, th)
+                .expect("delay")
+        };
+        let best = d(CouplingMode::Grounded);
+        let doubled = d(CouplingMode::Doubled);
+        let active = d(CouplingMode::Active);
+        assert!(best < doubled, "grounded {best} < doubled {doubled}");
+        assert!(
+            doubled < active,
+            "the active model exceeds the passive doubled-cap model: {doubled} vs {active}"
+        );
+    }
+
+    #[test]
+    fn assisting_coupling_is_fastest() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = falling_input(&p);
+        let th = p.delay_threshold();
+        let d = |mode| {
+            solver
+                .solve(
+                    &inv.stages[0],
+                    0,
+                    &input,
+                    &[],
+                    Load {
+                        cground: 25e-15,
+                        couplings: vec![Coupling::new(15e-15, mode)],
+                    },
+                )
+                .expect("solve")
+                .delay_from(&input, th)
+                .expect("delay")
+        };
+        let assisting = d(CouplingMode::Assisting);
+        let grounded = d(CouplingMode::Grounded);
+        let active = d(CouplingMode::Active);
+        assert!(assisting < grounded, "{assisting} < {grounded}");
+        assert!(grounded < active);
+    }
+
+    #[test]
+    fn active_coupling_fires_one_snap_per_cap() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = falling_input(&p);
+        let load = Load {
+            cground: 25e-15,
+            couplings: vec![
+                Coupling::new(8e-15, CouplingMode::Active),
+                Coupling::new(5e-15, CouplingMode::Active),
+                Coupling::new(3e-15, CouplingMode::Grounded),
+            ],
+        };
+        let r = solver
+            .solve(&inv.stages[0], 0, &input, &[], load)
+            .expect("solve");
+        assert_eq!(r.snaps.len(), 2);
+        assert!(r.snaps[0].time <= r.snaps[1].time);
+        // The propagated waveform restarts at Vth.
+        assert!((r.wave.initial_value() - p.coupling_vth).abs() < 1.5e-2);
+        assert!(r.wave.is_rising());
+    }
+
+    #[test]
+    fn falling_victim_snaps_toward_vdd() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = rising_input(&p); // output falls
+        let load = Load {
+            cground: 25e-15,
+            couplings: vec![Coupling::new(10e-15, CouplingMode::Active)],
+        };
+        let r = solver
+            .solve(&inv.stages[0], 0, &input, &[], load)
+            .expect("solve");
+        assert_eq!(r.snaps.len(), 1);
+        assert!(!r.wave.is_rising());
+        assert!((r.wave.initial_value() - (p.vdd - p.coupling_vth)).abs() < 1.5e-2);
+    }
+
+    #[test]
+    fn side_value_required_for_multi_input() {
+        let (p, l) = setup();
+        let nand = l.cell("NAND2X1").expect("nand");
+        let solver = StageSolver::new(&p);
+        let input = rising_input(&p);
+        let err = solver
+            .solve(&nand.stages[0], 0, &input, &[], Load::grounded(10e-15))
+            .unwrap_err();
+        assert_eq!(err, StageError::MissingSideValue { slot: 1 });
+    }
+
+    #[test]
+    fn bad_slot_rejected() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = rising_input(&p);
+        let err = solver
+            .solve(&inv.stages[0], 3, &input, &[], Load::grounded(10e-15))
+            .unwrap_err();
+        assert_eq!(err, StageError::BadSlot { slot: 3 });
+    }
+
+    #[test]
+    fn output_wave_is_full_swing_without_coupling() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = falling_input(&p);
+        let r = solver
+            .solve(&inv.stages[0], 0, &input, &[], Load::grounded(30e-15))
+            .expect("solve");
+        assert!(r.wave.initial_value() < 0.02 * p.vdd);
+        assert!(r.wave.final_value() > 0.97 * p.vdd);
+        assert!(r.snaps.is_empty());
+        assert!(r.wave.points().len() <= 64, "simplified representation");
+    }
+
+    #[test]
+    fn faster_input_gives_faster_output() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let th = p.delay_threshold();
+        let fast = Waveform::ramp(0.0, 0.05e-9, p.vdd, 0.0).expect("ramp");
+        let slow = Waveform::ramp(0.0, 0.8e-9, p.vdd, 0.0).expect("ramp");
+        let d_fast = solver
+            .solve(&inv.stages[0], 0, &fast, &[], Load::grounded(40e-15))
+            .expect("fast")
+            .delay_from(&fast, th)
+            .expect("delay");
+        let d_slow = solver
+            .solve(&inv.stages[0], 0, &slow, &[], Load::grounded(40e-15))
+            .expect("slow")
+            .delay_from(&slow, th)
+            .expect("delay");
+        assert!(d_fast < d_slow, "{d_fast} vs {d_slow}");
+    }
+
+    #[test]
+    fn snap_extra_delay_roughly_matches_recharge_time() {
+        // The worst-case extra delay of one snap is the time to recharge
+        // from Vth to Vth + dV. Check it is within a factor-2 band of the
+        // simple estimate dV * C / I(mid).
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = falling_input(&p);
+        let cc = 12e-15;
+        let cg = 30e-15;
+        let th = p.delay_threshold();
+        let quiet = solver
+            .solve(
+                &inv.stages[0],
+                0,
+                &input,
+                &[],
+                Load {
+                    cground: cg,
+                    couplings: vec![Coupling::new(cc, CouplingMode::Grounded)],
+                },
+            )
+            .expect("quiet")
+            .delay_from(&input, th)
+            .expect("delay");
+        let noisy = solver
+            .solve(
+                &inv.stages[0],
+                0,
+                &input,
+                &[],
+                Load {
+                    cground: cg,
+                    couplings: vec![Coupling::new(cc, CouplingMode::Active)],
+                },
+            )
+            .expect("noisy")
+            .delay_from(&input, th)
+            .expect("delay");
+        let extra = noisy - quiet;
+        assert!(extra > 0.0);
+        let ctot = cg + cc;
+        let dv = p.vdd * cc / ctot;
+        // Mid-rise PMOS current of INVX1 at vgs = vdd.
+        let i = p
+            .table(DeviceType::Pmos)
+            .ids(p.vdd, p.vdd - p.coupling_vth, 4.0e-6);
+        let est = dv * ctot / i;
+        assert!(
+            extra > 0.3 * est && extra < 3.0 * est,
+            "extra {extra} vs estimate {est}"
+        );
+    }
+}

@@ -1,0 +1,497 @@
+//! Command-line driver logic.
+//!
+//! The `xtalk` binary is a thin wrapper around [`run`]; keeping the logic
+//! here makes it unit-testable. Supported commands:
+//!
+//! ```text
+//! xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch]
+//! xtalk flow <netlist.(bench|v)> --out DIR
+//! xtalk convert <input.(bench|v)> <output.(bench|v)>
+//! xtalk generate --preset NAME [--seed N] <output.(bench|v)>
+//! xtalk liberty <output.lib> [--cells A,B,...]
+//! xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE]
+//! ```
+//!
+//! Modes: `best`, `doubled`, `worst`, `onestep`, `iterative` (default),
+//! `esperance`, `min`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use xtalk_netlist::{GeneratorConfig, Netlist};
+use xtalk_sta::{AnalysisMode, Sta};
+use xtalk_tech::{Library, Process};
+
+/// A CLI failure, printed to stderr by the binary.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        err(format!("i/o error: {e}"))
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+xtalk — crosstalk-aware static timing analysis (DATE 2000 reproduction)
+
+USAGE:
+  xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch]
+  xtalk flow <netlist.(bench|v)> --out DIR
+  xtalk convert <input.(bench|v)> <output.(bench|v)>
+  xtalk generate --preset small|medium|s35932|s38417|s38584 [--seed N] <output.(bench|v)>
+  xtalk liberty <output.lib> [--cells A,B,...]
+  xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE]
+
+MODES: best | doubled | worst | onestep | iterative (default) | esperance | min
+";
+
+/// Runs the CLI on `args` (without the program name); returns the text to
+/// print on stdout.
+///
+/// # Errors
+///
+/// [`CliError`] with a user-facing message.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("report") => cmd_report(&args[1..]),
+        Some("flow") => cmd_flow(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("liberty") => cmd_liberty(&args[1..]),
+        Some("sdf") => cmd_sdf(&args[1..]),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn parse_mode(name: &str) -> Result<AnalysisMode, CliError> {
+    Ok(match name {
+        "best" => AnalysisMode::BestCase,
+        "doubled" => AnalysisMode::StaticDoubled,
+        "worst" => AnalysisMode::WorstCase,
+        "onestep" => AnalysisMode::OneStep,
+        "iterative" => AnalysisMode::Iterative { esperance: false },
+        "esperance" => AnalysisMode::Iterative { esperance: true },
+        "min" => AnalysisMode::MinDelay,
+        other => return Err(err(format!("unknown mode `{other}`"))),
+    })
+}
+
+fn load_netlist(path: &str, library: &Library) -> Result<Netlist, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    match ext {
+        "bench" => xtalk_netlist::bench::parse(&text, library)
+            .map_err(|e| err(format!("{path}: {e}"))),
+        "v" => xtalk_netlist::verilog::parse(&text, library)
+            .map_err(|e| err(format!("{path}: {e}"))),
+        other => Err(err(format!(
+            "unsupported netlist extension `.{other}` (use .bench or .v)"
+        ))),
+    }
+}
+
+fn save_netlist(path: &str, netlist: &Netlist, library: &Library) -> Result<(), CliError> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let text = match ext {
+        "bench" => xtalk_netlist::bench::write(netlist, library)
+            .map_err(|e| err(format!("{path}: {e}")))?,
+        "v" => xtalk_netlist::verilog::write(netlist, library)
+            .map_err(|e| err(format!("{path}: {e}")))?,
+        other => {
+            return Err(err(format!(
+                "unsupported output extension `.{other}` (use .bench or .v)"
+            )))
+        }
+    };
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+/// Simple flag scanner: returns (positional args, flag lookup).
+fn split_flags(args: &[String]) -> (Vec<&str>, Vec<(&str, Option<&str>)>) {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            let value = args.get(i + 1).map(String::as_str).filter(|v| !v.starts_with("--"));
+            if value.is_some() {
+                i += 1;
+            }
+            flags.push((name, value));
+        } else {
+            pos.push(a);
+        }
+        i += 1;
+    }
+    (pos, flags)
+}
+
+fn flag<'a>(flags: &[(&'a str, Option<&'a str>)], name: &str) -> Option<Option<&'a str>> {
+    flags.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
+
+struct LoadedDesign {
+    process: Process,
+    library: Library,
+    netlist: Netlist,
+    parasitics: xtalk_layout::Parasitics,
+}
+
+fn load_design(netlist_path: &str, spef: Option<&str>) -> Result<LoadedDesign, CliError> {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let netlist = load_netlist(netlist_path, &library)?;
+    netlist
+        .validate(&library)
+        .map_err(|e| err(format!("{netlist_path}: {e}")))?;
+    let parasitics = match spef {
+        Some(spef_path) => {
+            let text = std::fs::read_to_string(spef_path)?;
+            // SPEF carries no per-sink resistances; recover them from a
+            // fresh routing of the same netlist.
+            let mut para = xtalk_layout::spef::parse(&text, &netlist)
+                .map_err(|e| err(format!("{spef_path}: {e}")))?;
+            let placement = xtalk_layout::place::place(&netlist, &library, &process);
+            let routes = xtalk_layout::route::route(&netlist, &placement, &process);
+            let routed = xtalk_layout::extract::extract(&netlist, &routes, &process);
+            for (a, b) in para.nets.iter_mut().zip(&routed.nets) {
+                a.sinks = b.sinks.clone();
+            }
+            para
+        }
+        None => {
+            let placement = xtalk_layout::place::place(&netlist, &library, &process);
+            let routes = xtalk_layout::route::route(&netlist, &placement, &process);
+            xtalk_layout::extract::extract(&netlist, &routes, &process)
+        }
+    };
+    Ok(LoadedDesign {
+        process,
+        library,
+        netlist,
+        parasitics,
+    })
+}
+
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = split_flags(args);
+    let [netlist_path] = pos.as_slice() else {
+        return Err(err(format!("report needs one netlist file\n\n{USAGE}")));
+    };
+    let mode = parse_mode(flag(&flags, "mode").flatten().unwrap_or("iterative"))?;
+    let d = load_design(netlist_path, flag(&flags, "spef").flatten())?;
+    let sta = Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics)
+        .map_err(|e| err(e.to_string()))?;
+    let report = sta.analyze(mode).map_err(|e| err(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} gates, {} nets, {} coupling caps",
+        d.netlist.name,
+        d.netlist.gate_count(),
+        d.netlist.net_count(),
+        d.parasitics.coupling_count() / 2
+    );
+    let _ = writeln!(
+        out,
+        "{mode}: {} path delay {:.3} ns ({} passes, {:.2} s)",
+        if mode == AnalysisMode::MinDelay { "shortest" } else { "longest" },
+        report.longest_delay * 1e9,
+        report.passes,
+        report.runtime.as_secs_f64()
+    );
+    let _ = writeln!(out, "critical path:");
+    for step in &report.critical_path {
+        let _ = writeln!(
+            out,
+            "  {:>9.3} ns  {:<10} {:<12} -> {} ({})",
+            step.arrival * 1e9,
+            step.cell,
+            d.netlist.gate(step.gate).name,
+            d.netlist.net(step.net).name,
+            if step.rising { "rise" } else { "fall" }
+        );
+    }
+    if let Some(period) = flag(&flags, "period").flatten() {
+        let period: f64 = period
+            .parse::<f64>()
+            .map_err(|_| err("--period expects a number (ns)"))?
+            * 1e-9;
+        let _ = writeln!(out);
+        let _ = write!(
+            out,
+            "{}",
+            xtalk_sta::report::slack_table(&d.netlist, &report, period, 10)
+        );
+    }
+    if flag(&flags, "glitch").is_some() {
+        let g = xtalk_sta::glitch_report(
+            &d.netlist,
+            &d.library,
+            &d.process,
+            &d.parasitics,
+            Some(&report),
+            0.3 * d.process.vdd,
+        );
+        let _ = writeln!(out);
+        let _ = write!(out, "{}", g.to_table(&d.netlist, 10));
+    }
+    Ok(out)
+}
+
+fn cmd_flow(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = split_flags(args);
+    let [netlist_path] = pos.as_slice() else {
+        return Err(err(format!("flow needs one netlist file\n\n{USAGE}")));
+    };
+    let out_dir = flag(&flags, "out")
+        .flatten()
+        .ok_or_else(|| err("flow requires --out DIR"))?;
+    std::fs::create_dir_all(out_dir)?;
+    let d = load_design(netlist_path, None)?;
+    let base = Path::new(out_dir).join(&d.netlist.name);
+    let verilog = xtalk_netlist::verilog::write(&d.netlist, &d.library)
+        .map_err(|e| err(e.to_string()))?;
+    let spef = xtalk_layout::spef::write(&d.netlist, &d.parasitics);
+    let v_path = base.with_extension("v");
+    let spef_path = base.with_extension("spef");
+    std::fs::write(&v_path, verilog)?;
+    std::fs::write(&spef_path, spef)?;
+    Ok(format!(
+        "wrote {} and {} ({} coupling caps)\n",
+        v_path.display(),
+        spef_path.display(),
+        d.parasitics.coupling_count() / 2
+    ))
+}
+
+fn cmd_convert(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = split_flags(args);
+    let [input, output] = pos.as_slice() else {
+        return Err(err(format!("convert needs input and output files\n\n{USAGE}")));
+    };
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let netlist = load_netlist(input, &library)?;
+    save_netlist(output, &netlist, &library)?;
+    Ok(format!(
+        "converted {input} -> {output} ({} gates)\n",
+        netlist.gate_count()
+    ))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = split_flags(args);
+    let [output] = pos.as_slice() else {
+        return Err(err(format!("generate needs one output file\n\n{USAGE}")));
+    };
+    let seed: u64 = flag(&flags, "seed")
+        .flatten()
+        .map(|s| s.parse().map_err(|_| err("--seed expects an integer")))
+        .transpose()?
+        .unwrap_or(1);
+    let preset = flag(&flags, "preset").flatten().unwrap_or("small");
+    let config = match preset {
+        "small" => GeneratorConfig::small(seed),
+        "medium" => GeneratorConfig::medium(seed),
+        "s35932" => GeneratorConfig::s35932_like(),
+        "s38417" => GeneratorConfig::s38417_like(),
+        "s38584" => GeneratorConfig::s38584_like(),
+        other => return Err(err(format!("unknown preset `{other}`"))),
+    };
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let netlist = xtalk_netlist::generator::generate(&config, &library)
+        .map_err(|e| err(e.to_string()))?;
+    save_netlist(output, &netlist, &library)?;
+    Ok(format!(
+        "generated `{}`: {} gates, {} flip-flops -> {output}\n",
+        netlist.name,
+        netlist.gate_count(),
+        netlist.flip_flop_count()
+    ))
+}
+
+fn cmd_liberty(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = split_flags(args);
+    let [output] = pos.as_slice() else {
+        return Err(err(format!("liberty needs one output file\n\n{USAGE}")));
+    };
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let wanted: Option<Vec<&str>> = flag(&flags, "cells")
+        .flatten()
+        .map(|s| s.split(',').collect());
+    let slews = [0.05e-9, 0.15e-9, 0.4e-9, 1.0e-9];
+    let loads = [5e-15, 20e-15, 60e-15, 200e-15];
+    let mut tables = Vec::new();
+    for cell in &library {
+        if let Some(w) = &wanted {
+            if !w.contains(&cell.name.as_str()) {
+                continue;
+            }
+        }
+        tables.push(
+            xtalk_wave::characterize::characterize_cell(&process, cell, &slews, &loads)
+                .map_err(|e| err(format!("{}: {e}", cell.name)))?,
+        );
+    }
+    let lib_text = xtalk_wave::liberty::write(&process, &library, &tables);
+    std::fs::write(output, lib_text)?;
+    Ok(format!(
+        "characterized {} cells -> {output}\n",
+        tables.len()
+    ))
+}
+
+fn cmd_sdf(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = split_flags(args);
+    let [netlist_path, output] = pos.as_slice() else {
+        return Err(err(format!("sdf needs a netlist and an output file\n\n{USAGE}")));
+    };
+    let mode = parse_mode(flag(&flags, "mode").flatten().unwrap_or("iterative"))?;
+    let d = load_design(netlist_path, flag(&flags, "spef").flatten())?;
+    let sta = Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics)
+        .map_err(|e| err(e.to_string()))?;
+    let sdf = xtalk_sta::write_sdf(&sta, mode).map_err(|e| err(e.to_string()))?;
+    std::fs::write(output, &sdf)?;
+    Ok(format!(
+        "wrote {output} ({} IOPATH entries, mode {mode})\n",
+        sdf.matches("(IOPATH").count()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("xtalk_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv(&["help"])).expect("help works");
+        assert!(out.contains("USAGE"));
+        let out = run(&[]).expect("no args = help");
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = run(&argv(&["frobnicate"])).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_convert_report_roundtrip() {
+        let bench = tmp("t1.bench");
+        let out = run(&argv(&["generate", "--preset", "small", "--seed", "5", &bench]))
+            .expect("generate");
+        assert!(out.contains("generated"));
+
+        let v = tmp("t1.v");
+        let out = run(&argv(&["convert", &bench, &v])).expect("convert");
+        assert!(out.contains("converted"));
+
+        let out = run(&argv(&["report", &v, "--mode", "onestep", "--period", "30"]))
+            .expect("report");
+        assert!(out.contains("critical path:"), "{out}");
+        assert!(out.contains("Slack"), "{out}");
+    }
+
+    #[test]
+    fn report_with_glitch_and_min_mode() {
+        let bench = tmp("t2.bench");
+        run(&argv(&["generate", "--preset", "small", "--seed", "6", &bench]))
+            .expect("generate");
+        let out = run(&argv(&["report", &bench, "--mode", "min"])).expect("min report");
+        assert!(out.contains("shortest path delay"), "{out}");
+        let out = run(&argv(&["report", &bench, "--mode", "best", "--glitch"]))
+            .expect("glitch report");
+        assert!(out.contains("victims above"), "{out}");
+    }
+
+    #[test]
+    fn flow_writes_verilog_and_spef_then_report_consumes_spef() {
+        let bench = tmp("t3.bench");
+        run(&argv(&["generate", "--preset", "small", "--seed", "7", &bench]))
+            .expect("generate");
+        let dir = tmp("flow_out");
+        let out = run(&argv(&["flow", &bench, "--out", &dir])).expect("flow");
+        assert!(out.contains("wrote"));
+        let v = format!("{dir}/synth_small_7.v");
+        let spef = format!("{dir}/synth_small_7.spef");
+        assert!(std::path::Path::new(&v).exists());
+        assert!(std::path::Path::new(&spef).exists());
+        let out = run(&argv(&["report", &v, "--spef", &spef, "--mode", "best"]))
+            .expect("report with spef");
+        assert!(out.contains("critical path:"));
+    }
+
+    #[test]
+    fn sdf_command_writes_file() {
+        let bench = tmp("t5.bench");
+        run(&argv(&["generate", "--preset", "small", "--seed", "9", &bench]))
+            .expect("generate");
+        let sdf = tmp("t5.sdf");
+        let out = run(&argv(&["sdf", &bench, &sdf, "--mode", "onestep"])).expect("sdf");
+        assert!(out.contains("IOPATH entries"));
+        let text = std::fs::read_to_string(&sdf).expect("sdf file");
+        assert!(text.starts_with("(DELAYFILE"));
+    }
+
+    #[test]
+    fn liberty_writes_selected_cells() {
+        let lib = tmp("cells.lib");
+        let out = run(&argv(&["liberty", &lib, "--cells", "INVX1,NAND2X1"]))
+            .expect("liberty");
+        assert!(out.contains("characterized 2 cells"));
+        let text = std::fs::read_to_string(&lib).expect("lib file");
+        assert!(text.contains("cell (INVX1)"));
+        assert!(text.contains("cell_rise"));
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(run(&argv(&["report"])).is_err());
+        assert!(run(&argv(&["report", "/nonexistent.bench"])).is_err());
+        assert!(run(&argv(&["generate", "--preset", "nope", "x.bench"])).is_err());
+        assert!(run(&argv(&["convert", "a.txt", "b.txt"])).is_err());
+        let bench = tmp("t4.bench");
+        run(&argv(&["generate", "--preset", "small", "--seed", "8", &bench]))
+            .expect("generate");
+        assert!(run(&argv(&["report", &bench, "--mode", "warp"])).is_err());
+    }
+}

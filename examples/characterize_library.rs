@@ -1,0 +1,48 @@
+//! Characterize the cell library and emit a Liberty (`.lib`) snippet.
+//!
+//! Shows the transistor-level engine doing double duty as a cell
+//! characterizer: every sensitizable arc of a few cells is swept over an
+//! input-slew × output-load grid and written as NLDM tables that a
+//! conventional gate-level flow could consume.
+//!
+//! ```text
+//! cargo run --release --example characterize_library
+//! ```
+
+use xtalk::prelude::*;
+use xtalk::wave::characterize::characterize_cell;
+use xtalk::wave::liberty;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+
+    let slews = [0.05e-9, 0.2e-9, 0.6e-9];
+    let loads = [5e-15, 25e-15, 100e-15];
+
+    let mut tables = Vec::new();
+    for name in ["INVX1", "INVX4", "NAND2X1", "NOR2X1", "XOR2X1", "DFFX1"] {
+        let cell = library.cell(name).expect("library cell");
+        let t = characterize_cell(&process, cell, &slews, &loads)?;
+        println!("{name}: {} arcs characterized", t.arcs.len());
+        if let Some(arc) = t.arcs.first() {
+            println!(
+                "  pin {} {}: delay {:.0}..{:.0} ps over the grid",
+                cell.inputs[arc.pin],
+                if arc.output_rising { "rise" } else { "fall" },
+                arc.delay[0][0] * 1e12,
+                arc.delay[slews.len() - 1][loads.len() - 1] * 1e12
+            );
+        }
+        tables.push(t);
+    }
+
+    let lib = liberty::write(&process, &library, &tables);
+    println!();
+    println!("--- Liberty preview (first 40 lines) ---");
+    for line in lib.lines().take(40) {
+        println!("{line}");
+    }
+    println!("... ({} bytes total)", lib.len());
+    Ok(())
+}

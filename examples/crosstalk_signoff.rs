@@ -1,0 +1,95 @@
+//! Crosstalk sign-off on a synthetic SoC block.
+//!
+//! The scenario from the paper's introduction: a synchronous block in a
+//! deep-submicron process whose longest path must be bounded *including*
+//! coupling-induced delay. The example generates a ~2k-cell block, runs the
+//! whole flow, and shows how much margin each analysis style costs —
+//! exactly the trade the paper's Tables 1-3 quantify.
+//!
+//! ```text
+//! cargo run --release --example crosstalk_signoff
+//! ```
+
+use xtalk::prelude::*;
+use xtalk::sta::report::comparison_table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+
+    let config = GeneratorConfig::medium(2000);
+    let netlist = xtalk::netlist::generator::generate(&config, &library)?;
+    netlist.validate(&library)?;
+    println!(
+        "block `{}`: {} cells ({} flip-flops), logic depth {}",
+        netlist.name,
+        netlist.gate_count(),
+        netlist.flip_flop_count(),
+        netlist.logic_depth(&library)?
+    );
+
+    let placement = xtalk::layout::place::place(&netlist, &library, &process);
+    let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+    let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+    println!(
+        "die {:.0} x {:.0} um, {:.1} mm wire, {} coupling caps",
+        placement.die_width * 1e6,
+        placement.die_height * 1e6,
+        routes.total_wirelength() * 1e3,
+        parasitics.coupling_count() / 2
+    );
+
+    let sta = Sta::new(&netlist, &library, &process, &parasitics)?;
+    let mut reports = Vec::new();
+    for mode in [
+        AnalysisMode::BestCase,
+        AnalysisMode::StaticDoubled,
+        AnalysisMode::WorstCase,
+        AnalysisMode::OneStep,
+        AnalysisMode::Iterative { esperance: false },
+        AnalysisMode::Iterative { esperance: true },
+    ] {
+        reports.push(sta.analyze(mode)?);
+    }
+    println!();
+    println!(
+        "{}",
+        comparison_table(&netlist.name, netlist.gate_count(), &reports)
+    );
+
+    // Sign-off verdict: how much pessimism does each safe bound carry over
+    // the refined analysis?
+    let best = reports[0].longest_delay;
+    let iter = reports[4].longest_delay;
+    let worst = reports[2].longest_delay;
+    println!("coupling impact (iterative - best case): {:.3} ns", (iter - best) * 1e9);
+    println!(
+        "pessimism removed by quiet-line analysis (worst - iterative): {:.3} ns ({:.1}%)",
+        (worst - iter) * 1e9,
+        (worst - iter) / worst * 100.0
+    );
+    let conv: Vec<String> = reports[4]
+        .pass_delays
+        .iter()
+        .map(|d| format!("{:.3}", d * 1e9))
+        .collect();
+    println!("iterative convergence [ns]: {}", conv.join(" -> "));
+
+    // Hold-side view (extension): the earliest possible arrival under
+    // assisting coupling, and the worst setup slacks at a target period.
+    let min = sta.analyze(AnalysisMode::MinDelay)?;
+    println!();
+    println!(
+        "min-delay (hold) shortest path: {:.3} ns (timing window {:.3}..{:.3} ns)",
+        min.longest_delay * 1e9,
+        min.longest_delay * 1e9,
+        iter * 1e9
+    );
+    let period = iter * 1.05;
+    println!();
+    print!(
+        "{}",
+        xtalk::sta::report::slack_table(&netlist, &reports[4], period, 5)
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run all five crosstalk analyses on ISCAS89 s27.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use xtalk::prelude::*;
+use xtalk::sta::report::comparison_table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Technology: generic 0.5 um, 3.3 V, two metal layers — the paper's
+    //    experimental setup.
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+
+    // 2. Circuit: the embedded ISCAS89 s27 netlist.
+    let netlist = xtalk::netlist::bench::parse(xtalk::netlist::data::S27_BENCH, &library)?;
+    netlist.validate(&library)?;
+    println!(
+        "{}: {} gates, {} nets, {} flip-flops",
+        netlist.name,
+        netlist.gate_count(),
+        netlist.net_count(),
+        netlist.flip_flop_count()
+    );
+
+    // 3. Physical design: place, route on two metal layers, extract ground
+    //    and coupling capacitances.
+    let placement = xtalk::layout::place::place(&netlist, &library, &process);
+    let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+    let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+    println!(
+        "layout: {:.0} um of wire, {} coupling caps ({:.1} fF total)",
+        routes.total_wirelength() * 1e6,
+        parasitics.coupling_count() / 2,
+        parasitics.total_coupling() * 0.5 * 1e15,
+    );
+
+    // 4. Timing: the five analyses of the paper's §6.
+    let sta = Sta::new(&netlist, &library, &process, &parasitics)?;
+    let mut reports = Vec::new();
+    for mode in AnalysisMode::all() {
+        reports.push(sta.analyze(mode)?);
+    }
+    println!();
+    println!(
+        "{}",
+        comparison_table(&netlist.name, netlist.gate_count(), &reports)
+    );
+
+    // 5. The critical path of the safest refined analysis.
+    let iterative = reports.last().expect("five reports");
+    println!("critical path ({}):", iterative.mode);
+    for step in &iterative.critical_path {
+        println!(
+            "  {:>8.3} ns  {:<10} {:<8} -> {} ({})",
+            step.arrival * 1e9,
+            step.cell,
+            netlist.gate(step.gate).name,
+            netlist.net(step.net).name,
+            if step.rising { "rise" } else { "fall" }
+        );
+    }
+    Ok(())
+}

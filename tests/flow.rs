@@ -1,0 +1,165 @@
+//! End-to-end flow test: generate → place → route → extract → analyze.
+
+use xtalk::prelude::*;
+
+struct Flow {
+    process: Process,
+    library: Library,
+    netlist: Netlist,
+    parasitics: xtalk::layout::Parasitics,
+}
+
+fn flow(config: &GeneratorConfig) -> Flow {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let netlist = xtalk::netlist::generator::generate(config, &library).expect("generate");
+    netlist.validate(&library).expect("valid netlist");
+    let placement = xtalk::layout::place::place(&netlist, &library, &process);
+    let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+    let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+    Flow {
+        process,
+        library,
+        netlist,
+        parasitics,
+    }
+}
+
+#[test]
+fn full_flow_all_modes_on_small_block() {
+    let f = flow(&GeneratorConfig::small(77));
+    let sta = Sta::new(&f.netlist, &f.library, &f.process, &f.parasitics).expect("sta");
+    let mut delays = Vec::new();
+    for mode in AnalysisMode::all() {
+        let r = sta.analyze(mode).expect("analysis runs");
+        assert!(r.longest_delay > 0.0, "{mode}: positive delay");
+        assert!(r.longest_delay < 100e-9, "{mode}: sane delay");
+        assert!(!r.critical_path.is_empty(), "{mode}: path reported");
+        assert!(r.stage_solves > 0);
+        assert_eq!(r.passes, r.pass_delays.len());
+        delays.push(r.longest_delay);
+    }
+    // Modes must actually differ on a coupled design.
+    let best = delays[0];
+    let worst = delays[2];
+    assert!(worst > best * 1.01, "coupling must be visible: {delays:?}");
+}
+
+#[test]
+fn critical_path_endpoint_matches_report() {
+    let f = flow(&GeneratorConfig::small(78));
+    let sta = Sta::new(&f.netlist, &f.library, &f.process, &f.parasitics).expect("sta");
+    let r = sta.analyze(AnalysisMode::OneStep).expect("analysis");
+    let last = r.critical_path.last().expect("path nonempty");
+    let endpoint = r.endpoint_net.expect("net endpoint");
+    assert_eq!(last.net, endpoint);
+    assert_eq!(last.rising, r.endpoint_rising);
+    assert!((last.arrival - r.longest_delay).abs() < 1e-15);
+    // Endpoint is a real endpoint: PO or FF data input.
+    let net = f.netlist.net(endpoint);
+    let feeds_ff = net.loads.iter().any(|&(g, pin)| {
+        let gate = f.netlist.gate(g);
+        f.library
+            .cell(&gate.cell)
+            .and_then(|c| c.seq.as_ref().map(|s| s.d_pin == pin))
+            .unwrap_or(false)
+    });
+    assert!(net.is_primary_output || feeds_ff);
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let f = flow(&GeneratorConfig::small(79));
+    let sta = Sta::new(&f.netlist, &f.library, &f.process, &f.parasitics).expect("sta");
+    let a = sta.analyze(AnalysisMode::Iterative { esperance: false }).expect("a");
+    let b = sta.analyze(AnalysisMode::Iterative { esperance: false }).expect("b");
+    assert_eq!(a.longest_delay, b.longest_delay);
+    assert_eq!(a.passes, b.passes);
+    assert_eq!(a.critical_path.len(), b.critical_path.len());
+}
+
+#[test]
+fn unrouted_design_times_without_coupling() {
+    // Timing with empty parasitics (pre-layout mode): all modes agree.
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let netlist = xtalk::netlist::bench::parse(xtalk::netlist::data::S27_BENCH, &library)
+        .expect("parse");
+    let parasitics = xtalk::layout::Parasitics::empty(netlist.net_count());
+    let sta = Sta::new(&netlist, &library, &process, &parasitics).expect("sta");
+    let best = sta.analyze(AnalysisMode::BestCase).expect("best").longest_delay;
+    let worst = sta.analyze(AnalysisMode::WorstCase).expect("worst").longest_delay;
+    assert!(
+        (best - worst).abs() < 1e-15,
+        "no couplings => all modes identical"
+    );
+}
+
+#[test]
+fn clock_tree_contributes_insertion_delay() {
+    // The same block with and without a clock tree: launch arrivals (and so
+    // the longest path) must be later with the buffered tree.
+    let mut cfg = GeneratorConfig::small(80);
+    cfg.clock_tree = true;
+    let with_tree = flow(&cfg);
+    cfg.clock_tree = false;
+    let flat = flow(&cfg);
+    let d_tree = Sta::new(
+        &with_tree.netlist,
+        &with_tree.library,
+        &with_tree.process,
+        &with_tree.parasitics,
+    )
+    .expect("sta")
+    .analyze(AnalysisMode::BestCase)
+    .expect("tree")
+    .longest_delay;
+    let d_flat = Sta::new(&flat.netlist, &flat.library, &flat.process, &flat.parasitics)
+        .expect("sta")
+        .analyze(AnalysisMode::BestCase)
+        .expect("flat")
+        .longest_delay;
+    assert!(
+        d_tree > d_flat,
+        "clock-tree insertion delay must show: {d_flat} vs {d_tree}"
+    );
+}
+
+#[test]
+fn slack_table_reports_violations() {
+    use xtalk::sta::report::slack_table;
+    let f = flow(&GeneratorConfig::small(81));
+    let sta = Sta::new(&f.netlist, &f.library, &f.process, &f.parasitics).expect("sta");
+    let r = sta.analyze(AnalysisMode::OneStep).expect("analysis");
+    // A generous period: no violations.
+    let relaxed = slack_table(&f.netlist, &r, r.longest_delay * 2.0, 5);
+    assert!(!relaxed.contains("VIOLATED"));
+    // A period below the longest path: the worst endpoint must violate.
+    let tight = slack_table(&f.netlist, &r, r.longest_delay * 0.5, 5);
+    assert!(tight.contains("VIOLATED"));
+    // Worst endpoint leads the table.
+    let first_line = tight.lines().nth(1).expect("at least one row");
+    let endpoint_name = &f.netlist.net(r.endpoint_net.expect("net")).name;
+    assert!(
+        first_line.contains(endpoint_name.as_str()),
+        "worst endpoint {endpoint_name} should lead: {first_line}"
+    );
+}
+
+#[test]
+fn min_delay_vs_max_delay_window() {
+    let f = flow(&GeneratorConfig::small(82));
+    let sta = Sta::new(&f.netlist, &f.library, &f.process, &f.parasitics).expect("sta");
+    let min = sta.analyze(AnalysisMode::MinDelay).expect("min");
+    let max = sta
+        .analyze(AnalysisMode::Iterative { esperance: false })
+        .expect("max");
+    assert!(min.longest_delay < max.longest_delay);
+    // Hold-style check: every endpoint's earliest arrival in the min
+    // analysis is at most its latest arrival in the max analysis.
+    for e_min in &min.endpoints {
+        if let Some(e_max) = max.endpoints.iter().find(|e| e.net == e_min.net) {
+            assert!(e_min.earliest() <= e_max.latest() + 1e-15);
+        }
+    }
+}

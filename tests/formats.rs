@@ -1,0 +1,123 @@
+//! Cross-format integration: .bench ↔ netlist ↔ Verilog, parasitics ↔ SPEF.
+
+use xtalk::prelude::*;
+
+fn setup(seed: u64) -> (Process, Library, Netlist) {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let netlist = xtalk::netlist::generator::generate(&GeneratorConfig::small(seed), &library)
+        .expect("generate");
+    (process, library, netlist)
+}
+
+#[test]
+fn generated_circuit_survives_bench_roundtrip() {
+    let (_, library, netlist) = setup(50);
+    let text = xtalk::netlist::bench::write(&netlist, &library).expect("write");
+    let back = xtalk::netlist::bench::parse(&text, &library).expect("parse");
+    back.validate(&library).expect("valid");
+    // AOI/OAI/MUX decompose into AND/OR/NOT lines, so gate counts may grow,
+    // but I/O and flip-flop structure must be identical.
+    assert_eq!(
+        netlist.primary_inputs().count(),
+        back.primary_inputs().count()
+    );
+    assert_eq!(
+        netlist.primary_outputs().count(),
+        back.primary_outputs().count()
+    );
+    assert_eq!(netlist.flip_flop_count(), back.flip_flop_count());
+    assert!(back.gate_count() >= netlist.gate_count());
+}
+
+#[test]
+fn generated_circuit_survives_verilog_roundtrip_exactly() {
+    let (_, library, netlist) = setup(51);
+    let text = xtalk::netlist::verilog::write(&netlist, &library).expect("write");
+    let back = xtalk::netlist::verilog::parse(&text, &library).expect("parse");
+    back.validate(&library).expect("valid");
+    assert_eq!(netlist.gate_count(), back.gate_count());
+    assert_eq!(netlist.net_count(), back.net_count());
+    assert_eq!(netlist.cell_histogram(), back.cell_histogram());
+}
+
+#[test]
+fn spef_roundtrip_preserves_timing() {
+    let (process, library, netlist) = setup(52);
+    let placement = xtalk::layout::place::place(&netlist, &library, &process);
+    let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+    let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+
+    let spef = xtalk::layout::spef::write(&netlist, &parasitics);
+    let mut back = xtalk::layout::spef::parse(&spef, &netlist).expect("parse");
+    // SPEF does not carry per-sink Elmore resistances; restore them.
+    for (a, b) in back.nets.iter_mut().zip(&parasitics.nets) {
+        a.sinks = b.sinks.clone();
+    }
+
+    let d1 = Sta::new(&netlist, &library, &process, &parasitics)
+        .expect("sta")
+        .analyze(AnalysisMode::OneStep)
+        .expect("analyze")
+        .longest_delay;
+    let d2 = Sta::new(&netlist, &library, &process, &back)
+        .expect("sta")
+        .analyze(AnalysisMode::OneStep)
+        .expect("analyze")
+        .longest_delay;
+    assert!(
+        (d1 - d2).abs() < 1e-15,
+        "SPEF roundtrip changed timing: {d1} vs {d2}"
+    );
+}
+
+#[test]
+fn bench_logical_equivalence_after_roundtrip() {
+    // Random-vector equivalence check between the original and the
+    // re-imported netlist (three-valued logic simulation).
+    use xtalk::sim::LogicSim;
+    let (_, library, netlist) = setup(53);
+    let text = xtalk::netlist::bench::write(&netlist, &library).expect("write");
+    let back = xtalk::netlist::bench::parse(&text, &library).expect("parse");
+
+    let mut sim_a = LogicSim::new(&netlist, &library).expect("sim a");
+    let mut sim_b = LogicSim::new(&back, &library).expect("sim b");
+    let n_pi = netlist
+        .primary_inputs()
+        .filter(|&id| !netlist.net(id).is_clock)
+        .count();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for round in 0..12 {
+        let bits: Vec<bool> = (0..n_pi)
+            .map(|k| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> (k % 48 + 13)) & 1 == 1
+            })
+            .collect();
+        let a = sim_a.run_vector(bits.clone());
+        let b = sim_b.run_vector(bits);
+        sim_a.clock();
+        sim_b.clock();
+        // Outputs are matched by *name* (net order may differ).
+        let names_a: Vec<&str> = netlist
+            .primary_outputs()
+            .map(|id| netlist.net(id).name.as_str())
+            .collect();
+        let names_b: Vec<&str> = back
+            .primary_outputs()
+            .map(|id| back.net(id).name.as_str())
+            .collect();
+        for (name, va) in names_a.iter().zip(&a) {
+            let k = names_b
+                .iter()
+                .position(|n| n == name)
+                .unwrap_or_else(|| panic!("output {name} lost in roundtrip"));
+            // Three-valued: only compare when both are defined.
+            if let (Some(x), Some(y)) = (va, b[k]) {
+                assert_eq!(*x, y, "round {round}: output {name} diverged");
+            }
+        }
+    }
+}

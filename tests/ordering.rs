@@ -1,0 +1,89 @@
+//! The paper's §6 ordering claims, asserted across several seeds.
+//!
+//! - best case ≤ one-step, iterative ≤ one-step ≤ worst case;
+//! - static-doubled lies between best case and worst case and lands near
+//!   the iterative result, but is not itself a bound;
+//! - one-step costs ≈ 2 waveform calculations per arc, iterative ≥ 3 full
+//!   passes' worth.
+
+use xtalk::prelude::*;
+
+fn analyze_all(seed: u64) -> [ModeReport; 5] {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let netlist =
+        xtalk::netlist::generator::generate(&GeneratorConfig::small(seed), &library)
+            .expect("generate");
+    let placement = xtalk::layout::place::place(&netlist, &library, &process);
+    let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+    let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+    let sta = Sta::new(&netlist, &library, &process, &parasitics).expect("sta");
+    AnalysisMode::all().map(|m| sta.analyze(m).expect("analysis"))
+}
+
+#[test]
+fn orderings_hold_across_seeds() {
+    for seed in [101u64, 202, 303] {
+        let [best, doubled, worst, one, iter] = analyze_all(seed);
+        let (b, d, w, o, i) = (
+            best.longest_delay,
+            doubled.longest_delay,
+            worst.longest_delay,
+            one.longest_delay,
+            iter.longest_delay,
+        );
+        let eps = 1e-12;
+        assert!(b <= o + eps, "seed {seed}: best {b} <= one-step {o}");
+        assert!(i <= o + eps, "seed {seed}: iterative {i} <= one-step {o}");
+        assert!(o <= w + eps, "seed {seed}: one-step {o} <= worst {w}");
+        assert!(b <= d + eps, "seed {seed}: best {b} <= doubled {d}");
+        assert!(d <= w + eps, "seed {seed}: doubled {d} <= worst {w}");
+        assert!(b <= i + eps, "seed {seed}: best {b} <= iterative {i}");
+        // Coupling is a real effect on these routed blocks.
+        assert!(w > b * 1.005, "seed {seed}: coupling visible");
+    }
+}
+
+#[test]
+fn doubled_is_near_iterative_but_not_a_bound_by_construction() {
+    // The paper's §6 discussion: static-doubled lands in the same range as
+    // the iterative refinement (which is why people used it), yet it is not
+    // a safe bound. We check the "lands near" part numerically and the "not
+    // safe" part structurally (mode classification).
+    let [_, doubled, worst, _, iter] = analyze_all(404);
+    let d = doubled.longest_delay;
+    let i = iter.longest_delay;
+    let w = worst.longest_delay;
+    assert!(
+        d > 0.8 * i && d < 1.25 * i,
+        "doubled {d} should land near iterative {i}"
+    );
+    assert!(d < w, "doubled stays below the worst-case bound");
+    assert!(!AnalysisMode::StaticDoubled.is_safe_bound());
+    assert!(AnalysisMode::Iterative { esperance: false }.is_safe_bound());
+}
+
+#[test]
+fn work_ratios_match_paper_complexity_claims() {
+    let [best, _doubled, worst, one, iter] = analyze_all(505);
+    // One-step: at most two waveform calculations per arc (paper §5.1),
+    // and strictly more than a plain pass on a coupled design.
+    assert!(one.stage_solves > best.stage_solves);
+    assert!(one.stage_solves <= 2 * best.stage_solves);
+    // Worst case costs one calculation per arc, like best case.
+    assert_eq!(worst.stage_solves, best.stage_solves);
+    // Iterative: at least two full passes (paper: "a full STA is performed
+    // twice, with improvement at least three times").
+    assert!(iter.passes >= 2);
+    assert!(iter.stage_solves > one.stage_solves);
+}
+
+#[test]
+fn iterative_pass_delays_never_increase() {
+    let [_, _, _, one, iter] = analyze_all(606);
+    assert!(iter.pass_delays[0] <= one.longest_delay + 1e-12,
+        "pass 1 of iterative IS the one-step analysis");
+    for w in iter.pass_delays.windows(2) {
+        assert!(w[1] <= w[0] + 1e-12, "monotone refinement: {:?}", iter.pass_delays);
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-crate property-based tests on the analyzer's key invariants.
+
+use proptest::prelude::*;
+use xtalk::prelude::*;
+
+fn tiny_config(seed: u64, gates: usize, depth: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        name: format!("prop_{seed}"),
+        seed,
+        flip_flops: 4,
+        comb_gates: gates,
+        depth,
+        primary_inputs: 4,
+        primary_outputs: 4,
+        clock_tree: false,
+        clock_leaf_fanout: 8,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case runs several full analyses
+        .. ProptestConfig::default()
+    })]
+
+    /// best <= one-step <= worst and iterative <= one-step, on random
+    /// circuits with real extracted couplings.
+    #[test]
+    fn mode_ordering_invariant(seed in 0u64..1000, gates in 20usize..60, depth in 3usize..7) {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let netlist = xtalk::netlist::generator::generate(
+            &tiny_config(seed, gates, depth), &library).expect("generate");
+        let placement = xtalk::layout::place::place(&netlist, &library, &process);
+        let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+        let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+        let sta = Sta::new(&netlist, &library, &process, &parasitics).expect("sta");
+        let best = sta.analyze(AnalysisMode::BestCase).expect("best").longest_delay;
+        let one = sta.analyze(AnalysisMode::OneStep).expect("one").longest_delay;
+        let worst = sta.analyze(AnalysisMode::WorstCase).expect("worst").longest_delay;
+        let iter = sta.analyze(AnalysisMode::Iterative { esperance: false })
+            .expect("iter").longest_delay;
+        let eps = 1e-12;
+        prop_assert!(best <= one + eps, "best {} one {}", best, one);
+        prop_assert!(one <= worst + eps, "one {} worst {}", one, worst);
+        prop_assert!(iter <= one + eps, "iter {} one {}", iter, one);
+        prop_assert!(best <= iter + eps, "best {} iter {}", best, iter);
+        prop_assert!(best > 0.0 && worst < 1e-6);
+    }
+
+    /// Generated netlists always validate, levelize, and hit their
+    /// configured structural targets.
+    #[test]
+    fn generator_structural_invariants(seed in 0u64..10_000, gates in 10usize..120, depth in 2usize..10) {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let cfg = tiny_config(seed, gates, depth);
+        let netlist = xtalk::netlist::generator::generate(&cfg, &library).expect("generate");
+        prop_assert!(netlist.validate(&library).is_ok());
+        let d = netlist.logic_depth(&library).expect("depth");
+        prop_assert!(d <= depth + 1);
+        prop_assert_eq!(netlist.flip_flop_count(), cfg.flip_flops);
+    }
+
+    /// Extraction invariants on random layouts: symmetry, positivity,
+    /// plausible magnitudes.
+    #[test]
+    fn extraction_invariants(seed in 0u64..10_000) {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let netlist = xtalk::netlist::generator::generate(
+            &tiny_config(seed, 50, 5), &library).expect("generate");
+        let placement = xtalk::layout::place::place(&netlist, &library, &process);
+        let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+        let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+        for (ni, np) in parasitics.nets.iter().enumerate() {
+            prop_assert!(np.cwire >= 0.0 && np.cwire < 10e-12);
+            prop_assert!(np.rwire >= 0.0 && np.rwire < 1e5);
+            for cc in &np.couplings {
+                prop_assert!(cc.c > 0.0 && cc.c < 1e-12);
+                prop_assert!(cc.other.index() != ni);
+                let back = parasitics.nets[cc.other.index()].couplings.iter()
+                    .find(|c| c.other.index() == ni);
+                prop_assert!(back.is_some());
+            }
+        }
+    }
+
+    /// SPEF roundtrip is lossless for any generated layout.
+    #[test]
+    fn spef_roundtrip_lossless(seed in 0u64..10_000) {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let netlist = xtalk::netlist::generator::generate(
+            &tiny_config(seed, 40, 4), &library).expect("generate");
+        let placement = xtalk::layout::place::place(&netlist, &library, &process);
+        let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+        let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+        let text = xtalk::layout::spef::write(&netlist, &parasitics);
+        let back = xtalk::layout::spef::parse(&text, &netlist).expect("parse");
+        for (a, b) in parasitics.nets.iter().zip(&back.nets) {
+            prop_assert!((a.cwire - b.cwire).abs() < 1e-20);
+            prop_assert!((a.rwire - b.rwire).abs() < 1e-4);
+            prop_assert_eq!(a.couplings.len(), b.couplings.len());
+        }
+    }
+}

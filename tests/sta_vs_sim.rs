@@ -1,0 +1,194 @@
+//! STA vs transistor-level simulation — the paper's §6 validation.
+//!
+//! The longest path reported by the analyzer is re-simulated with the
+//! transient engine; aggressors are ideal sources aligned adversarially by
+//! coordinate ascent (the paper's "iteratively adjusted" PWL sources). The
+//! safe analyses must bound the simulation; the refined analyses must stay
+//! close to it.
+
+use xtalk::prelude::*;
+use xtalk::sim::align::coordinate_ascent;
+use xtalk::sim::path::{simulate_path, AggressorSpec, PathGateSpec, PathSpec};
+use xtalk::sta::report::ModeReport as Report;
+
+const SIM_OFFSET: f64 = 1.5e-9;
+
+struct Setup {
+    process: Process,
+    library: Library,
+    netlist: Netlist,
+    parasitics: xtalk::layout::Parasitics,
+}
+
+/// Purely combinational block (paths start at primary inputs).
+fn comb_setup(seed: u64) -> Setup {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let mut cfg = GeneratorConfig::small(seed);
+    cfg.flip_flops = 0;
+    cfg.comb_gates = 60;
+    cfg.depth = 6;
+    let netlist = xtalk::netlist::generator::generate(&cfg, &library).expect("generate");
+    let placement = xtalk::layout::place::place(&netlist, &library, &process);
+    let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+    let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+    Setup {
+        process,
+        library,
+        netlist,
+        parasitics,
+    }
+}
+
+/// Converts a reported critical path into a simulatable [`PathSpec`] plus
+/// the STA's own delay over the same span (input Vdd/2 crossing to endpoint
+/// arrival).
+fn to_spec(setup: &Setup, report: &Report, n_aggressors: usize) -> (PathSpec, f64, Vec<f64>) {
+    let steps = &report.critical_path;
+    assert!(!steps.is_empty());
+    assert!(
+        steps.iter().all(|s| s.pin != usize::MAX),
+        "combinational paths only"
+    );
+    let gates: Vec<PathGateSpec> = steps
+        .iter()
+        .map(|s| PathGateSpec {
+            gate: s.gate,
+            switching_pin: s.pin,
+            side_values: s.side_values.clone(),
+        })
+        .collect();
+
+    // Input direction at the path head.
+    let first_cell = setup
+        .library
+        .cell(&steps[0].cell)
+        .expect("library cell");
+    let first_inverting = first_cell
+        .arc_inverting(steps[0].pin, &steps[0].side_values, setup.process.vdd)
+        .unwrap_or(first_cell.function.is_inverting());
+    let in_rising = if first_inverting {
+        !steps[0].rising
+    } else {
+        steps[0].rising
+    };
+    let slew = setup.process.default_input_slew;
+    let (v0, v1) = if in_rising {
+        (0.0, setup.process.vdd)
+    } else {
+        (setup.process.vdd, 0.0)
+    };
+    let input_wave = Waveform::ramp(SIM_OFFSET, slew, v0, v1).expect("ramp");
+    // The STA launched its PI ramp at t = 0; its Vdd/2 crossing is slew/2.
+    let sta_path_delay = report.longest_delay - 0.5 * slew;
+
+    // Aggressors: the strongest couplings onto path nets.
+    let on_path: std::collections::HashSet<_> = steps.iter().map(|s| s.net).collect();
+    let mut cands: Vec<(f64, AggressorSpec, f64)> = Vec::new(); // (cap, spec, t0)
+    for s in steps {
+        for cc in &setup.parasitics.nets[s.net.index()].couplings {
+            if on_path.contains(&cc.other) {
+                continue;
+            }
+            cands.push((
+                cc.c,
+                AggressorSpec {
+                    net: cc.other,
+                    rising: !s.rising,
+                },
+                s.arrival + SIM_OFFSET,
+            ));
+        }
+    }
+    cands.sort_by(|a, b| b.0.total_cmp(&a.0));
+    cands.truncate(n_aggressors);
+    // Keep one spec per aggressor net.
+    let mut seen = std::collections::HashSet::new();
+    cands.retain(|(_, spec, _)| seen.insert(spec.net));
+    let t0: Vec<f64> = cands.iter().map(|&(_, _, t)| t).collect();
+    let aggressors: Vec<AggressorSpec> = cands.iter().map(|&(_, s, _)| s).collect();
+    (
+        PathSpec {
+            gates,
+            input_wave,
+            aggressors,
+        },
+        sta_path_delay,
+        t0,
+    )
+}
+
+#[test]
+fn quiet_simulation_matches_best_case_sta() {
+    let s = comb_setup(900);
+    let sta = Sta::new(&s.netlist, &s.library, &s.process, &s.parasitics).expect("sta");
+    let best = sta.analyze(AnalysisMode::BestCase).expect("best");
+    let (mut spec, sta_delay, _) = to_spec(&s, &best, 0);
+    spec.aggressors.clear();
+    let sim = simulate_path(
+        &s.netlist,
+        &s.library,
+        &s.process,
+        &s.parasitics,
+        &spec,
+        &[],
+        None,
+    )
+    .expect("simulate");
+    let rel = (sim.delay - sta_delay).abs() / sta_delay;
+    // Transistor-level STA accuracy claim: the quiet path simulation lands
+    // close to the quiet STA prediction (lumped-wire differences allowed).
+    assert!(
+        rel < 0.30,
+        "quiet sim {:.3}ns vs best-case STA {:.3}ns (rel {rel:.2})",
+        sim.delay * 1e9,
+        sta_delay * 1e9
+    );
+}
+
+#[test]
+fn aligned_simulation_respects_safe_bounds() {
+    let s = comb_setup(901);
+    let sta = Sta::new(&s.netlist, &s.library, &s.process, &s.parasitics).expect("sta");
+    let iter = sta
+        .analyze(AnalysisMode::Iterative { esperance: false })
+        .expect("iterative");
+    let worst = sta.analyze(AnalysisMode::WorstCase).expect("worst");
+    let (spec, iter_delay, t0) = to_spec(&s, &iter, 4);
+
+    let mut sims = 0usize;
+    let oracle = |times: &[f64]| -> Option<f64> {
+        sims += 1;
+        simulate_path(
+            &s.netlist,
+            &s.library,
+            &s.process,
+            &s.parasitics,
+            &spec,
+            times,
+            None,
+        )
+        .ok()
+        .map(|r| r.delay)
+    };
+    let (sim_worst, _times) = coordinate_ascent(oracle, t0, 0.4e-9, 2);
+    assert!(sim_worst.is_finite(), "at least one simulation succeeded");
+
+    // Safety: adversarially aligned simulation must not exceed the safe
+    // worst-case bound over the same span.
+    let worst_span = worst.longest_delay - 0.5 * s.process.default_input_slew;
+    assert!(
+        sim_worst <= worst_span * 1.05,
+        "sim {:.3}ns must respect the worst-case bound {:.3}ns",
+        sim_worst * 1e9,
+        worst_span * 1e9
+    );
+    // Usefulness: the refined iterative bound is not wildly above the
+    // simulated worst case on its own path.
+    assert!(
+        iter_delay >= sim_worst * 0.7,
+        "iterative {:.3}ns vs aligned sim {:.3}ns",
+        iter_delay * 1e9,
+        sim_worst * 1e9
+    );
+}
