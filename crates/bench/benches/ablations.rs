@@ -28,8 +28,7 @@ fn bench_vth_choice(c: &mut Criterion) {
             |b, &vth_mv| {
                 let mut process = Process::c05um();
                 process.coupling_vth = vth_mv as f64 * 1e-3;
-                let input =
-                    Waveform::ramp(0.0, 0.2e-9, process.vdd, 0.0).expect("ramp");
+                let input = Waveform::ramp(0.0, 0.2e-9, process.vdd, 0.0).expect("ramp");
                 let solver = StageSolver::new(&process);
                 b.iter(|| {
                     let load = Load {

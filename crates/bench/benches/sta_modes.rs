@@ -44,8 +44,7 @@ fn bench_graph_build(c: &mut Criterion) {
     let d = design();
     c.bench_function("timing_graph_build", |b| {
         b.iter(|| {
-            let sta =
-                Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics).expect("sta");
+            let sta = Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics).expect("sta");
             black_box(sta.graph().arc_count())
         })
     });

@@ -58,26 +58,20 @@ fn bench_stage_solver(c: &mut Criterion) {
     // Many aggressors: snap-event handling cost.
     for n_caps in [1usize, 4, 16] {
         let inv = library.cell("INVX1").expect("inv");
-        group.bench_with_input(
-            BenchmarkId::new("aggressors", n_caps),
-            &n_caps,
-            |b, &n| {
-                b.iter(|| {
-                    let load = Load {
-                        cground: 30e-15,
-                        couplings: (0..n)
-                            .map(|k| {
-                                Coupling::new(2e-15 + k as f64 * 0.5e-15, CouplingMode::Active)
-                            })
-                            .collect(),
-                    };
-                    let r = solver
-                        .solve(&inv.stages[0], 0, black_box(&input), &[], load)
-                        .expect("solve");
-                    black_box(r.snaps.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("aggressors", n_caps), &n_caps, |b, &n| {
+            b.iter(|| {
+                let load = Load {
+                    cground: 30e-15,
+                    couplings: (0..n)
+                        .map(|k| Coupling::new(2e-15 + k as f64 * 0.5e-15, CouplingMode::Active))
+                        .collect(),
+                };
+                let r = solver
+                    .solve(&inv.stages[0], 0, black_box(&input), &[], load)
+                    .expect("solve");
+                black_box(r.snaps.len())
+            })
+        });
     }
     group.finish();
 }

@@ -55,8 +55,8 @@ fn bench_network_solve(c: &mut Criterion) {
 fn bench_netlist_formats(c: &mut Criterion) {
     let p = Process::c05um();
     let l = Library::c05um(&p);
-    let nl = xtalk::netlist::generator::generate(&GeneratorConfig::medium(99), &l)
-        .expect("generate");
+    let nl =
+        xtalk::netlist::generator::generate(&GeneratorConfig::medium(99), &l).expect("generate");
     let bench_text = xtalk::netlist::bench::write(&nl, &l).expect("write");
     let verilog_text = xtalk::netlist::verilog::write(&nl, &l).expect("write");
 
@@ -86,8 +86,8 @@ fn bench_netlist_formats(c: &mut Criterion) {
 fn bench_physical_flow(c: &mut Criterion) {
     let p = Process::c05um();
     let l = Library::c05um(&p);
-    let nl = xtalk::netlist::generator::generate(&GeneratorConfig::medium(98), &l)
-        .expect("generate");
+    let nl =
+        xtalk::netlist::generator::generate(&GeneratorConfig::medium(98), &l).expect("generate");
 
     let mut group = c.benchmark_group("physical");
     group.sample_size(20);
@@ -122,8 +122,8 @@ fn bench_physical_flow(c: &mut Criterion) {
 fn bench_simulators(c: &mut Criterion) {
     let p = Process::c05um();
     let l = Library::c05um(&p);
-    let nl = xtalk::netlist::generator::generate(&GeneratorConfig::medium(97), &l)
-        .expect("generate");
+    let nl =
+        xtalk::netlist::generator::generate(&GeneratorConfig::medium(97), &l).expect("generate");
 
     c.bench_function("logic_sim_cycle_2k_cells", |b| {
         let mut sim = LogicSim::new(&nl, &l).expect("sim");
@@ -151,9 +151,7 @@ fn bench_simulators(c: &mut Criterion) {
                     let mut circuit = Circuit::new();
                     let mut prev = circuit.add_node(
                         "in",
-                        Drive::Pwl(
-                            Waveform::ramp(0.5e-9, 0.2e-9, p.vdd, 0.0).expect("ramp"),
-                        ),
+                        Drive::Pwl(Waveform::ramp(0.5e-9, 0.2e-9, p.vdd, 0.0).expect("ramp")),
                         0.0,
                         p.vdd,
                     );

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let doubled = model(CouplingMode::Doubled);
     let active = model(CouplingMode::Active);
-    println!("Fig. 1 victim stage (Cg = {:.0} fF, Cc = {:.0} fF):", CGROUND * 1e15, CCOUPLE * 1e15);
+    println!(
+        "Fig. 1 victim stage (Cg = {:.0} fF, Cc = {:.0} fF):",
+        CGROUND * 1e15,
+        CCOUPLE * 1e15
+    );
     println!("  model: grounded Cc        {:>8.1} ps", ignored * 1e12);
     println!("  model: doubled Cc         {:>8.1} ps", doubled * 1e12);
     println!("  model: active (paper)     {:>8.1} ps", active * 1e12);
@@ -92,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model_extra = active - ignored;
     let doubled_extra = doubled - ignored;
     println!("simulated quiet delay        : {:>8.1} ps", quiet * 1e12);
-    println!("simulated worst (all sweeps) : {:>8.1} ps", sim_worst * 1e12);
+    println!(
+        "simulated worst (all sweeps) : {:>8.1} ps",
+        sim_worst * 1e12
+    );
     println!();
     println!("coupling-induced EXTRA delay:");
     println!(

@@ -16,9 +16,7 @@
 use std::time::Instant;
 
 use xtalk::prelude::*;
-use xtalk_bench::{
-    build_design, path_wire_delay, run_mode, simulate_spec, to_sim_spec, Design,
-};
+use xtalk_bench::{build_design, path_wire_delay, run_mode, simulate_spec, to_sim_spec, Design};
 
 fn scaled(config: &GeneratorConfig, factor: usize) -> GeneratorConfig {
     let mut c = config.clone();
@@ -37,7 +35,11 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    let names = if names.is_empty() { vec!["quick"] } else { names };
+    let names = if names.is_empty() {
+        vec!["quick"]
+    } else {
+        names
+    };
 
     let mut configs: Vec<(String, GeneratorConfig)> = Vec::new();
     for name in names {
@@ -51,9 +53,18 @@ fn main() {
                 configs.push(("Table 3".into(), GeneratorConfig::s38584_like()));
             }
             "quick" => {
-                configs.push(("Table 1 (1/10)".into(), scaled(&GeneratorConfig::s35932_like(), 10)));
-                configs.push(("Table 2 (1/10)".into(), scaled(&GeneratorConfig::s38417_like(), 10)));
-                configs.push(("Table 3 (1/10)".into(), scaled(&GeneratorConfig::s38584_like(), 10)));
+                configs.push((
+                    "Table 1 (1/10)".into(),
+                    scaled(&GeneratorConfig::s35932_like(), 10),
+                ));
+                configs.push((
+                    "Table 2 (1/10)".into(),
+                    scaled(&GeneratorConfig::s38417_like(), 10),
+                ));
+                configs.push((
+                    "Table 3 (1/10)".into(),
+                    scaled(&GeneratorConfig::s38584_like(), 10),
+                ));
             }
             other => {
                 eprintln!("unknown circuit `{other}` (use s35932|s38417|s38584|all|quick)");
@@ -68,7 +79,11 @@ fn main() {
 }
 
 fn run_table(title: &str, config: &GeneratorConfig, no_sim: bool) {
-    eprintln!(">> building {} ({} cells)...", config.name, config.total_cells());
+    eprintln!(
+        ">> building {} ({} cells)...",
+        config.name,
+        config.total_cells()
+    );
     let design = build_design(config);
     println!(
         "{title}: {} ({} cells, {} FFs, {} coupling caps, {:.1} mm wire; prep {:.1}s)",
@@ -131,8 +146,11 @@ fn simulate_row(design: &Design, reports: &[xtalk::sta::ModeReport]) {
         return;
     };
     let started = Instant::now();
-    eprintln!(">>   simulating the critical path ({} gates, {} aggressors)...",
-        spec.spec.gates.len(), spec.spec.aggressors.len());
+    eprintln!(
+        ">>   simulating the critical path ({} gates, {} aggressors)...",
+        spec.spec.gates.len(),
+        spec.spec.aggressors.len()
+    );
     match simulate_spec(design, &spec, 2) {
         Some(sim) => {
             let span_start = iterative.longest_delay - spec.sta_delay;

@@ -90,6 +90,56 @@ impl Parasitics {
             nets: vec![NetParasitics::default(); n],
         }
     }
+
+    /// ECO: scales all wire parasitics of `net` — ground cap, resistance,
+    /// per-sink path resistances and every coupling cap it participates in —
+    /// by `scale`, modelling a reroute onto a longer or shorter path.
+    /// Coupling caps are patched on both sides to keep the matrix symmetric.
+    pub fn patch_net(&mut self, net: NetId, scale: f64) {
+        assert!(scale >= 0.0, "parasitic scale must be non-negative");
+        let np = &mut self.nets[net.index()];
+        np.cwire *= scale;
+        np.rwire *= scale;
+        for s in &mut np.sinks {
+            s.r_path *= scale;
+        }
+        let partners: Vec<NetId> = np.couplings.iter().map(|c| c.other).collect();
+        for cc in &mut np.couplings {
+            cc.c *= scale;
+        }
+        for other in partners {
+            for cc in &mut self.nets[other.index()].couplings {
+                if cc.other == net {
+                    cc.c *= scale;
+                }
+            }
+        }
+    }
+
+    /// ECO: removes the coupling between nets `a` and `b` (both directions),
+    /// modelling a shielding insertion or spacing fix. Returns the removed
+    /// capacitance (one side's view; the matrix was symmetric).
+    pub fn remove_coupling(&mut self, a: NetId, b: NetId) -> f64 {
+        let mut removed = 0.0;
+        self.nets[a.index()].couplings.retain(|cc| {
+            if cc.other == b {
+                removed += cc.c;
+                false
+            } else {
+                true
+            }
+        });
+        self.nets[b.index()].couplings.retain(|cc| cc.other != a);
+        removed
+    }
+
+    /// ECO: appends empty parasitic records so the table covers `n` nets
+    /// (newly created nets start as ideal, zero-parasitic stubs).
+    pub fn grow_to(&mut self, n: usize) {
+        while self.nets.len() < n {
+            self.nets.push(NetParasitics::default());
+        }
+    }
 }
 
 /// Extracts parasitics from `routes`.
@@ -117,7 +167,11 @@ pub fn extract(netlist: &Netlist, routes: &Routes, process: &Process) -> Parasit
             .map(|&(sx, sy)| {
                 let (dx, dy) = rn.driver;
                 let vertical = (sy - dy).abs();
-                let vias = if vertical > 1e-12 { 2.0 * VIA_OHMS } else { 0.0 };
+                let vias = if vertical > 1e-12 {
+                    2.0 * VIA_OHMS
+                } else {
+                    0.0
+                };
                 SinkWire {
                     r_path: (sx - dx).abs() * r1 + vertical * r2 + vias,
                 }
@@ -170,14 +224,12 @@ pub fn extract(netlist: &Netlist, routes: &Routes, process: &Process) -> Parasit
     let mut pairs: Vec<((u32, u32), f64)> = pair_caps.into_iter().collect();
     pairs.sort_by_key(|&(k, _)| k);
     for ((a, b), c) in pairs {
-        nets[a as usize].couplings.push(CouplingCap {
-            other: NetId(b),
-            c,
-        });
-        nets[b as usize].couplings.push(CouplingCap {
-            other: NetId(a),
-            c,
-        });
+        nets[a as usize]
+            .couplings
+            .push(CouplingCap { other: NetId(b), c });
+        nets[b as usize]
+            .couplings
+            .push(CouplingCap { other: NetId(a), c });
     }
 
     // Physical sanity: a wire has two sides, so its total lateral coupling
@@ -328,5 +380,60 @@ mod tests {
         let (_, b, _) = extracted(6);
         assert_eq!(a.coupling_count(), b.coupling_count());
         assert!((a.total_coupling() - b.total_coupling()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn patch_net_scales_symmetrically() {
+        let (_, mut para, _) = extracted(7);
+        let victim = para
+            .nets
+            .iter()
+            .position(|np| !np.couplings.is_empty())
+            .expect("a coupled net exists");
+        let net = NetId(victim as u32);
+        let partner = para.nets[victim].couplings[0].other;
+        let before = para.nets[victim].couplings[0].c;
+        let cwire_before = para.nets[victim].cwire;
+        para.patch_net(net, 2.0);
+        assert!((para.nets[victim].cwire - 2.0 * cwire_before).abs() < 1e-24);
+        assert!((para.nets[victim].couplings[0].c - 2.0 * before).abs() < 1e-24);
+        let back = para.nets[partner.index()]
+            .couplings
+            .iter()
+            .find(|c| c.other == net)
+            .expect("reverse coupling");
+        assert!((back.c - 2.0 * before).abs() < 1e-24, "symmetry preserved");
+    }
+
+    #[test]
+    fn remove_coupling_clears_both_sides() {
+        let (_, mut para, _) = extracted(8);
+        let victim = para
+            .nets
+            .iter()
+            .position(|np| !np.couplings.is_empty())
+            .expect("a coupled net exists");
+        let net = NetId(victim as u32);
+        let partner = para.nets[victim].couplings[0].other;
+        let removed = para.remove_coupling(net, partner);
+        assert!(removed > 0.0);
+        assert!(para.nets[victim]
+            .couplings
+            .iter()
+            .all(|c| c.other != partner));
+        assert!(para.nets[partner.index()]
+            .couplings
+            .iter()
+            .all(|c| c.other != net));
+    }
+
+    #[test]
+    fn grow_to_appends_stubs() {
+        let mut para = Parasitics::empty(3);
+        para.grow_to(5);
+        assert_eq!(para.nets.len(), 5);
+        assert_eq!(para.nets[4].cwire, 0.0);
+        para.grow_to(2);
+        assert_eq!(para.nets.len(), 5, "never shrinks");
     }
 }

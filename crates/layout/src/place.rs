@@ -244,7 +244,10 @@ fn barycentric_order(netlist: &Netlist, library: &Library, topo: &[GateId]) -> V
             sorted_levels[li].push(g);
         }
     }
-    physical.into_iter().map(|l| std::mem::take(&mut sorted_levels[l])).collect()
+    physical
+        .into_iter()
+        .map(|l| std::mem::take(&mut sorted_levels[l]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -280,8 +283,7 @@ mod tests {
     #[test]
     fn die_is_roughly_square() {
         let (p, l) = setup();
-        let nl =
-            generator::generate(&GeneratorConfig::small(11), &l).expect("generate");
+        let nl = generator::generate(&GeneratorConfig::small(11), &l).expect("generate");
         let pl = place(&nl, &l, &p);
         let aspect = pl.die_width / pl.die_height;
         assert!(aspect > 0.3 && aspect < 3.0, "aspect {aspect}");
@@ -290,8 +292,7 @@ mod tests {
     #[test]
     fn all_cells_inside_die() {
         let (p, l) = setup();
-        let nl =
-            generator::generate(&GeneratorConfig::small(3), &l).expect("generate");
+        let nl = generator::generate(&GeneratorConfig::small(3), &l).expect("generate");
         let pl = place(&nl, &l, &p);
         for c in &pl.cells {
             assert!(c.x >= -1e-12);
@@ -338,8 +339,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let (p, l) = setup();
-        let nl =
-            generator::generate(&GeneratorConfig::small(8), &l).expect("generate");
+        let nl = generator::generate(&GeneratorConfig::small(8), &l).expect("generate");
         let a = place(&nl, &l, &p);
         let b = place(&nl, &l, &p);
         assert_eq!(a.cells, b.cells);

@@ -108,7 +108,9 @@ impl TrackOccupancy {
     /// Finds a track at or near `want` where `[from, to]` does not overlap
     /// an existing segment, inserts it, and returns the chosen track.
     fn claim(&mut self, want: i64, from: f64, to: f64) -> i64 {
-        for offset in [0i64, 1, -1, 2, -2, 3, -3, 4, -4, 5, -5, 6, -6, 7, -7, 8, -8, 9, -9, 10, -10] {
+        for offset in [
+            0i64, 1, -1, 2, -2, 3, -3, 4, -4, 5, -5, 6, -6, 7, -7, 8, -8, 9, -9, 10, -10,
+        ] {
             let track = want + offset;
             let free = self
                 .by_track

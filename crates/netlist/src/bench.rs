@@ -141,8 +141,7 @@ pub fn parse(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
         };
 
         let output = nl.net_or_insert(out_name);
-        let mut input_ids: Vec<NetId> =
-            args.iter().map(|a| nl.net_or_insert(a)).collect();
+        let mut input_ids: Vec<NetId> = args.iter().map(|a| nl.net_or_insert(a)).collect();
 
         if function == Function::Dff {
             let ck = *clock.get_or_insert_with(|| nl.net_or_insert(CLOCK_NET));
@@ -155,14 +154,7 @@ pub fn parse(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
         }
 
         emit_function(
-            &mut nl,
-            library,
-            function,
-            input_ids,
-            output,
-            out_name,
-            &mut aux,
-            lineno,
+            &mut nl, library, function, input_ids, output, out_name, &mut aux, lineno,
         )?;
     }
     Ok(nl)
@@ -233,12 +225,13 @@ fn emit_function(
     let cap = max_width(final_fn).max(2);
     while inputs.len() > cap {
         // Combine the first two inputs with a 2-input reducer.
-        let cell = library
-            .cell_for_function(reduce_fn, 2)
-            .ok_or(NetlistError::UnsupportedGate {
-                line: lineno,
-                gate: format!("{reduce_fn:?}/2"),
-            })?;
+        let cell =
+            library
+                .cell_for_function(reduce_fn, 2)
+                .ok_or(NetlistError::UnsupportedGate {
+                    line: lineno,
+                    gate: format!("{reduce_fn:?}/2"),
+                })?;
         let w = nl.net_or_insert(&format!("{out_name}_w{aux}"));
         let name = format!("g_{out_name}_r{aux}");
         *aux += 1;
@@ -249,12 +242,13 @@ fn emit_function(
         // Rotate so reduction stays balanced.
         inputs.rotate_right(1);
     }
-    let cell = library
-        .cell_for_function(final_fn, inputs.len())
-        .ok_or(NetlistError::UnsupportedGate {
-            line: lineno,
-            gate: format!("{final_fn:?}/{}", inputs.len()),
-        })?;
+    let cell =
+        library
+            .cell_for_function(final_fn, inputs.len())
+            .ok_or(NetlistError::UnsupportedGate {
+                line: lineno,
+                gate: format!("{final_fn:?}/{}", inputs.len()),
+            })?;
     let name = format!("g_{out_name}");
     nl.add_gate(name, cell.name.clone(), inputs, output)?;
     Ok(())
@@ -444,10 +438,7 @@ mod tests {
         assert_eq!(nl.gate_count(), nl2.gate_count());
         assert_eq!(nl.net_count(), nl2.net_count());
         assert_eq!(nl.flip_flop_count(), nl2.flip_flop_count());
-        assert_eq!(
-            nl.primary_inputs().count(),
-            nl2.primary_inputs().count()
-        );
+        assert_eq!(nl.primary_inputs().count(), nl2.primary_inputs().count());
         // Cell histograms must agree exactly.
         assert_eq!(nl.cell_histogram(), nl2.cell_histogram());
     }
@@ -468,8 +459,7 @@ mod tests {
 
     #[test]
     fn design_name_from_comment() {
-        let nl = parse("# mydesign\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", &lib())
-            .expect("parse");
+        let nl = parse("# mydesign\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", &lib()).expect("parse");
         assert_eq!(nl.name, "mydesign");
     }
 }

@@ -56,8 +56,7 @@ mod tests {
     fn embedded_netlists_parse_and_validate() {
         let lib = Library::c05um(&Process::c05um());
         for (name, text) in [("s27", S27_BENCH), ("c17", C17_BENCH)] {
-            let nl = bench::parse(text, &lib)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let nl = bench::parse(text, &lib).unwrap_or_else(|e| panic!("{name}: {e}"));
             nl.validate(&lib).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }

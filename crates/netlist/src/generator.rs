@@ -221,7 +221,9 @@ pub fn generate(config: &GeneratorConfig, library: &Library) -> Result<Netlist, 
     for level in 1..=depth {
         let remaining_levels = depth - level + 1;
         let remaining_gates = config.comb_gates - gate_no;
-        let count = (remaining_gates / remaining_levels).max(1).min(remaining_gates);
+        let count = (remaining_gates / remaining_levels)
+            .max(1)
+            .min(remaining_gates);
         if count == 0 {
             break;
         }
@@ -501,8 +503,7 @@ mod tests {
     fn no_dangling_nets() {
         let nl = generate(&GeneratorConfig::small(5), &lib()).expect("generate");
         for net in nl.nets() {
-            let dangling =
-                net.driver.is_some() && net.loads.is_empty() && !net.is_primary_output;
+            let dangling = net.driver.is_some() && net.loads.is_empty() && !net.is_primary_output;
             assert!(!dangling, "net {} dangles", net.name);
         }
     }

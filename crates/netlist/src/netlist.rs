@@ -203,6 +203,52 @@ impl Netlist {
         Ok(id)
     }
 
+    /// ECO: swaps the library cell of an existing gate instance. The pin
+    /// interface stays as it is, so the new cell must have the same input
+    /// count (checked by the caller against a library, or by `validate`).
+    pub fn set_gate_cell(&mut self, id: GateId, cell: impl Into<String>) {
+        self.gates[id.index()].cell = cell.into();
+    }
+
+    /// ECO: inserts a buffer on `net`, splitting it in two. A new net named
+    /// `<net>__buf` (suffix repeated until unique) takes over all of `net`'s
+    /// former loads; `net` keeps its driver and feeds only the new buffer
+    /// gate `name`. The new net inherits `net`'s clock marking (it now
+    /// distributes the same clock); primary-output marking stays on the
+    /// original net, which is still the externally visible node.
+    ///
+    /// Returns `(buffer gate, new net)`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Undriven`] when `net` is a primary output with no
+    /// loads (there is nothing to buffer behind it).
+    pub fn insert_buffer(
+        &mut self,
+        net: NetId,
+        name: impl Into<String>,
+        cell: impl Into<String>,
+    ) -> Result<(GateId, NetId), NetlistError> {
+        if self.nets[net.index()].loads.is_empty() {
+            return Err(NetlistError::Undriven {
+                net: self.nets[net.index()].name.clone(),
+            });
+        }
+        let mut new_name = format!("{}__buf", self.nets[net.index()].name);
+        while self.by_name.contains_key(&new_name) {
+            new_name.push_str("__buf");
+        }
+        let new_net = self.net_or_insert(&new_name);
+        let moved = std::mem::take(&mut self.nets[net.index()].loads);
+        for &(gate, pin) in &moved {
+            self.gates[gate.index()].inputs[pin] = new_net;
+        }
+        self.nets[new_net.index()].loads = moved;
+        self.nets[new_net.index()].is_clock = self.nets[net.index()].is_clock;
+        let buf = self.add_gate(name, cell, vec![net], new_net)?;
+        Ok((buf, new_net))
+    }
+
     /// Checks structural sanity against a cell library: every cell exists,
     /// pin counts match, every non-primary-input net is driven, and the
     /// combinational logic is acyclic.
@@ -239,7 +285,10 @@ impl Netlist {
     pub fn flip_flop_count(&self) -> usize {
         // Cheap textual check avoids requiring a library here; the
         // validated path goes through `validate`.
-        self.gates.iter().filter(|g| g.cell.starts_with("DFF")).count()
+        self.gates
+            .iter()
+            .filter(|g| g.cell.starts_with("DFF"))
+            .count()
     }
 
     /// Topologically orders the *combinational* gates (flip-flop outputs and
@@ -409,7 +458,8 @@ mod tests {
         let a = nl.net_or_insert("a");
         nl.mark_primary_input(a);
         let y = nl.net_or_insert("y");
-        nl.add_gate("u1", "INVX1", vec![a], y).expect("first driver");
+        nl.add_gate("u1", "INVX1", vec![a], y)
+            .expect("first driver");
         let err = nl.add_gate("u2", "INVX1", vec![a], y).unwrap_err();
         assert_eq!(err, NetlistError::MultipleDrivers { net: "y".into() });
     }
@@ -424,7 +474,12 @@ mod tests {
         let mut nl = small();
         nl.net_or_insert("floating");
         let err = nl.validate(&lib()).unwrap_err();
-        assert_eq!(err, NetlistError::Undriven { net: "floating".into() });
+        assert_eq!(
+            err,
+            NetlistError::Undriven {
+                net: "floating".into()
+            }
+        );
     }
 
     #[test]
@@ -435,7 +490,12 @@ mod tests {
         let y = nl.net_or_insert("y");
         nl.add_gate("u1", "NOPE", vec![a], y).expect("gate added");
         let err = nl.validate(&lib()).unwrap_err();
-        assert_eq!(err, NetlistError::UnknownCell { cell: "NOPE".into() });
+        assert_eq!(
+            err,
+            NetlistError::UnknownCell {
+                cell: "NOPE".into()
+            }
+        );
     }
 
     #[test]
@@ -444,7 +504,8 @@ mod tests {
         let a = nl.net_or_insert("a");
         nl.mark_primary_input(a);
         let y = nl.net_or_insert("y");
-        nl.add_gate("u1", "NAND2X1", vec![a], y).expect("gate added");
+        nl.add_gate("u1", "NAND2X1", vec![a], y)
+            .expect("gate added");
         let err = nl.validate(&lib()).unwrap_err();
         assert!(matches!(err, NetlistError::PinCountMismatch { .. }));
     }
@@ -495,5 +556,38 @@ mod tests {
         let nl = small();
         let h = nl.cell_histogram();
         assert_eq!(h.get("INVX1"), Some(&2));
+    }
+
+    #[test]
+    fn set_gate_cell_swaps_in_place() {
+        let mut nl = small();
+        let u1 = GateId(0);
+        nl.set_gate_cell(u1, "INVX4");
+        assert_eq!(nl.gate(u1).cell, "INVX4");
+        nl.validate(&lib()).expect("resize keeps the netlist valid");
+    }
+
+    #[test]
+    fn insert_buffer_splits_net() {
+        let mut nl = small();
+        let w = nl.net_by_name("w").expect("w");
+        let old_driver = nl.net(w).driver;
+        let (buf, new_net) = nl.insert_buffer(w, "eco_buf", "BUFX2").expect("buffer");
+        // Old net: same driver, single load = the buffer's input pin 0.
+        assert_eq!(nl.net(w).driver, old_driver);
+        assert_eq!(nl.net(w).loads, vec![(buf, 0)]);
+        // New net: driven by the buffer, carries the old loads.
+        assert_eq!(nl.net(new_net).driver, Some(buf));
+        assert_eq!(nl.net(new_net).loads.len(), 1);
+        let (g, pin) = nl.net(new_net).loads[0];
+        assert_eq!(nl.gate(g).inputs[pin], new_net);
+        nl.validate(&lib()).expect("buffered netlist stays valid");
+    }
+
+    #[test]
+    fn insert_buffer_rejects_loadless_net() {
+        let mut nl = small();
+        let y = nl.net_by_name("y").expect("y");
+        assert!(nl.insert_buffer(y, "b", "BUFX2").is_err());
     }
 }

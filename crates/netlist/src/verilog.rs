@@ -119,17 +119,16 @@ fn split_names(rest: &str) -> impl Iterator<Item = &str> {
     rest.split(',').map(str::trim).filter(|s| !s.is_empty())
 }
 
-fn parse_instance(
-    stmt: &str,
-    nl: &mut Netlist,
-    library: &Library,
-) -> Result<(), NetlistError> {
+fn parse_instance(stmt: &str, nl: &mut Netlist, library: &Library) -> Result<(), NetlistError> {
     let open = stmt
         .find('(')
         .ok_or_else(|| parse_err(0, format!("unrecognised statement `{stmt}`")))?;
     let head: Vec<&str> = stmt[..open].split_whitespace().collect();
     let [cell_name, inst_name] = head[..] else {
-        return Err(parse_err(0, format!("bad instance header `{}`", &stmt[..open])));
+        return Err(parse_err(
+            0,
+            format!("bad instance header `{}`", &stmt[..open]),
+        ));
     };
     let cell = library
         .cell(cell_name)
@@ -171,8 +170,8 @@ fn parse_instance(
             ));
         }
     }
-    let output = output
-        .ok_or_else(|| parse_err(0, format!("instance `{inst_name}` leaves output open")))?;
+    let output =
+        output.ok_or_else(|| parse_err(0, format!("instance `{inst_name}` leaves output open")))?;
     let inputs: Vec<NetId> = inputs
         .into_iter()
         .enumerate()
@@ -269,7 +268,11 @@ pub fn write(netlist: &Netlist, library: &Library) -> Result<String, NetlistErro
             .zip(&cell.inputs)
             .map(|(&net, pin)| format!(".{pin}({})", netlist.net(net).name))
             .collect();
-        conns.push(format!(".{}({})", cell.output, netlist.net(gate.output).name));
+        conns.push(format!(
+            ".{}({})",
+            cell.output,
+            netlist.net(gate.output).name
+        ));
         let _ = writeln!(out, "  {} {} ({});", gate.cell, gate.name, conns.join(", "));
     }
     let _ = writeln!(out, "endmodule");
@@ -325,7 +328,12 @@ mod tests {
     fn rejects_unknown_cell() {
         let src = "module t (a, y); input a; output y; FROBX1 u0 (.A(a), .Y(y)); endmodule";
         let err = parse(src, &lib()).unwrap_err();
-        assert_eq!(err, NetlistError::UnknownCell { cell: "FROBX1".into() });
+        assert_eq!(
+            err,
+            NetlistError::UnknownCell {
+                cell: "FROBX1".into()
+            }
+        );
     }
 
     #[test]
@@ -344,14 +352,8 @@ mod tests {
         assert_eq!(nl.gate_count(), nl2.gate_count());
         assert_eq!(nl.net_count(), nl2.net_count());
         assert_eq!(nl.cell_histogram(), nl2.cell_histogram());
-        assert_eq!(
-            nl.primary_inputs().count(),
-            nl2.primary_inputs().count()
-        );
-        assert_eq!(
-            nl.primary_outputs().count(),
-            nl2.primary_outputs().count()
-        );
+        assert_eq!(nl.primary_inputs().count(), nl2.primary_inputs().count());
+        assert_eq!(nl.primary_outputs().count(), nl2.primary_outputs().count());
         nl2.validate(&library).expect("still valid");
     }
 

@@ -100,9 +100,8 @@ mod tests {
     #[test]
     fn never_decreases_from_initial() {
         // Sawtooth-ish oracle: ascent must end at least as good as start.
-        let oracle = |ts: &[f64]| -> Option<f64> {
-            Some((ts[0] * 1e9).sin() + (ts[0] * 3e9).cos() * 0.3)
-        };
+        let oracle =
+            |ts: &[f64]| -> Option<f64> { Some((ts[0] * 1e9).sin() + (ts[0] * 3e9).cos() * 0.3) };
         let t0 = vec![1.1e-9];
         let initial = oracle(&t0).expect("oracle value");
         let (best, _) = coordinate_ascent(oracle, t0, 0.5e-9, 4);

@@ -249,11 +249,7 @@ impl Circuit {
             }
         };
         for (si, stage) in cell.stages.iter().enumerate() {
-            let inputs: Vec<NodeRef> = stage
-                .inputs
-                .iter()
-                .map(|s| resolve(s, &internal))
-                .collect();
+            let inputs: Vec<NodeRef> = stage.inputs.iter().map(|s| resolve(s, &internal)).collect();
             // Gate caps load whatever drives the stage.
             for (slot, node) in inputs.iter().enumerate() {
                 self.add_cap(*node, stage.input_cap(slot, process));

@@ -37,12 +37,11 @@ impl<'a> LogicSim<'a> {
             .gates()
             .iter()
             .map(|g| {
-                library
-                    .cell(&g.cell)
-                    .map(|c| c.function)
-                    .ok_or_else(|| xtalk_netlist::NetlistError::UnknownCell {
+                library.cell(&g.cell).map(|c| c.function).ok_or_else(|| {
+                    xtalk_netlist::NetlistError::UnknownCell {
                         cell: g.cell.clone(),
-                    })
+                    }
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(LogicSim {

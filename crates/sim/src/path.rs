@@ -136,11 +136,12 @@ pub fn simulate_path(
     let mut dirs = Vec::with_capacity(spec.gates.len() + 1);
     dirs.push(spec.input_wave.is_rising());
     for pg in &spec.gates {
-        let cell = library
-            .cell(&netlist.gate(pg.gate).cell)
-            .ok_or_else(|| PathError::UnknownCell {
-                cell: netlist.gate(pg.gate).cell.clone(),
-            })?;
+        let cell =
+            library
+                .cell(&netlist.gate(pg.gate).cell)
+                .ok_or_else(|| PathError::UnknownCell {
+                    cell: netlist.gate(pg.gate).cell.clone(),
+                })?;
         if cell.is_sequential() {
             return Err(PathError::SequentialOnPath {
                 gate: netlist.gate(pg.gate).name.clone(),
@@ -268,9 +269,7 @@ pub fn simulate_path(
     }
 
     // Simulate long enough for the last stage to settle.
-    let t_guess = spec.input_wave.end_time()
-        + spec.gates.len() as f64 * 0.6e-9
-        + 4e-9;
+    let t_guess = spec.input_wave.end_time() + spec.gates.len() as f64 * 0.6e-9 + 4e-9;
     let options = options.unwrap_or(SimOptions {
         t_stop: t_guess,
         ..SimOptions::default()
@@ -356,11 +355,17 @@ mod tests {
         let mut para2 = para.clone();
         para2.nets[w2.index()]
             .couplings
-            .push(xtalk_layout::CouplingCap { other: a, c: 20e-15 });
+            .push(xtalk_layout::CouplingCap {
+                other: a,
+                c: 20e-15,
+            });
         // w2 falls (a rises, w1 falls... w1 = NOT(a): falls? a rises =>
         // w1 falls => w2 rises => y falls). Aggressor must fall against a
         // rising w2.
-        spec.aggressors = vec![AggressorSpec { net: a, rising: false }];
+        spec.aggressors = vec![AggressorSpec {
+            net: a,
+            rising: false,
+        }];
         let t_mid = 2.2e-9; // roughly while w2 transitions
         let noisy = simulate_path(&nl, &l, &p, &para2, &spec, &[t_mid], None)
             .expect("noisy")

@@ -397,10 +397,33 @@ mod tests {
         );
         let mid = c.add_node("mid", Drive::Free, 10e-15, 0.0);
         let out = c.add_node("out", Drive::Free, 10e-15, p.vdd);
-        c.instantiate_cell(inv, &[NodeRef::Node(inp)], NodeRef::Node(mid), None, &l, &p, "u0");
-        c.instantiate_cell(inv, &[NodeRef::Node(mid)], NodeRef::Node(out), None, &l, &p, "u1");
-        let tr = simulate(&c, &p, &SimOptions { t_stop: 5e-9, ..SimOptions::default() })
-            .expect("simulate");
+        c.instantiate_cell(
+            inv,
+            &[NodeRef::Node(inp)],
+            NodeRef::Node(mid),
+            None,
+            &l,
+            &p,
+            "u0",
+        );
+        c.instantiate_cell(
+            inv,
+            &[NodeRef::Node(mid)],
+            NodeRef::Node(out),
+            None,
+            &l,
+            &p,
+            "u1",
+        );
+        let tr = simulate(
+            &c,
+            &p,
+            &SimOptions {
+                t_stop: 5e-9,
+                ..SimOptions::default()
+            },
+        )
+        .expect("simulate");
         let th = p.delay_threshold();
         let t_mid = tr.first_crossing(mid, th, true).expect("mid rises");
         let t_out = tr.first_crossing(out, th, false).expect("out falls");
@@ -445,8 +468,15 @@ mod tests {
                 &p,
                 "u0",
             );
-            let tr = simulate(&c, &p, &SimOptions { t_stop: 6e-9, ..SimOptions::default() })
-                .expect("simulate");
+            let tr = simulate(
+                &c,
+                &p,
+                &SimOptions {
+                    t_stop: 6e-9,
+                    ..SimOptions::default()
+                },
+            )
+            .expect("simulate");
             tr.last_crossing(out, th, true).expect("rise crossing")
         };
         let quiet = run(None);
@@ -493,8 +523,15 @@ mod tests {
             &p,
             "u0",
         );
-        let tr = simulate(&c, &p, &SimOptions { t_stop: 4e-9, ..SimOptions::default() })
-            .expect("simulate");
+        let tr = simulate(
+            &c,
+            &p,
+            &SimOptions {
+                t_stop: 4e-9,
+                ..SimOptions::default()
+            },
+        )
+        .expect("simulate");
         assert!(tr.final_value(y) < 0.1, "final {}", tr.final_value(y));
     }
 }

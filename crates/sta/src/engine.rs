@@ -112,7 +112,7 @@ impl NodeState {
 
 /// Quiescence classification of a net in one direction.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Quiet {
+pub(crate) enum Quiet {
     /// The net never makes this transition.
     Never,
     /// The net is quiet after this time.
@@ -126,16 +126,18 @@ pub(crate) struct PassOutput {
 }
 
 /// Result of evaluating one stage: waveforms to merge into its output.
-struct StageEval {
-    merges: Vec<(bool, WaveInfo)>,
-    solves: usize,
+pub(crate) struct StageEval {
+    pub(crate) merges: Vec<(bool, WaveInfo)>,
+    pub(crate) solves: usize,
 }
 
-enum Policy<'p> {
+/// Coupling treatment of one propagation pass.
+pub(crate) enum Policy<'p> {
+    /// Every coupling cap gets the same fixed treatment.
     Uniform(CouplingMode),
-    QuietAware {
-        prev: Option<&'p Vec<[Quiet; 2]>>,
-    },
+    /// The paper's one-step decision per coupling cap; `prev` supplies the
+    /// previous pass's quiescent-time table during iterative refinement.
+    QuietAware { prev: Option<&'p Vec<[Quiet; 2]>> },
 }
 
 /// The crosstalk-aware static timing analyzer.
@@ -195,12 +197,52 @@ impl<'a> Sta<'a> {
         self.parasitics
     }
 
+    /// Borrowed engine context over this analyzer's inputs and graph.
+    pub(crate) fn ctx(&self) -> EngineCtx<'_> {
+        EngineCtx {
+            netlist: self.netlist,
+            library: self.library,
+            process: self.process,
+            parasitics: self.parasitics,
+            graph: &self.graph,
+        }
+    }
+
     /// Runs the requested analysis and reports the longest path.
     ///
     /// # Errors
     ///
     /// See [`StaError`].
     pub fn analyze(&self, mode: AnalysisMode) -> Result<ModeReport, StaError> {
+        self.ctx().analyze(mode)
+    }
+
+    /// Runs the passes of `mode` and returns the final node states.
+    pub(crate) fn compute_states(
+        &self,
+        mode: AnalysisMode,
+        pass_delays: &mut Vec<f64>,
+        solves: &mut usize,
+    ) -> Result<Vec<NodeState>, StaError> {
+        self.ctx().compute_states(mode, pass_delays, solves)
+    }
+}
+
+/// Borrowed view of one analysis's inputs and expanded graph: the reusable
+/// engine core shared by the batch [`Sta`] facade and the incremental (ECO)
+/// engine, which owns its design data and graph and so cannot use [`Sta`]'s
+/// borrowed form directly.
+pub(crate) struct EngineCtx<'a> {
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) library: &'a Library,
+    pub(crate) process: &'a Process,
+    pub(crate) parasitics: &'a Parasitics,
+    pub(crate) graph: &'a TimingGraph,
+}
+
+impl EngineCtx<'_> {
+    /// Runs the requested analysis and reports the longest path.
+    pub(crate) fn analyze(&self, mode: AnalysisMode) -> Result<ModeReport, StaError> {
         let started = Instant::now();
         let mut pass_delays: Vec<f64> = Vec::new();
         let mut solves = 0usize;
@@ -303,7 +345,7 @@ impl<'a> Sta<'a> {
     }
 
     /// Builds a [`ModeReport`] from completed states.
-    fn assemble_report(
+    pub(crate) fn assemble_report(
         &self,
         mode: AnalysisMode,
         final_states: Vec<NodeState>,
@@ -331,7 +373,7 @@ impl<'a> Sta<'a> {
         let critical_path = build_path(
             self.netlist,
             self.library,
-            &self.graph,
+            self.graph,
             &final_states,
             endpoint,
             rising,
@@ -355,12 +397,16 @@ impl<'a> Sta<'a> {
     }
 
     /// The latest endpoint arrival: `(node, rising, delay)`.
-    fn longest(&self, states: &[NodeState]) -> Option<(TNodeId, bool, f64)> {
+    pub(crate) fn longest(&self, states: &[NodeState]) -> Option<(TNodeId, bool, f64)> {
         self.extreme(states, false)
     }
 
     /// The latest (or, with `earliest`, the earliest) endpoint arrival.
-    fn extreme(&self, states: &[NodeState], earliest: bool) -> Option<(TNodeId, bool, f64)> {
+    pub(crate) fn extreme(
+        &self,
+        states: &[NodeState],
+        earliest: bool,
+    ) -> Option<(TNodeId, bool, f64)> {
         let mut best: Option<(TNodeId, bool, f64)> = None;
         for node in self.graph.endpoints() {
             for rising in [false, true] {
@@ -406,7 +452,7 @@ impl<'a> Sta<'a> {
     }
 
     /// Quiescent-time table per net and direction, from a completed pass.
-    fn quiet_table(&self, states: &[NodeState]) -> Vec<[Quiet; 2]> {
+    pub(crate) fn quiet_table(&self, states: &[NodeState]) -> Vec<[Quiet; 2]> {
         (0..self.netlist.net_count())
             .map(|ni| {
                 let node = self.graph.net_node[ni];
@@ -467,7 +513,7 @@ impl<'a> Sta<'a> {
     }
 
     /// Runs one full propagation pass (latest-arrival merging).
-    fn run_pass(
+    pub(crate) fn run_pass(
         &self,
         policy: &Policy<'_>,
         prev: Option<&[NodeState]>,
@@ -478,24 +524,55 @@ impl<'a> Sta<'a> {
 
     /// Runs one full propagation pass; `earliest` selects min-delay
     /// semantics (earliest merging, fastest sensitization).
-    fn run_pass_with(
+    pub(crate) fn run_pass_with(
         &self,
         policy: &Policy<'_>,
         prev: Option<&[NodeState]>,
         recompute: Option<&[bool]>,
         earliest: bool,
     ) -> Result<PassOutput, StaError> {
-        let process = self.process;
-        let solver = StageSolver::new(process);
-        let vdd = process.vdd;
-        let th = process.delay_threshold();
-        let vth = process.coupling_vth;
+        let solver = StageSolver::new(self.process);
         let n = self.graph.nodes.len();
         let mut states: Vec<NodeState> = vec![NodeState::default(); n];
         let mut calculated = vec![false; n];
         let mut solves = 0usize;
 
-        // Startpoints: primary-input nets get full-swing ramps at t = 0.
+        self.init_start_states(&mut states, &mut calculated);
+
+        for level in &self.graph.levels {
+            let results = self.eval_stages(
+                &solver,
+                level,
+                policy,
+                &states,
+                &calculated,
+                prev,
+                recompute,
+                earliest,
+            )?;
+            for (si, ev) in results {
+                let out_idx = self.graph.stages[si].output.index();
+                solves += ev.solves;
+                for (out_rising, info) in ev.merges {
+                    merge_with(&mut states[out_idx], out_rising, info, earliest);
+                }
+                calculated[out_idx] = true;
+            }
+        }
+
+        Ok(PassOutput {
+            states,
+            stage_solves: solves,
+        })
+    }
+
+    /// Seeds startpoint nodes (primary-input nets) with full-swing ramps at
+    /// `t = 0` and marks them calculated.
+    pub(crate) fn init_start_states(&self, states: &mut [NodeState], calculated: &mut [bool]) {
+        let process = self.process;
+        let vdd = process.vdd;
+        let th = process.delay_threshold();
+        let vth = process.coupling_vth;
         let slew = process.default_input_slew;
         for (i, node) in self.graph.nodes.iter().enumerate() {
             if node.is_start {
@@ -510,68 +587,71 @@ impl<'a> Sta<'a> {
                 calculated[i] = true;
             }
         }
+    }
 
-        // Level-parallel evaluation: stages within one dependency level only
-        // read states produced by earlier levels, so they can be solved
-        // concurrently; merges are applied serially afterwards.
+    /// The per-level propagation step: evaluates an explicit set of stages
+    /// against a read-only snapshot of the pass state and returns their
+    /// output merges, in input order. Stages within one dependency level
+    /// only read states produced by earlier levels, so they are solved
+    /// concurrently; the caller applies the merges serially. Both the batch
+    /// passes and the incremental engine drive propagation through this
+    /// function.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn eval_stages(
+        &self,
+        solver: &StageSolver<'_>,
+        stage_ids: &[usize],
+        policy: &Policy<'_>,
+        states: &[NodeState],
+        calculated: &[bool],
+        prev: Option<&[NodeState]>,
+        recompute: Option<&[bool]>,
+        earliest: bool,
+    ) -> Result<Vec<(usize, StageEval)>, StaError> {
+        let process = self.process;
+        let vdd = process.vdd;
+        let th = process.delay_threshold();
+        let vth = process.coupling_vth;
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        for level in &self.graph.levels {
-            let eval = |si: usize| -> (usize, Result<StageEval, StageError>) {
-                (
-                    si,
-                    self.eval_stage(
-                        si, &solver, policy, &states, &calculated, prev, recompute, th, vth,
-                        vdd, earliest,
-                    ),
-                )
-            };
-            let results: Vec<(usize, Result<StageEval, StageError>)> =
-                if level.len() < 32 || threads <= 1 {
-                    level.iter().map(|&si| eval(si)).collect()
-                } else {
-                    std::thread::scope(|scope| {
-                        let chunk = level.len().div_ceil(threads);
-                        let handles: Vec<_> = level
-                            .chunks(chunk)
-                            .map(|slice| {
-                                scope.spawn(move || {
-                                    slice.iter().map(|&si| eval(si)).collect::<Vec<_>>()
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .flat_map(|h| h.join().expect("stage workers do not panic"))
-                            .collect()
+        let eval = |si: usize| -> (usize, Result<StageEval, StageError>) {
+            (
+                si,
+                self.eval_stage(
+                    si, solver, policy, states, calculated, prev, recompute, th, vth, vdd, earliest,
+                ),
+            )
+        };
+        let results: Vec<(usize, Result<StageEval, StageError>)> = if stage_ids.len() < 32
+            || threads <= 1
+        {
+            stage_ids.iter().map(|&si| eval(si)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let chunk = stage_ids.len().div_ceil(threads);
+                let handles: Vec<_> = stage_ids
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || slice.iter().map(|&si| eval(si)).collect::<Vec<_>>())
                     })
-                };
-            for (si, result) in results {
-                let stage_inst = &self.graph.stages[si];
-                let out_idx = stage_inst.output.index();
-                match result {
-                    Ok(ev) => {
-                        solves += ev.solves;
-                        for (out_rising, info) in ev.merges {
-                            merge_with(&mut states[out_idx], out_rising, info, earliest);
-                        }
-                    }
-                    Err(e) => {
-                        return Err(StaError::Stage {
-                            gate: self.netlist.gate(stage_inst.gate).name.clone(),
-                            source: e,
-                        })
-                    }
-                }
-                calculated[out_idx] = true;
-            }
-        }
-
-        Ok(PassOutput {
-            states,
-            stage_solves: solves,
-        })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("stage workers do not panic"))
+                    .collect()
+            })
+        };
+        results
+            .into_iter()
+            .map(|(si, result)| match result {
+                Ok(ev) => Ok((si, ev)),
+                Err(e) => Err(StaError::Stage {
+                    gate: self.netlist.gate(self.graph.stages[si].gate).name.clone(),
+                    source: e,
+                }),
+            })
+            .collect()
     }
 
     /// Evaluates one stage against the current (read-only) pass state,
@@ -619,8 +699,7 @@ impl<'a> Sta<'a> {
         let stage: &Stage = &cell.stages[stage_inst.stage];
 
         for (slot, input) in stage_inst.inputs.iter().enumerate() {
-            let launch =
-                stage_inst.is_launch && matches!(stage.inputs[slot], StageSignal::Launch);
+            let launch = stage_inst.is_launch && matches!(stage.inputs[slot], StageSignal::Launch);
             for in_rising in [false, true] {
                 // Launch stages fire on the clock's rising edge only; the
                 // falling launch transition is the mirrored clock rise
@@ -647,8 +726,8 @@ impl<'a> Sta<'a> {
 
                 // Coupling treatment.
                 let (result, extra_solves) = self.solve_arc(
-                    solver, stage, slot, &in_wave, side, stage_inst, policy, states,
-                    calculated, in_rising,
+                    solver, stage, slot, &in_wave, side, stage_inst, policy, states, calculated,
+                    in_rising,
                 );
                 ev.solves += extra_solves;
                 let wave = result?;
@@ -703,7 +782,9 @@ impl<'a> Sta<'a> {
             Policy::Uniform(mode) => {
                 let load = grounded_load(*mode);
                 (
-                    solver.solve(stage, slot, in_wave, side, load).map(|r| r.wave),
+                    solver
+                        .solve(stage, slot, in_wave, side, load)
+                        .map(|r| r.wave),
                     1,
                 )
             }
@@ -711,7 +792,9 @@ impl<'a> Sta<'a> {
                 if stage_inst.couplings.is_empty() {
                     let load = Load::grounded(stage_inst.cground);
                     return (
-                        solver.solve(stage, slot, in_wave, side, load).map(|r| r.wave),
+                        solver
+                            .solve(stage, slot, in_wave, side, load)
+                            .map(|r| r.wave),
                         1,
                     );
                 }
@@ -777,7 +860,9 @@ impl<'a> Sta<'a> {
                     couplings,
                 };
                 (
-                    solver.solve(stage, slot, in_wave, side, load).map(|r| r.wave),
+                    solver
+                        .solve(stage, slot, in_wave, side, load)
+                        .map(|r| r.wave),
                     2,
                 )
             }
@@ -815,8 +900,7 @@ impl<'a> Sta<'a> {
         sink: Option<usize>,
         th: f64,
     ) -> Waveform {
-        let (TNodeKind::Net(net), Some(k)) = (self.graph.nodes[node.index()].kind, sink)
-        else {
+        let (TNodeKind::Net(net), Some(k)) = (self.graph.nodes[node.index()].kind, sink) else {
             return info.wave.clone();
         };
         let np = &self.parasitics.nets[net.index()];
@@ -852,7 +936,7 @@ impl<'a> Sta<'a> {
 
 /// Keeps the worst waveform per direction: latest-crossing for max-delay
 /// analysis, earliest-crossing when `earliest` is set (min-delay).
-fn merge_with(state: &mut NodeState, rising: bool, info: WaveInfo, earliest: bool) {
+pub(crate) fn merge_with(state: &mut NodeState, rising: bool, info: WaveInfo, earliest: bool) {
     let slot = &mut state.dirs[rising as usize];
     match slot {
         Some(existing)
@@ -900,8 +984,7 @@ mod tests {
     fn fixture_small(seed: u64) -> Fixture {
         let process = Process::c05um();
         let library = Library::c05um(&process);
-        let netlist =
-            generator::generate(&GeneratorConfig::small(seed), &library).expect("gen");
+        let netlist = generator::generate(&GeneratorConfig::small(seed), &library).expect("gen");
         let placement = place::place(&netlist, &library, &process);
         let routes = route::route(&netlist, &placement, &process);
         let parasitics = extract::extract(&netlist, &routes, &process);
@@ -915,8 +998,13 @@ mod tests {
 
     impl Fixture {
         fn sta(&self) -> Sta<'_> {
-            Sta::new(&self.netlist, &self.library, &self.process, &self.parasitics)
-                .expect("sta")
+            Sta::new(
+                &self.netlist,
+                &self.library,
+                &self.process,
+                &self.parasitics,
+            )
+            .expect("sta")
         }
     }
 
@@ -957,9 +1045,18 @@ mod tests {
     fn synthetic_circuit_mode_ordering() {
         let f = fixture_small(17);
         let sta = f.sta();
-        let best = sta.analyze(AnalysisMode::BestCase).expect("best").longest_delay;
-        let one = sta.analyze(AnalysisMode::OneStep).expect("one").longest_delay;
-        let worst = sta.analyze(AnalysisMode::WorstCase).expect("worst").longest_delay;
+        let best = sta
+            .analyze(AnalysisMode::BestCase)
+            .expect("best")
+            .longest_delay;
+        let one = sta
+            .analyze(AnalysisMode::OneStep)
+            .expect("one")
+            .longest_delay;
+        let worst = sta
+            .analyze(AnalysisMode::WorstCase)
+            .expect("worst")
+            .longest_delay;
         let iter = sta
             .analyze(AnalysisMode::Iterative { esperance: false })
             .expect("iter")
@@ -1093,6 +1190,7 @@ mod tests {
         let f = fixture_from_text(data::S27_BENCH);
         let sta = f.sta();
         let out = sta
+            .ctx()
             .run_pass(&Policy::Uniform(CouplingMode::Grounded), None, None)
             .expect("pass");
         let q = f.netlist.net_by_name("G5").expect("ff output");

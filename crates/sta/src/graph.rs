@@ -10,7 +10,7 @@
 //! DAG (paper §4: "the circuit is translated into a directed acyclic
 //! graph").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use xtalk_layout::Parasitics;
 use xtalk_netlist::{GateId, NetId, Netlist, NetlistError};
@@ -112,6 +112,11 @@ pub struct TimingGraph {
     pub fanout: Vec<Vec<(usize, usize)>>,
     /// Net-id to timing-node mapping.
     pub net_node: Vec<TNodeId>,
+    /// For each timing node, the stage producing it (`None` for
+    /// startpoints). Every non-start node has exactly one producer.
+    pub producer: Vec<Option<usize>>,
+    /// Dependency level of each stage (its index into `levels`).
+    pub stage_level: Vec<usize>,
 }
 
 impl TimingGraph {
@@ -249,9 +254,7 @@ impl TimingGraph {
                         let np = &parasitics.nets[net.index()];
                         (
                             net_node[net.index()],
-                            stage.output_diffusion_cap(process)
-                                + np.cwire
-                                + pin_cap[net.index()],
+                            stage.output_diffusion_cap(process) + np.cwire + pin_cap[net.index()],
                             np.couplings
                                 .iter()
                                 .map(|c| (c.other, c.c))
@@ -383,6 +386,8 @@ impl TimingGraph {
             levels,
             fanout,
             net_node,
+            producer,
+            stage_level,
         })
     }
 
@@ -400,8 +405,9 @@ impl TimingGraph {
             .map(|(i, _)| TNodeId(i as u32))
     }
 
-    /// A map from output timing node to producing stage.
-    pub fn producers(&self) -> HashMap<TNodeId, usize> {
+    /// A map from output timing node to producing stage, ordered by node id
+    /// so iteration (and anything derived from it) is deterministic.
+    pub fn producers(&self) -> BTreeMap<TNodeId, usize> {
         self.stages
             .iter()
             .enumerate()
@@ -469,11 +475,7 @@ mod tests {
         let routes = xtalk_layout::route::route(&nl, &placement, &p);
         let para = xtalk_layout::extract::extract(&nl, &routes, &p);
         let g = TimingGraph::build(&nl, &l, &p, &para).expect("build");
-        let coupled = g
-            .stages
-            .iter()
-            .filter(|s| !s.couplings.is_empty())
-            .count();
+        let coupled = g.stages.iter().filter(|s| !s.couplings.is_empty()).count();
         assert!(coupled > 0, "extracted couplings must reach the graph");
         // Internal stages never carry couplings.
         for s in &g.stages {

@@ -1,0 +1,192 @@
+//! The dirty-cone re-propagation sweep.
+//!
+//! One batch pass walks the dependency levels in order and evaluates every
+//! stage. The incremental sweep walks the same levels over a *cached* state
+//! vector and re-evaluates a stage only when its result can differ from the
+//! cache:
+//!
+//! - the stage is a **seed** (its gate was named dirty by an edit: cell,
+//!   load, wire or coupling data changed under it);
+//! - an **input node changed** during this sweep (the ordinary electrical
+//!   fan-out cone);
+//! - a **coupling aggressor changed** — the crosstalk-specific part of the
+//!   dirty rule. Under the one-step policy the aggressor's quiescent time
+//!   enters the coupling decision only once the aggressor is calculated
+//!   (earlier level), so a changed-and-calculated aggressor net dirties
+//!   the victim's stage even though no timing arc connects them. During
+//!   iterative refinement the decision reads the previous pass's quiet
+//!   table instead, so the stage is dirty when any aggressor's quiet entry
+//!   differs from the one the cached pass consumed. Under a uniform policy
+//!   coupling caps are value-independent and add no dirt.
+//!
+//! Early termination: a re-evaluated stage whose fresh output matches the
+//! cache within epsilon does not mark its output changed, so its clean
+//! fan-out is never visited. Because each timing node has exactly one
+//! producer stage and levels are applied in order, replaying the dirty
+//! subset over the cached states reproduces the batch pass exactly (at
+//! epsilon zero).
+
+use xtalk_wave::stage::StageSolver;
+
+use crate::engine::{merge_with, EngineCtx, NodeState, Policy, StaError};
+
+/// Outcome of one incremental sweep.
+pub(crate) struct SweepOutput {
+    /// Per-node flag: the node's cached state was replaced.
+    pub changed: Vec<bool>,
+    /// Stage solves consumed.
+    pub solves: usize,
+    /// Stages re-evaluated (of `graph.stages.len()` total).
+    pub reevaluated: usize,
+}
+
+/// Re-propagates one cached pass in place. `seed` flags stages invalidated
+/// directly by edits; `quiet_dirty` (refinement passes only) flags nets
+/// whose quiet-table entry differs from the one the cached pass used.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn repropagate(
+    ctx: &EngineCtx<'_>,
+    policy: &Policy<'_>,
+    states: &mut Vec<NodeState>,
+    seed: &[bool],
+    quiet_dirty: Option<&[bool]>,
+    earliest: bool,
+    epsilon: f64,
+) -> Result<SweepOutput, StaError> {
+    let solver = StageSolver::new(ctx.process);
+    let n = ctx.graph.nodes.len();
+    states.resize(n, NodeState::default());
+    let mut out = SweepOutput {
+        changed: vec![false; n],
+        solves: 0,
+        reevaluated: 0,
+    };
+
+    // Start states depend only on the process, but re-derive and compare
+    // them so a start node that fell out of the cache remap is repaired.
+    let mut starts: Vec<NodeState> = vec![NodeState::default(); n];
+    let mut calculated = vec![false; n];
+    ctx.init_start_states(&mut starts, &mut calculated);
+    for i in 0..n {
+        if calculated[i] && !state_eq(&states[i], &starts[i], epsilon) {
+            states[i] = std::mem::take(&mut starts[i]);
+            out.changed[i] = true;
+        }
+    }
+    drop(starts);
+
+    let mut dirty: Vec<usize> = Vec::new();
+    for level in &ctx.graph.levels {
+        dirty.clear();
+        for &si in level {
+            let stage = &ctx.graph.stages[si];
+            let mut is_dirty = seed[si]
+                || stage
+                    .inputs
+                    .iter()
+                    .any(|input| out.changed[input.node.index()]);
+            if !is_dirty && !stage.couplings.is_empty() {
+                is_dirty = match policy {
+                    // Uniform policies read coupling caps, never aggressor
+                    // state; structural coupling changes arrive via `seed`.
+                    Policy::Uniform(_) => false,
+                    // One-step: the decision reads a calculated aggressor's
+                    // quiescent time (an uncalculated one is pessimistically
+                    // active regardless of its value).
+                    Policy::QuietAware { prev: None } => {
+                        stage.couplings.iter().any(|&(other, _)| {
+                            let node = ctx.graph.net_node[other.index()].index();
+                            calculated[node] && out.changed[node]
+                        })
+                    }
+                    // Refinement: the decision reads the previous pass's
+                    // quiet table.
+                    Policy::QuietAware { prev: Some(_) } => {
+                        let quiet_dirty = quiet_dirty.expect("refinement sweep passes quiet dirt");
+                        stage
+                            .couplings
+                            .iter()
+                            .any(|&(other, _)| quiet_dirty[other.index()])
+                    }
+                };
+            }
+            if is_dirty {
+                dirty.push(si);
+            }
+        }
+
+        if !dirty.is_empty() {
+            let results = ctx.eval_stages(
+                &solver,
+                &dirty,
+                policy,
+                states,
+                &calculated,
+                None,
+                None,
+                earliest,
+            )?;
+            for (si, ev) in results {
+                out.solves += ev.solves;
+                out.reevaluated += 1;
+                let out_idx = ctx.graph.stages[si].output.index();
+                // Rebuild the output from scratch: this stage is the node's
+                // only producer, so its merges are the complete state.
+                let mut fresh = NodeState::default();
+                for (out_rising, info) in ev.merges {
+                    merge_with(&mut fresh, out_rising, info, earliest);
+                }
+                if !state_eq(&states[out_idx], &fresh, epsilon) {
+                    states[out_idx] = fresh;
+                    out.changed[out_idx] = true;
+                }
+            }
+        }
+
+        // Whether re-evaluated or reused, every output of this level is now
+        // final — exactly the batch pass's calculated set.
+        for &si in level {
+            calculated[ctx.graph.stages[si].output.index()] = true;
+        }
+    }
+
+    Ok(out)
+}
+
+/// Arrival-state equality within `epsilon` (seconds for times, volts for
+/// waveform values). At the default `epsilon == 0.0` this is exact, which
+/// still terminates early because re-evaluation is deterministic: a stage
+/// whose inputs are bit-identical reproduces a bit-identical output.
+/// Predecessor arcs are ignored — they are a function of the winning merge
+/// and agree whenever the waveforms do.
+pub(crate) fn state_eq(a: &NodeState, b: &NodeState, epsilon: f64) -> bool {
+    for dir in 0..2 {
+        match (&a.dirs[dir], &b.dirs[dir]) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                if !wave_info_eq(x, y, epsilon) {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+fn wave_info_eq(a: &crate::engine::WaveInfo, b: &crate::engine::WaveInfo, epsilon: f64) -> bool {
+    if !close(a.crossing, b.crossing, epsilon) || !close(a.quiescent, b.quiescent, epsilon) {
+        return false;
+    }
+    let (pa, pb) = (a.wave.points(), b.wave.points());
+    pa.len() == pb.len()
+        && pa
+            .iter()
+            .zip(pb)
+            .all(|(&(ta, va), &(tb, vb))| close(ta, tb, epsilon) && close(va, vb, epsilon))
+}
+
+#[inline]
+fn close(a: f64, b: f64, epsilon: f64) -> bool {
+    (a - b).abs() <= epsilon
+}

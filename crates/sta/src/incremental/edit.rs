@@ -1,0 +1,383 @@
+//! Typed ECO edits: validation, netlist/parasitic mutation and dirty seeds.
+//!
+//! Each edit is resolved by name against the current design, applied to the
+//! owned netlist and parasitics, and reduced to a set of *seed gates* — the
+//! gates whose stage solutions are invalidated directly by the edit (their
+//! load, parasitics or cell changed). Everything downstream of a seed is
+//! found dynamically during re-propagation, so seeds only need to cover
+//! first-order effects:
+//!
+//! - **resize**: the gate itself (new transistors, new pin caps on its
+//!   arcs) and the drivers of its input nets (their load changed);
+//! - **reroute**: the net's driver (wire cap changed), its consumers
+//!   (Elmore wire delay changed) and the drivers of every coupling partner
+//!   (their coupling caps were patched symmetrically);
+//! - **buffer**: the split net's old driver, the new buffer and the moved
+//!   consumers;
+//! - **uncouple**: both nets' drivers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use xtalk_layout::Parasitics;
+use xtalk_netlist::{GateId, NetId, Netlist, NetlistError};
+use xtalk_tech::Library;
+
+/// Default cell for [`Edit::InsertBuffer`] when none is given.
+pub const DEFAULT_BUFFER_CELL: &str = "BUFX2";
+
+/// One engineering change order against the analysed design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// Swap the library cell of a gate instance (same pin interface).
+    ResizeCell {
+        /// Instance name of the gate to resize.
+        gate: String,
+        /// New library cell name; must have the same input count.
+        cell: String,
+    },
+    /// Scale all wire parasitics of a net (ground cap, resistance, coupling
+    /// caps on both sides) by a factor, modelling a reroute.
+    RerouteNet {
+        /// Net name.
+        net: String,
+        /// Scale factor (`>= 0`, finite); `1.0` is a no-op.
+        scale: f64,
+    },
+    /// Split a net by inserting a buffer: the net keeps its driver, a new
+    /// net takes over all its loads.
+    InsertBuffer {
+        /// Net name.
+        net: String,
+        /// Buffer cell; defaults to [`DEFAULT_BUFFER_CELL`].
+        cell: Option<String>,
+    },
+    /// Delete the coupling capacitance between two nets (both directions),
+    /// modelling shielding or spacing.
+    RemoveCoupling {
+        /// First net name.
+        a: String,
+        /// Second net name.
+        b: String,
+    },
+}
+
+/// What an applied edit touched.
+#[derive(Debug, Clone, Default)]
+pub struct EditOutcome {
+    /// Gates whose cached stage solutions were invalidated directly.
+    pub seed_gates: usize,
+    /// The buffer gate created by [`Edit::InsertBuffer`].
+    pub new_gate: Option<GateId>,
+    /// The net created by [`Edit::InsertBuffer`].
+    pub new_net: Option<NetId>,
+}
+
+/// Errors from resolving or applying an [`Edit`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EditError {
+    /// No gate instance with this name.
+    UnknownGate(String),
+    /// No net with this name.
+    UnknownNet(String),
+    /// No cell with this name in the library.
+    UnknownCell(String),
+    /// The replacement cell's input count differs from the instance's.
+    PinCountMismatch {
+        /// Offending cell name.
+        cell: String,
+        /// Inputs the instance has.
+        expected: usize,
+        /// Inputs the cell wants.
+        got: usize,
+    },
+    /// The buffer cell is not a single-input combinational cell.
+    NotABuffer(String),
+    /// The reroute scale is negative, NaN or infinite.
+    BadScale(f64),
+    /// An edit script line did not parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The mutated netlist no longer expands to a timing graph.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownGate(g) => write!(f, "unknown gate `{g}`"),
+            EditError::UnknownNet(n) => write!(f, "unknown net `{n}`"),
+            EditError::UnknownCell(c) => write!(f, "unknown cell `{c}`"),
+            EditError::PinCountMismatch {
+                cell,
+                expected,
+                got,
+            } => write!(f, "cell `{cell}` has {got} inputs, instance has {expected}"),
+            EditError::NotABuffer(c) => {
+                write!(f, "cell `{c}` is not a single-input combinational cell")
+            }
+            EditError::BadScale(s) => write!(f, "bad reroute scale {s}"),
+            EditError::Parse { line, message } => {
+                write!(f, "edit script line {line}: {message}")
+            }
+            EditError::Netlist(e) => write!(f, "edit broke the netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EditError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for EditError {
+    fn from(e: NetlistError) -> Self {
+        EditError::Netlist(e)
+    }
+}
+
+impl Edit {
+    /// Parses one edit-script line. Grammar (whitespace separated):
+    ///
+    /// ```text
+    /// resize   <gate> <cell>
+    /// reroute  <net> <scale>
+    /// buffer   <net> [cell]
+    /// uncouple <netA> <netB>
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::Parse`] with `line` as reported line number.
+    pub fn parse_line(text: &str, line: usize) -> Result<Edit, EditError> {
+        let err = |message: String| EditError::Parse { line, message };
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["resize", gate, cell] => Ok(Edit::ResizeCell {
+                gate: gate.to_string(),
+                cell: cell.to_string(),
+            }),
+            ["reroute", net, scale] => Ok(Edit::RerouteNet {
+                net: net.to_string(),
+                scale: scale
+                    .parse()
+                    .map_err(|_| err(format!("bad scale `{scale}`")))?,
+            }),
+            ["buffer", net] => Ok(Edit::InsertBuffer {
+                net: net.to_string(),
+                cell: None,
+            }),
+            ["buffer", net, cell] => Ok(Edit::InsertBuffer {
+                net: net.to_string(),
+                cell: Some(cell.to_string()),
+            }),
+            ["uncouple", a, b] => Ok(Edit::RemoveCoupling {
+                a: a.to_string(),
+                b: b.to_string(),
+            }),
+            ["resize", ..] => Err(err("resize takes <gate> <cell>".to_string())),
+            ["reroute", ..] => Err(err("reroute takes <net> <scale>".to_string())),
+            ["buffer", ..] => Err(err("buffer takes <net> [cell]".to_string())),
+            ["uncouple", ..] => Err(err("uncouple takes <a> <b>".to_string())),
+            [cmd, ..] => Err(err(format!("unknown edit `{cmd}`"))),
+            [] => Err(err("empty edit".to_string())),
+        }
+    }
+
+    /// Parses a whole edit script: one edit per line, `#` comments and blank
+    /// lines ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::Parse`] for the first bad line.
+    pub fn parse_script(text: &str) -> Result<Vec<Edit>, EditError> {
+        let mut edits = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            edits.push(Edit::parse_line(line, i + 1)?);
+        }
+        Ok(edits)
+    }
+}
+
+fn gate_by_name(netlist: &Netlist, name: &str) -> Result<GateId, EditError> {
+    netlist
+        .gates()
+        .iter()
+        .position(|g| g.name == name)
+        .map(|i| GateId(i as u32))
+        .ok_or_else(|| EditError::UnknownGate(name.to_string()))
+}
+
+fn net_by_name(netlist: &Netlist, name: &str) -> Result<NetId, EditError> {
+    netlist
+        .net_by_name(name)
+        .ok_or_else(|| EditError::UnknownNet(name.to_string()))
+}
+
+/// Applies `edit` to the owned design data and returns the dirty seed gates
+/// plus a summary. Validation happens before any mutation, so an `Err`
+/// leaves the design untouched.
+pub(crate) fn apply_edit(
+    netlist: &mut Netlist,
+    parasitics: &mut Parasitics,
+    library: &Library,
+    edit: &Edit,
+) -> Result<(BTreeSet<GateId>, EditOutcome), EditError> {
+    let mut seeds: BTreeSet<GateId> = BTreeSet::new();
+    let mut outcome = EditOutcome::default();
+    match edit {
+        Edit::ResizeCell { gate, cell } => {
+            let gid = gate_by_name(netlist, gate)?;
+            let new_cell = library
+                .cell(cell)
+                .ok_or_else(|| EditError::UnknownCell(cell.clone()))?;
+            let expected = netlist.gate(gid).inputs.len();
+            if new_cell.inputs.len() != expected {
+                return Err(EditError::PinCountMismatch {
+                    cell: cell.clone(),
+                    expected,
+                    got: new_cell.inputs.len(),
+                });
+            }
+            seeds.insert(gid);
+            for &input in &netlist.gate(gid).inputs.clone() {
+                // The resized pins present new input caps to their drivers.
+                if let Some(driver) = netlist.net(input).driver {
+                    seeds.insert(driver);
+                }
+            }
+            netlist.set_gate_cell(gid, cell.clone());
+        }
+        Edit::RerouteNet { net, scale } => {
+            if !scale.is_finite() || *scale < 0.0 {
+                return Err(EditError::BadScale(*scale));
+            }
+            let nid = net_by_name(netlist, net)?;
+            if let Some(driver) = netlist.net(nid).driver {
+                seeds.insert(driver);
+            }
+            for &(gate, _) in &netlist.net(nid).loads {
+                // Their Elmore wire delay changed.
+                seeds.insert(gate);
+            }
+            for cc in &parasitics.nets[nid.index()].couplings {
+                // Coupling caps are patched on both sides: the partner
+                // nets' drivers see a different load too.
+                if let Some(driver) = netlist.net(cc.other).driver {
+                    seeds.insert(driver);
+                }
+            }
+            parasitics.patch_net(nid, *scale);
+        }
+        Edit::InsertBuffer { net, cell } => {
+            let nid = net_by_name(netlist, net)?;
+            let cell_name = cell.as_deref().unwrap_or(DEFAULT_BUFFER_CELL);
+            let buf_cell = library
+                .cell(cell_name)
+                .ok_or_else(|| EditError::UnknownCell(cell_name.to_string()))?;
+            if buf_cell.inputs.len() != 1 || buf_cell.is_sequential() {
+                return Err(EditError::NotABuffer(cell_name.to_string()));
+            }
+            if netlist.net(nid).loads.is_empty() {
+                return Err(EditError::Netlist(NetlistError::Undriven {
+                    net: net.clone(),
+                }));
+            }
+            if let Some(driver) = netlist.net(nid).driver {
+                seeds.insert(driver);
+            }
+            for &(gate, _) in &netlist.net(nid).loads {
+                seeds.insert(gate);
+            }
+            let name = format!("eco_buf{}", netlist.gate_count());
+            let (buf, new_net) = netlist.insert_buffer(nid, name, cell_name)?;
+            seeds.insert(buf);
+            // The buffer sits at the split point: the original net keeps
+            // its parasitics and its first sink's wire, the new net starts
+            // as an ideal stub.
+            parasitics.nets[nid.index()].sinks.truncate(1);
+            parasitics.grow_to(netlist.net_count());
+            outcome.new_gate = Some(buf);
+            outcome.new_net = Some(new_net);
+        }
+        Edit::RemoveCoupling { a, b } => {
+            let na = net_by_name(netlist, a)?;
+            let nb = net_by_name(netlist, b)?;
+            if let Some(driver) = netlist.net(na).driver {
+                seeds.insert(driver);
+            }
+            if let Some(driver) = netlist.net(nb).driver {
+                seeds.insert(driver);
+            }
+            parasitics.remove_coupling(na, nb);
+        }
+    }
+    outcome.seed_gates = seeds.len();
+    Ok((seeds, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_forms() {
+        assert_eq!(
+            Edit::parse_line("resize u1 INVX4", 1).expect("resize"),
+            Edit::ResizeCell {
+                gate: "u1".into(),
+                cell: "INVX4".into()
+            }
+        );
+        assert_eq!(
+            Edit::parse_line("reroute n3 0.5", 1).expect("reroute"),
+            Edit::RerouteNet {
+                net: "n3".into(),
+                scale: 0.5
+            }
+        );
+        assert_eq!(
+            Edit::parse_line("buffer n3", 1).expect("buffer"),
+            Edit::InsertBuffer {
+                net: "n3".into(),
+                cell: None
+            }
+        );
+        assert_eq!(
+            Edit::parse_line("buffer n3 BUFX4", 1).expect("buffer cell"),
+            Edit::InsertBuffer {
+                net: "n3".into(),
+                cell: Some("BUFX4".into())
+            }
+        );
+        assert_eq!(
+            Edit::parse_line("uncouple n1 n2", 1).expect("uncouple"),
+            Edit::RemoveCoupling {
+                a: "n1".into(),
+                b: "n2".into()
+            }
+        );
+        assert!(Edit::parse_line("explode n1", 7).is_err());
+        assert!(Edit::parse_line("reroute n1 fast", 7).is_err());
+    }
+
+    #[test]
+    fn parse_script_skips_comments() {
+        let script = "# an eco\nresize u1 INVX4\n\nreroute n2 2.0 # longer\n";
+        let edits = Edit::parse_script(script).expect("script");
+        assert_eq!(edits.len(), 2);
+    }
+}

@@ -42,12 +42,14 @@
 
 pub mod engine;
 pub mod graph;
+pub mod incremental;
 pub mod mode;
 pub mod noise;
 pub mod report;
 pub mod sdf;
 
 pub use engine::{Sta, StaError};
+pub use incremental::{AnalyzeStats, Edit, EditError, EditOutcome, IncrementalSta};
 pub use mode::AnalysisMode;
 pub use noise::{glitch_report, GlitchRecord, GlitchReport};
 pub use report::{ModeReport, PathStep};

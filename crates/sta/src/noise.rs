@@ -206,8 +206,7 @@ mod tests {
     fn fix(seed: u64) -> Fix {
         let process = Process::c05um();
         let library = Library::c05um(&process);
-        let netlist =
-            generator::generate(&GeneratorConfig::small(seed), &library).expect("gen");
+        let netlist = generator::generate(&GeneratorConfig::small(seed), &library).expect("gen");
         let placement = xtalk_layout::place::place(&netlist, &library, &process);
         let routes = xtalk_layout::route::route(&netlist, &placement, &process);
         let parasitics = xtalk_layout::extract::extract(&netlist, &routes, &process);
@@ -259,8 +258,7 @@ mod tests {
         let f = fix(63);
         let sta = Sta::new(&f.netlist, &f.library, &f.process, &f.parasitics).expect("sta");
         let report = sta.analyze(AnalysisMode::OneStep).expect("analysis");
-        let statics =
-            glitch_report(&f.netlist, &f.library, &f.process, &f.parasitics, None, 0.0);
+        let statics = glitch_report(&f.netlist, &f.library, &f.process, &f.parasitics, None, 0.0);
         let windowed = glitch_report(
             &f.netlist,
             &f.library,

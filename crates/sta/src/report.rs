@@ -46,12 +46,16 @@ pub struct EndpointArrival {
 impl EndpointArrival {
     /// The later of the two arrivals.
     pub fn latest(&self) -> f64 {
-        self.rise.unwrap_or(f64::NEG_INFINITY).max(self.fall.unwrap_or(f64::NEG_INFINITY))
+        self.rise
+            .unwrap_or(f64::NEG_INFINITY)
+            .max(self.fall.unwrap_or(f64::NEG_INFINITY))
     }
 
     /// The earlier of the two arrivals.
     pub fn earliest(&self) -> f64 {
-        self.rise.unwrap_or(f64::INFINITY).min(self.fall.unwrap_or(f64::INFINITY))
+        self.rise
+            .unwrap_or(f64::INFINITY)
+            .min(self.fall.unwrap_or(f64::INFINITY))
     }
 }
 

@@ -136,12 +136,15 @@ fn render(sta: &Sta<'_>, states: &[NodeState]) -> String {
     out
 }
 
+/// One parsed IOPATH: `(instance, input pin, output pin, rise ns, fall ns)`
+/// (a missing delay is `None`).
+pub type IoPath = (String, String, String, Option<f64>, Option<f64>);
+
 /// Parsed contents of an `xtalk`-style SDF file.
 #[derive(Debug, Clone, Default)]
 pub struct SdfDelays {
-    /// `(instance, input pin, output pin, rise ns, fall ns)` per IOPATH
-    /// (a missing delay is `None`).
-    pub iopaths: Vec<(String, String, String, Option<f64>, Option<f64>)>,
+    /// Every IOPATH entry, in file order.
+    pub iopaths: Vec<IoPath>,
     /// `(from port, to port, delay ns)` per INTERCONNECT.
     pub interconnects: Vec<(String, String, f64)>,
 }
@@ -242,8 +245,7 @@ mod tests {
         let library = Library::c05um(&process);
         let netlist = match text {
             Some(t) => bench::parse(t, &library).expect("parse"),
-            None => generator::generate(&GeneratorConfig::small(91), &library)
-                .expect("generate"),
+            None => generator::generate(&GeneratorConfig::small(91), &library).expect("generate"),
         };
         let placement = place::place(&netlist, &library, &process);
         let routes = route::route(&netlist, &placement, &process);
@@ -276,7 +278,10 @@ mod tests {
                 .collect();
             assert!(!nums.is_empty(), "no delays in {line}");
             for d in nums {
-                assert!((0.0..50.0).contains(&d), "implausible delay {d} ns in {line}");
+                assert!(
+                    (0.0..50.0).contains(&d),
+                    "implausible delay {d} ns in {line}"
+                );
             }
         }
     }
@@ -314,8 +319,7 @@ mod tests {
     fn crosstalk_mode_sdf_slower_than_best_case() {
         let process = Process::c05um();
         let library = Library::c05um(&process);
-        let netlist = generator::generate(&GeneratorConfig::small(92), &library)
-            .expect("generate");
+        let netlist = generator::generate(&GeneratorConfig::small(92), &library).expect("generate");
         let placement = place::place(&netlist, &library, &process);
         let routes = route::route(&netlist, &placement, &process);
         let parasitics = extract::extract(&netlist, &routes, &process);

@@ -53,9 +53,7 @@ impl Network {
     pub fn device_count(&self) -> usize {
         match self {
             Network::Device { .. } => 1,
-            Network::Series(v) | Network::Parallel(v) => {
-                v.iter().map(Network::device_count).sum()
-            }
+            Network::Series(v) | Network::Parallel(v) => v.iter().map(Network::device_count).sum(),
         }
     }
 
@@ -73,10 +71,9 @@ impl Network {
                     0.0
                 }
             }
-            Network::Series(v) | Network::Parallel(v) => v
-                .iter()
-                .map(|n| n.gate_cap_for_input(input, process))
-                .sum(),
+            Network::Series(v) | Network::Parallel(v) => {
+                v.iter().map(|n| n.gate_cap_for_input(input, process)).sum()
+            }
         }
     }
 
@@ -85,9 +82,7 @@ impl Network {
     pub fn output_adjacent_width(&self) -> f64 {
         match self {
             Network::Device { width, .. } => *width,
-            Network::Series(v) => v
-                .first()
-                .map_or(0.0, Network::output_adjacent_width),
+            Network::Series(v) => v.first().map_or(0.0, Network::output_adjacent_width),
             Network::Parallel(v) => v.iter().map(Network::output_adjacent_width).sum(),
         }
     }
@@ -98,9 +93,7 @@ impl Network {
         match self {
             Network::Device { .. } => 1,
             Network::Series(v) => v.iter().map(Network::max_stack_depth).sum(),
-            Network::Parallel(v) => {
-                v.iter().map(Network::max_stack_depth).max().unwrap_or(0)
-            }
+            Network::Parallel(v) => v.iter().map(Network::max_stack_depth).max().unwrap_or(0),
         }
     }
 
@@ -540,9 +533,7 @@ mod tests {
     #[test]
     fn nand_conduction_logic() {
         let s = nand2_stage();
-        let val = |a: Option<bool>, b: Option<bool>| {
-            move |i: usize| if i == 0 { a } else { b }
-        };
+        let val = |a: Option<bool>, b: Option<bool>| move |i: usize| if i == 0 { a } else { b };
         assert_eq!(s.eval(val(Some(true), Some(true))), Some(false));
         assert_eq!(s.eval(val(Some(true), Some(false))), Some(true));
         assert_eq!(s.eval(val(Some(false), None)), Some(true)); // controlled

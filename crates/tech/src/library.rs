@@ -111,7 +111,10 @@ impl<'a> IntoIterator for &'a Library {
 }
 
 fn letters(n: usize) -> Vec<String> {
-    ["A", "B", "C", "D"][..n].iter().map(|s| s.to_string()).collect()
+    ["A", "B", "C", "D"][..n]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
 }
 
 fn single_stage(
@@ -205,7 +208,11 @@ fn buffer_cell(name: &str, out_scale: f64, area: usize) -> Cell {
         output: "Y".to_string(),
         function: Function::Buf,
         stages: vec![
-            inv_stage(StageSignal::Pin(0), StageSignal::Internal(0), out_scale * 0.35),
+            inv_stage(
+                StageSignal::Pin(0),
+                StageSignal::Internal(0),
+                out_scale * 0.35,
+            ),
             inv_stage(StageSignal::Internal(0), StageSignal::Pin(0), out_scale),
         ],
         internal_nodes: 1,
@@ -229,7 +236,10 @@ fn and_or_cell(name: &str, function: Function, n: usize, area: usize) -> Cell {
         inputs: letters(n),
         output: "Y".to_string(),
         function,
-        stages: vec![first, inv_stage(StageSignal::Internal(0), StageSignal::Pin(0), 1.0)],
+        stages: vec![
+            first,
+            inv_stage(StageSignal::Internal(0), StageSignal::Pin(0), 1.0),
+        ],
         internal_nodes: 1,
         seq: None,
         area_sites: area,
@@ -308,7 +318,10 @@ fn dff_cell() -> Cell {
             inv_stage(Internal(0), Pin(0), 1.0),
         ],
         internal_nodes: 1,
-        seq: Some(SeqSpec { d_pin: 0, clk_pin: 1 }),
+        seq: Some(SeqSpec {
+            d_pin: 0,
+            clk_pin: 1,
+        }),
         area_sites: 10,
         input_cap: Vec::new(),
     }
@@ -409,10 +422,10 @@ mod tests {
     fn library_has_expected_cells() {
         let lib = lib();
         for name in [
-            "INVX1", "INVX2", "INVX4", "INVX8", "BUFX2", "BUFX4", "CLKBUFX4",
-            "CLKBUFX8", "NAND2X1", "NAND2X2", "NAND3X1", "NAND4X1", "NOR2X1",
-            "NOR2X2", "NOR3X1", "AND2X1", "AND3X1", "OR2X1", "OR3X1", "XOR2X1",
-            "XNOR2X1", "MUX2X1", "AOI21X1", "OAI21X1", "DFFX1",
+            "INVX1", "INVX2", "INVX4", "INVX8", "BUFX2", "BUFX4", "CLKBUFX4", "CLKBUFX8",
+            "NAND2X1", "NAND2X2", "NAND3X1", "NAND4X1", "NOR2X1", "NOR2X2", "NOR3X1", "AND2X1",
+            "AND3X1", "OR2X1", "OR3X1", "XOR2X1", "XNOR2X1", "MUX2X1", "AOI21X1", "OAI21X1",
+            "DFFX1",
         ] {
             assert!(lib.cell(name).is_some(), "missing {name}");
         }
@@ -545,11 +558,13 @@ mod tests {
     fn function_selection() {
         let lib = lib();
         assert_eq!(
-            lib.cell_for_function(Function::Nand, 3).map(|c| c.name.as_str()),
+            lib.cell_for_function(Function::Nand, 3)
+                .map(|c| c.name.as_str()),
             Some("NAND3X1")
         );
         assert_eq!(
-            lib.cell_for_function(Function::Inv, 1).map(|c| c.name.as_str()),
+            lib.cell_for_function(Function::Inv, 1)
+                .map(|c| c.name.as_str()),
             Some("INVX1")
         );
         assert!(lib.cell_for_function(Function::Nand, 7).is_none());

@@ -152,10 +152,7 @@ impl MosfetParams {
         // Sub-threshold component: exponential below Vth, saturating at i0
         // above it (the strong-inversion term dominates there anyway).
         let sub_arg = (vgst.min(0.0)) / (self.n_sub * THERMAL_VOLTAGE);
-        let i_sub = wl
-            * self.i0
-            * sub_arg.exp()
-            * (1.0 - (-vds / THERMAL_VOLTAGE).exp());
+        let i_sub = wl * self.i0 * sub_arg.exp() * (1.0 - (-vds / THERMAL_VOLTAGE).exp());
 
         if vgst <= 0.0 {
             return i_sub;
@@ -194,7 +191,7 @@ mod tests {
     fn nmos_drive_strength_plausible_for_05um() {
         let n = MosfetParams::nmos_05um();
         let per_um = n.drain_current(3.3, 3.3, UM) / UM * 1e-6; // A per um
-        // 0.5um NMOS: 300..600 uA/um is the plausible band.
+                                                                // 0.5um NMOS: 300..600 uA/um is the plausible band.
         assert!(per_um > 300e-6 && per_um < 600e-6, "got {per_um}");
     }
 
@@ -234,7 +231,10 @@ mod tests {
         for i in 0..34 {
             let vds = i as f64 * 0.1;
             let id = n.drain_current(2.0, vds, UM);
-            assert!(id >= prev, "Ids must not decrease with Vds, got {id} < {prev}");
+            assert!(
+                id >= prev,
+                "Ids must not decrease with Vds, got {id} < {prev}"
+            );
             prev = id;
         }
     }

@@ -213,7 +213,10 @@ mod tests {
             assert!(layer.cc_per_m < layer.c_per_m);
             // Lateral coupling is roughly a third of the total wire cap at
             // average spacing in a two-metal 0.5um process.
-            assert!(layer.cc_per_m > 0.15 * layer.c_per_m, "coupling must matter");
+            assert!(
+                layer.cc_per_m > 0.15 * layer.c_per_m,
+                "coupling must matter"
+            );
         }
     }
 }

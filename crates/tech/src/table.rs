@@ -242,7 +242,10 @@ mod tests {
             // current is exponential in Vgs and linear interpolation has large
             // *relative* but negligible *absolute* error.
             let tol = 0.02 * exact.abs() + 5e-7;
-            assert!((exact - tab).abs() < tol, "({vgs:.3},{vds:.3}): {exact} vs {tab}");
+            assert!(
+                (exact - tab).abs() < tol,
+                "({vgs:.3},{vds:.3}): {exact} vs {tab}"
+            );
         }
     }
 

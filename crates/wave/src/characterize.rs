@@ -88,9 +88,7 @@ pub fn characterize_cell(
                     let (v0, v1) = if input_rising { (0.0, vdd) } else { (vdd, 0.0) };
                     let input = Waveform::ramp(0.0, slew.max(1e-12), v0, v1)
                         .expect("characterization ramps are valid");
-                    let out = propagate(
-                        &solver, process, cell, pin, &sides, &input, cload,
-                    )?;
+                    let out = propagate(&solver, process, cell, pin, &sides, &input, cload)?;
                     let d = out
                         .crossing(th)
                         .and_then(|tc| input.crossing(th).map(|ti| tc - ti))
@@ -236,12 +234,10 @@ fn propagate(
                 side_local[*other_slot] = if final_high { vdd } else { 0.0 };
             }
             let load = match stage.output {
-                StageSignal::Pin(_) => Load::grounded(
-                    stage.output_diffusion_cap(process) + cload,
-                ),
-                StageSignal::Internal(k) => Load::grounded(
-                    stage.output_diffusion_cap(process) + internal_load[k],
-                ),
+                StageSignal::Pin(_) => Load::grounded(stage.output_diffusion_cap(process) + cload),
+                StageSignal::Internal(k) => {
+                    Load::grounded(stage.output_diffusion_cap(process) + internal_load[k])
+                }
                 StageSignal::Launch => Load::grounded(cload),
             };
             let r = solver.solve(stage, *slot, wave, &side_local, load)?;
@@ -315,7 +311,11 @@ mod tests {
         let t = characterize_cell(&p, nand, &SLEWS, &LOADS).expect("characterize");
         assert_eq!(t.arcs.len(), 4, "2 pins x 2 directions");
         for arc in &t.arcs {
-            assert!(arc.delay.iter().flatten().all(|d| d.is_finite() && *d > 0.0));
+            assert!(arc
+                .delay
+                .iter()
+                .flatten()
+                .all(|d| d.is_finite() && *d > 0.0));
         }
     }
 

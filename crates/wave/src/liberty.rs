@@ -92,8 +92,16 @@ pub fn write(process: &Process, library: &Library, tables: &[CellTables]) -> Str
     let _ = writeln!(out, "  voltage_unit : \"1V\";");
     let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
     let _ = writeln!(out, "  nom_voltage : {:.2};", process.vdd);
-    let _ = writeln!(out, "  slew_lower_threshold_pct_rise : {:.0};", process.slew_lo_frac * 100.0);
-    let _ = writeln!(out, "  slew_upper_threshold_pct_rise : {:.0};", process.slew_hi_frac * 100.0);
+    let _ = writeln!(
+        out,
+        "  slew_lower_threshold_pct_rise : {:.0};",
+        process.slew_lo_frac * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  slew_upper_threshold_pct_rise : {:.0};",
+        process.slew_hi_frac * 100.0
+    );
     let _ = writeln!(out, "  input_threshold_pct_rise : 50;");
     let _ = writeln!(out, "  output_threshold_pct_rise : 50;");
     let _ = writeln!(out);
@@ -147,7 +155,9 @@ pub fn write(process: &Process, library: &Library, tables: &[CellTables]) -> Str
             let _ = writeln!(out, "        related_pin : \"{related}\";");
             let sense = match cell.arc_inverting(
                 arc.pin,
-                &cell.sensitizing_side_values(arc.pin, process.vdd).unwrap_or_default(),
+                &cell
+                    .sensitizing_side_values(arc.pin, process.vdd)
+                    .unwrap_or_default(),
                 process.vdd,
             ) {
                 Some(true) => "negative_unate",
@@ -221,17 +231,11 @@ mod tests {
             "(A^B)"
         );
         assert_eq!(
-            function_string(
-                Function::Mux2,
-                &["D0".into(), "D1".into(), "S".into()]
-            ),
+            function_string(Function::Mux2, &["D0".into(), "D1".into(), "S".into()]),
             "((D0*!S)+(D1*S))"
         );
         assert_eq!(
-            function_string(
-                Function::Aoi21,
-                &["A".into(), "B".into(), "C".into()]
-            ),
+            function_string(Function::Aoi21, &["A".into(), "B".into(), "C".into()]),
             "(!((A*B)+C))"
         );
     }

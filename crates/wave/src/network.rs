@@ -117,9 +117,7 @@ impl<'a> NetworkEval<'a> {
         warm: &mut WarmStart,
     ) -> TerminalCurrent {
         match net {
-            Network::Device { input, width, .. } => {
-                self.device(gates[*input], v_a, v_b, *width)
-            }
+            Network::Device { input, width, .. } => self.device(gates[*input], v_a, v_b, *width),
             Network::Parallel(children) => children
                 .iter()
                 .map(|c| self.eval(c, v_a, v_b, gates, warm))

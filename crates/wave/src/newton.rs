@@ -88,7 +88,11 @@ pub fn solve_bracketed_from(
         Some(x0) if x0 > a && x0 < b => x0,
         _ => 0.5 * (a + b),
     };
-    let mut best = if fa.abs() < fb.abs() { (a, fa) } else { (b, fb) };
+    let mut best = if fa.abs() < fb.abs() {
+        (a, fa)
+    } else {
+        (b, fb)
+    };
 
     for it in 0..max_iter {
         let (fx, dfx) = f(x);
@@ -112,13 +116,21 @@ pub fn solve_bracketed_from(
             }
         }
         // Newton step, guarded.
-        let mut next = if dfx.abs() > 1e-300 { x - fx / dfx } else { f64::NAN };
+        let mut next = if dfx.abs() > 1e-300 {
+            x - fx / dfx
+        } else {
+            f64::NAN
+        };
         if !next.is_finite() || next <= a || next >= b {
             next = 0.5 * (a + b); // bisect
         }
         if (next - x).abs() <= x_tol {
             let (fnext, _) = f(next);
-            let (rx, rres) = if fnext.abs() < fx.abs() { (next, fnext) } else { (x, fx) };
+            let (rx, rres) = if fnext.abs() < fx.abs() {
+                (next, fnext)
+            } else {
+                (x, fx)
+            };
             return NewtonResult {
                 x: rx,
                 residual: rres,

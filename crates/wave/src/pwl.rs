@@ -263,7 +263,11 @@ impl fmt::Display for Waveform {
         write!(
             f,
             "{} wave, {} pts, {:.4}ns..{:.4}ns, {:.3}V..{:.3}V",
-            if self.is_rising() { "rising" } else { "falling" },
+            if self.is_rising() {
+                "rising"
+            } else {
+                "falling"
+            },
             self.points.len(),
             self.start_time() * 1e9,
             self.end_time() * 1e9,

@@ -217,7 +217,11 @@ mod tests {
         let nand = l.cell("NAND2X1").expect("nand");
         let v = side_values(&nand.stages[0], 0, true, VDD).expect("sensitizable");
         let on = |slot: usize| -> Option<bool> {
-            Some(if slot == 0 { false } else { v[slot] > VDD / 2.0 })
+            Some(if slot == 0 {
+                false
+            } else {
+                v[slot] > VDD / 2.0
+            })
         };
         let strength = conduction_strength(&nand.stages[0].pullup, &|s| on(s).map(|b| !b));
         assert_eq!(strength, 1, "only the switching PMOS may conduct");
@@ -233,8 +237,7 @@ mod tests {
         let l = lib();
         let nor = l.cell("NOR2X1").expect("nor");
         let slow = side_values(&nor.stages[0], 0, false, VDD).expect("slow");
-        let fast =
-            side_values_with(&nor.stages[0], 0, false, VDD, true).expect("fast");
+        let fast = side_values_with(&nor.stages[0], 0, false, VDD, true).expect("fast");
         assert_eq!(slow, fast);
     }
 
@@ -248,8 +251,7 @@ mod tests {
         let l = lib();
         let aoi = l.cell("AOI21X1").expect("aoi");
         for fastest in [false, true] {
-            let v = side_values_with(&aoi.stages[0], 2, false, VDD, fastest)
-                .expect("sensitizable");
+            let v = side_values_with(&aoi.stages[0], 2, false, VDD, fastest).expect("sensitizable");
             assert!(v[0] == 0.0 || v[1] == 0.0, "AB must not mask C: {v:?}");
         }
     }

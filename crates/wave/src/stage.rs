@@ -495,11 +495,20 @@ mod tests {
             .delay_from(&input_f, p.delay_threshold())
             .expect("delay");
         let r_nand = solver
-            .solve(&nand.stages[0], 0, &input_f, &[p.vdd, p.vdd], Load::grounded(40e-15))
+            .solve(
+                &nand.stages[0],
+                0,
+                &input_f,
+                &[p.vdd, p.vdd],
+                Load::grounded(40e-15),
+            )
             .expect("nand rise")
             .delay_from(&input_f, p.delay_threshold())
             .expect("delay");
-        assert!(r_nand > 0.95 * r_inv, "NAND2 rise {r_nand} vs INV rise {r_inv}");
+        assert!(
+            r_nand > 0.95 * r_inv,
+            "NAND2 rise {r_nand} vs INV rise {r_inv}"
+        );
     }
 
     #[test]

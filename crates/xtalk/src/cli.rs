@@ -10,16 +10,23 @@
 //! xtalk generate --preset NAME [--seed N] <output.(bench|v)>
 //! xtalk liberty <output.lib> [--cells A,B,...]
 //! xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE]
+//! xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check]
 //! ```
 //!
 //! Modes: `best`, `doubled`, `worst`, `onestep`, `iterative` (default),
 //! `esperance`, `min`.
+//!
+//! `eco` replays an edit script (one edit per line: `resize <gate> <cell>`,
+//! `reroute <net> <scale>`, `buffer <net> [cell]`, `uncouple <a> <b>`;
+//! `#` comments) through the incremental analyzer, re-timing the dirty cone
+//! after each edit. `--check` verifies the result against a fresh batch
+//! analysis.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
 use xtalk_netlist::{GeneratorConfig, Netlist};
-use xtalk_sta::{AnalysisMode, Sta};
+use xtalk_sta::{AnalysisMode, IncrementalSta, Sta};
 use xtalk_tech::{Library, Process};
 
 /// A CLI failure, printed to stderr by the binary.
@@ -55,8 +62,12 @@ USAGE:
   xtalk generate --preset small|medium|s35932|s38417|s38584 [--seed N] <output.(bench|v)>
   xtalk liberty <output.lib> [--cells A,B,...]
   xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE]
+  xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check]
 
 MODES: best | doubled | worst | onestep | iterative (default) | esperance | min
+
+ECO EDITS (one per line, `#` comments):
+  resize <gate> <cell> | reroute <net> <scale> | buffer <net> [cell] | uncouple <a> <b>
 ";
 
 /// Runs the CLI on `args` (without the program name); returns the text to
@@ -74,6 +85,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("generate") => cmd_generate(&args[1..]),
         Some("liberty") => cmd_liberty(&args[1..]),
         Some("sdf") => cmd_sdf(&args[1..]),
+        Some("eco") => cmd_eco(&args[1..]),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -99,10 +111,12 @@ fn load_netlist(path: &str, library: &Library) -> Result<Netlist, CliError> {
         .and_then(|e| e.to_str())
         .unwrap_or("");
     match ext {
-        "bench" => xtalk_netlist::bench::parse(&text, library)
-            .map_err(|e| err(format!("{path}: {e}"))),
-        "v" => xtalk_netlist::verilog::parse(&text, library)
-            .map_err(|e| err(format!("{path}: {e}"))),
+        "bench" => {
+            xtalk_netlist::bench::parse(&text, library).map_err(|e| err(format!("{path}: {e}")))
+        }
+        "v" => {
+            xtalk_netlist::verilog::parse(&text, library).map_err(|e| err(format!("{path}: {e}")))
+        }
         other => Err(err(format!(
             "unsupported netlist extension `.{other}` (use .bench or .v)"
         ))),
@@ -137,7 +151,10 @@ fn split_flags(args: &[String]) -> (Vec<&str>, Vec<(&str, Option<&str>)>) {
     while i < args.len() {
         let a = args[i].as_str();
         if let Some(name) = a.strip_prefix("--") {
-            let value = args.get(i + 1).map(String::as_str).filter(|v| !v.starts_with("--"));
+            let value = args
+                .get(i + 1)
+                .map(String::as_str)
+                .filter(|v| !v.starts_with("--"));
             if value.is_some() {
                 i += 1;
             }
@@ -220,7 +237,11 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "{mode}: {} path delay {:.3} ns ({} passes, {:.2} s)",
-        if mode == AnalysisMode::MinDelay { "shortest" } else { "longest" },
+        if mode == AnalysisMode::MinDelay {
+            "shortest"
+        } else {
+            "longest"
+        },
         report.longest_delay * 1e9,
         report.passes,
         report.runtime.as_secs_f64()
@@ -275,8 +296,8 @@ fn cmd_flow(args: &[String]) -> Result<String, CliError> {
     std::fs::create_dir_all(out_dir)?;
     let d = load_design(netlist_path, None)?;
     let base = Path::new(out_dir).join(&d.netlist.name);
-    let verilog = xtalk_netlist::verilog::write(&d.netlist, &d.library)
-        .map_err(|e| err(e.to_string()))?;
+    let verilog =
+        xtalk_netlist::verilog::write(&d.netlist, &d.library).map_err(|e| err(e.to_string()))?;
     let spef = xtalk_layout::spef::write(&d.netlist, &d.parasitics);
     let v_path = base.with_extension("v");
     let spef_path = base.with_extension("spef");
@@ -293,7 +314,9 @@ fn cmd_flow(args: &[String]) -> Result<String, CliError> {
 fn cmd_convert(args: &[String]) -> Result<String, CliError> {
     let (pos, _) = split_flags(args);
     let [input, output] = pos.as_slice() else {
-        return Err(err(format!("convert needs input and output files\n\n{USAGE}")));
+        return Err(err(format!(
+            "convert needs input and output files\n\n{USAGE}"
+        )));
     };
     let process = Process::c05um();
     let library = Library::c05um(&process);
@@ -326,8 +349,8 @@ fn cmd_generate(args: &[String]) -> Result<String, CliError> {
     };
     let process = Process::c05um();
     let library = Library::c05um(&process);
-    let netlist = xtalk_netlist::generator::generate(&config, &library)
-        .map_err(|e| err(e.to_string()))?;
+    let netlist =
+        xtalk_netlist::generator::generate(&config, &library).map_err(|e| err(e.to_string()))?;
     save_netlist(output, &netlist, &library)?;
     Ok(format!(
         "generated `{}`: {} gates, {} flip-flops -> {output}\n",
@@ -372,7 +395,9 @@ fn cmd_liberty(args: &[String]) -> Result<String, CliError> {
 fn cmd_sdf(args: &[String]) -> Result<String, CliError> {
     let (pos, flags) = split_flags(args);
     let [netlist_path, output] = pos.as_slice() else {
-        return Err(err(format!("sdf needs a netlist and an output file\n\n{USAGE}")));
+        return Err(err(format!(
+            "sdf needs a netlist and an output file\n\n{USAGE}"
+        )));
     };
     let mode = parse_mode(flag(&flags, "mode").flatten().unwrap_or("iterative"))?;
     let d = load_design(netlist_path, flag(&flags, "spef").flatten())?;
@@ -384,6 +409,67 @@ fn cmd_sdf(args: &[String]) -> Result<String, CliError> {
         "wrote {output} ({} IOPATH entries, mode {mode})\n",
         sdf.matches("(IOPATH").count()
     ))
+}
+
+fn cmd_eco(args: &[String]) -> Result<String, CliError> {
+    let (pos, flags) = split_flags(args);
+    let [netlist_path, script_path] = pos.as_slice() else {
+        return Err(err(format!(
+            "eco needs a netlist and an edit script\n\n{USAGE}"
+        )));
+    };
+    let mode = parse_mode(flag(&flags, "mode").flatten().unwrap_or("iterative"))?;
+    let d = load_design(netlist_path, flag(&flags, "spef").flatten())?;
+    let script = std::fs::read_to_string(script_path)?;
+
+    let mut eco = IncrementalSta::new(d.netlist, &d.library, &d.process, d.parasitics)
+        .map_err(|e| err(e.to_string()))?;
+    let baseline = eco.analyze(mode).map_err(|e| err(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "baseline {mode}: {:.3} ns ({} stage solves, {:.2} s)",
+        baseline.longest_delay * 1e9,
+        baseline.stage_solves,
+        baseline.runtime.as_secs_f64()
+    );
+    let outcomes = eco
+        .apply_script(&script)
+        .map_err(|e| err(format!("{script_path}: {e}")))?;
+    let _ = writeln!(out, "applied {} edits from {script_path}", outcomes.len());
+
+    let report = eco.analyze(mode).map_err(|e| err(e.to_string()))?;
+    let stats = eco.last_stats();
+    let _ = writeln!(
+        out,
+        "eco {mode}: {:.3} ns ({:+.3} ns, re-evaluated {} of {} stage evals, \
+         {} solves, {:.2} s)",
+        report.longest_delay * 1e9,
+        (report.longest_delay - baseline.longest_delay) * 1e9,
+        stats.stages_evaluated,
+        eco.graph().stages.len() * stats.passes,
+        stats.stage_solves,
+        report.runtime.as_secs_f64()
+    );
+
+    if flag(&flags, "check").is_some() {
+        let fresh = eco
+            .fresh_sta()
+            .analyze(mode)
+            .map_err(|e| err(e.to_string()))?;
+        if fresh.longest_delay.to_bits() != report.longest_delay.to_bits()
+            || fresh.endpoint_net != report.endpoint_net
+        {
+            return Err(err(format!(
+                "check FAILED: incremental {:.6} ns != batch {:.6} ns",
+                report.longest_delay * 1e9,
+                fresh.longest_delay * 1e9
+            )));
+        }
+        let _ = writeln!(out, "check: incremental result matches batch re-analysis");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -417,16 +503,20 @@ mod tests {
     #[test]
     fn generate_convert_report_roundtrip() {
         let bench = tmp("t1.bench");
-        let out = run(&argv(&["generate", "--preset", "small", "--seed", "5", &bench]))
-            .expect("generate");
+        let out = run(&argv(&[
+            "generate", "--preset", "small", "--seed", "5", &bench,
+        ]))
+        .expect("generate");
         assert!(out.contains("generated"));
 
         let v = tmp("t1.v");
         let out = run(&argv(&["convert", &bench, &v])).expect("convert");
         assert!(out.contains("converted"));
 
-        let out = run(&argv(&["report", &v, "--mode", "onestep", "--period", "30"]))
-            .expect("report");
+        let out = run(&argv(&[
+            "report", &v, "--mode", "onestep", "--period", "30",
+        ]))
+        .expect("report");
         assert!(out.contains("critical path:"), "{out}");
         assert!(out.contains("Slack"), "{out}");
     }
@@ -434,20 +524,24 @@ mod tests {
     #[test]
     fn report_with_glitch_and_min_mode() {
         let bench = tmp("t2.bench");
-        run(&argv(&["generate", "--preset", "small", "--seed", "6", &bench]))
-            .expect("generate");
+        run(&argv(&[
+            "generate", "--preset", "small", "--seed", "6", &bench,
+        ]))
+        .expect("generate");
         let out = run(&argv(&["report", &bench, "--mode", "min"])).expect("min report");
         assert!(out.contains("shortest path delay"), "{out}");
-        let out = run(&argv(&["report", &bench, "--mode", "best", "--glitch"]))
-            .expect("glitch report");
+        let out =
+            run(&argv(&["report", &bench, "--mode", "best", "--glitch"])).expect("glitch report");
         assert!(out.contains("victims above"), "{out}");
     }
 
     #[test]
     fn flow_writes_verilog_and_spef_then_report_consumes_spef() {
         let bench = tmp("t3.bench");
-        run(&argv(&["generate", "--preset", "small", "--seed", "7", &bench]))
-            .expect("generate");
+        run(&argv(&[
+            "generate", "--preset", "small", "--seed", "7", &bench,
+        ]))
+        .expect("generate");
         let dir = tmp("flow_out");
         let out = run(&argv(&["flow", &bench, "--out", &dir])).expect("flow");
         assert!(out.contains("wrote"));
@@ -463,8 +557,10 @@ mod tests {
     #[test]
     fn sdf_command_writes_file() {
         let bench = tmp("t5.bench");
-        run(&argv(&["generate", "--preset", "small", "--seed", "9", &bench]))
-            .expect("generate");
+        run(&argv(&[
+            "generate", "--preset", "small", "--seed", "9", &bench,
+        ]))
+        .expect("generate");
         let sdf = tmp("t5.sdf");
         let out = run(&argv(&["sdf", &bench, &sdf, "--mode", "onestep"])).expect("sdf");
         assert!(out.contains("IOPATH entries"));
@@ -475,12 +571,39 @@ mod tests {
     #[test]
     fn liberty_writes_selected_cells() {
         let lib = tmp("cells.lib");
-        let out = run(&argv(&["liberty", &lib, "--cells", "INVX1,NAND2X1"]))
-            .expect("liberty");
+        let out = run(&argv(&["liberty", &lib, "--cells", "INVX1,NAND2X1"])).expect("liberty");
         assert!(out.contains("characterized 2 cells"));
         let text = std::fs::read_to_string(&lib).expect("lib file");
         assert!(text.contains("cell (INVX1)"));
         assert!(text.contains("cell_rise"));
+    }
+
+    #[test]
+    fn eco_replays_edit_script_and_checks() {
+        let bench = tmp("t6.bench");
+        std::fs::write(
+            &bench,
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nw1 = NOT(a)\nw2 = NAND(w1, b)\ny = NOT(w2)\n",
+        )
+        .expect("write bench");
+        let script = tmp("t6.eco");
+        std::fs::write(
+            &script,
+            "# lengthen w1, then split w2\nreroute w1 2.5\nbuffer w2\n",
+        )
+        .expect("write script");
+        let out = run(&argv(&[
+            "eco", &bench, &script, "--mode", "onestep", "--check",
+        ]))
+        .expect("eco");
+        assert!(out.contains("baseline One step:"), "{out}");
+        assert!(out.contains("applied 2 edits"), "{out}");
+        assert!(out.contains("matches batch"), "{out}");
+
+        let bad = tmp("t6bad.eco");
+        std::fs::write(&bad, "resize no_such_gate INVX4\n").expect("write script");
+        let e = run(&argv(&["eco", &bench, &bad])).unwrap_err();
+        assert!(e.to_string().contains("unknown gate"), "{e}");
     }
 
     #[test]
@@ -490,8 +613,10 @@ mod tests {
         assert!(run(&argv(&["generate", "--preset", "nope", "x.bench"])).is_err());
         assert!(run(&argv(&["convert", "a.txt", "b.txt"])).is_err());
         let bench = tmp("t4.bench");
-        run(&argv(&["generate", "--preset", "small", "--seed", "8", &bench]))
-            .expect("generate");
+        run(&argv(&[
+            "generate", "--preset", "small", "--seed", "8", &bench,
+        ]))
+        .expect("generate");
         assert!(run(&argv(&["report", &bench, "--mode", "warp"])).is_err());
     }
 }

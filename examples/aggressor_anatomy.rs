@@ -42,8 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("victim stage delay under the three coupling treatments:");
     println!("  aggressor quiet (grounded Cc) : {:>8.1} ps", quiet * 1e12);
-    println!("  static doubled  (2x grounded) : {:>8.1} ps", doubled * 1e12);
-    println!("  active model    (paper, worst): {:>8.1} ps", active * 1e12);
+    println!(
+        "  static doubled  (2x grounded) : {:>8.1} ps",
+        doubled * 1e12
+    );
+    println!(
+        "  active model    (paper, worst): {:>8.1} ps",
+        active * 1e12
+    );
     println!();
 
     // Transient reference: sweep the aggressor's switching time.
@@ -61,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("simulated quiet delay    : {:>8.1} ps", quiet_sim * 1e12);
     println!("simulated worst alignment: {:>8.1} ps", sim_worst * 1e12);
-    println!("paper's active model     : {:>8.1} ps  (a safe cover of the sweep)", active * 1e12);
+    println!(
+        "paper's active model     : {:>8.1} ps  (a safe cover of the sweep)",
+        active * 1e12
+    );
     if active + 1e-12 >= sim_worst {
         println!("=> active-model bound covers every simulated alignment.");
     } else {
@@ -96,7 +105,15 @@ fn simulate_victim(
         None => c.add_node("agg", Drive::Const(process.vdd), 0.0, process.vdd),
     };
     c.add_mutual(NodeRef::Node(out), NodeRef::Node(agg), CCOUPLE);
-    c.instantiate_cell(inv, &[NodeRef::Node(inp)], NodeRef::Node(out), None, library, process, "u0");
+    c.instantiate_cell(
+        inv,
+        &[NodeRef::Node(inp)],
+        NodeRef::Node(out),
+        None,
+        library,
+        process,
+        "u0",
+    );
     let tr = simulate(
         &c,
         process,
@@ -105,8 +122,6 @@ fn simulate_victim(
             ..SimOptions::default()
         },
     )?;
-    let t_out = tr
-        .last_crossing(out, th, true)
-        .ok_or("victim never rose")?;
+    let t_out = tr.last_crossing(out, th, true).ok_or("victim never rose")?;
     Ok(t_out - (1.0e-9 + 0.15e-9))
 }

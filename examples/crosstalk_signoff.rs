@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let best = reports[0].longest_delay;
     let iter = reports[4].longest_delay;
     let worst = reports[2].longest_delay;
-    println!("coupling impact (iterative - best case): {:.3} ns", (iter - best) * 1e9);
+    println!(
+        "coupling impact (iterative - best case): {:.3} ns",
+        (iter - best) * 1e9
+    );
     println!(
         "pessimism removed by quiet-line analysis (worst - iterative): {:.3} ns ({:.1}%)",
         (worst - iter) * 1e9,

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's tests use:
+//!
+//! - `proptest! { ... }` blocks, optionally headed by
+//!   `#![proptest_config(ProptestConfig { cases: N, .. })]`;
+//! - arguments of the form `name in LO..HI` for integer and float ranges;
+//! - `prop_assert!` / `prop_assert_eq!` (plain assertions here).
+//!
+//! Cases are drawn deterministically from a seed derived from the test's
+//! name, so failures reproduce; the failing case's inputs are printed
+//! before the panic propagates. Unlike real proptest there is no shrinking
+//! and no persistence file.
+
+use std::ops::Range;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Run configuration (subset: only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A source of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u32, u64, usize, i32, i64, f64);
+
+/// Deterministic per-test RNG.
+pub fn test_rng(name: &str) -> TestRng {
+    // FNV-1a over the test name: stable, collision-irrelevant here.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property (plain `assert!` here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests. Each generated `#[test]` runs `cases`
+/// deterministic draws of its arguments and executes the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = { $cfg }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = { $crate::ProptestConfig::default() }; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = { $cfg:expr };
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $arg.clone();)+
+                        $body
+                    }));
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            concat!(
+                                "proptest case {}/{} failed in `", stringify!($name), "` with:",
+                                $("\n  ", stringify!($arg), " = {:?}",)+
+                            ),
+                            __case + 1, config.cases, $(&$arg),+
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(a in 0u64..100, b in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!(a < 100);
+            prop_assert!((-3.0..3.0).contains(&b));
+            prop_assert!((1..10).contains(&n));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..7) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        use rand::Rng as _;
+        assert_eq!(a.gen_range(0u64..1 << 60), b.gen_range(0u64..1 << 60));
+    }
+}

@@ -71,8 +71,12 @@ fn critical_path_endpoint_matches_report() {
 fn analysis_is_deterministic() {
     let f = flow(&GeneratorConfig::small(79));
     let sta = Sta::new(&f.netlist, &f.library, &f.process, &f.parasitics).expect("sta");
-    let a = sta.analyze(AnalysisMode::Iterative { esperance: false }).expect("a");
-    let b = sta.analyze(AnalysisMode::Iterative { esperance: false }).expect("b");
+    let a = sta
+        .analyze(AnalysisMode::Iterative { esperance: false })
+        .expect("a");
+    let b = sta
+        .analyze(AnalysisMode::Iterative { esperance: false })
+        .expect("b");
     assert_eq!(a.longest_delay, b.longest_delay);
     assert_eq!(a.passes, b.passes);
     assert_eq!(a.critical_path.len(), b.critical_path.len());
@@ -83,12 +87,18 @@ fn unrouted_design_times_without_coupling() {
     // Timing with empty parasitics (pre-layout mode): all modes agree.
     let process = Process::c05um();
     let library = Library::c05um(&process);
-    let netlist = xtalk::netlist::bench::parse(xtalk::netlist::data::S27_BENCH, &library)
-        .expect("parse");
+    let netlist =
+        xtalk::netlist::bench::parse(xtalk::netlist::data::S27_BENCH, &library).expect("parse");
     let parasitics = xtalk::layout::Parasitics::empty(netlist.net_count());
     let sta = Sta::new(&netlist, &library, &process, &parasitics).expect("sta");
-    let best = sta.analyze(AnalysisMode::BestCase).expect("best").longest_delay;
-    let worst = sta.analyze(AnalysisMode::WorstCase).expect("worst").longest_delay;
+    let best = sta
+        .analyze(AnalysisMode::BestCase)
+        .expect("best")
+        .longest_delay;
+    let worst = sta
+        .analyze(AnalysisMode::WorstCase)
+        .expect("worst")
+        .longest_delay;
     assert!(
         (best - worst).abs() < 1e-15,
         "no couplings => all modes identical"
@@ -114,11 +124,16 @@ fn clock_tree_contributes_insertion_delay() {
     .analyze(AnalysisMode::BestCase)
     .expect("tree")
     .longest_delay;
-    let d_flat = Sta::new(&flat.netlist, &flat.library, &flat.process, &flat.parasitics)
-        .expect("sta")
-        .analyze(AnalysisMode::BestCase)
-        .expect("flat")
-        .longest_delay;
+    let d_flat = Sta::new(
+        &flat.netlist,
+        &flat.library,
+        &flat.process,
+        &flat.parasitics,
+    )
+    .expect("sta")
+    .analyze(AnalysisMode::BestCase)
+    .expect("flat")
+    .longest_delay;
     assert!(
         d_tree > d_flat,
         "clock-tree insertion delay must show: {d_flat} vs {d_tree}"

@@ -11,9 +11,8 @@ use xtalk::prelude::*;
 fn analyze_all(seed: u64) -> [ModeReport; 5] {
     let process = Process::c05um();
     let library = Library::c05um(&process);
-    let netlist =
-        xtalk::netlist::generator::generate(&GeneratorConfig::small(seed), &library)
-            .expect("generate");
+    let netlist = xtalk::netlist::generator::generate(&GeneratorConfig::small(seed), &library)
+        .expect("generate");
     let placement = xtalk::layout::place::place(&netlist, &library, &process);
     let routes = xtalk::layout::route::route(&netlist, &placement, &process);
     let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
@@ -81,9 +80,15 @@ fn work_ratios_match_paper_complexity_claims() {
 #[test]
 fn iterative_pass_delays_never_increase() {
     let [_, _, _, one, iter] = analyze_all(606);
-    assert!(iter.pass_delays[0] <= one.longest_delay + 1e-12,
-        "pass 1 of iterative IS the one-step analysis");
+    assert!(
+        iter.pass_delays[0] <= one.longest_delay + 1e-12,
+        "pass 1 of iterative IS the one-step analysis"
+    );
     for w in iter.pass_delays.windows(2) {
-        assert!(w[1] <= w[0] + 1e-12, "monotone refinement: {:?}", iter.pass_delays);
+        assert!(
+            w[1] <= w[0] + 1e-12,
+            "monotone refinement: {:?}",
+            iter.pass_delays
+        );
     }
 }

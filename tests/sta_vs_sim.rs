@@ -60,10 +60,7 @@ fn to_spec(setup: &Setup, report: &Report, n_aggressors: usize) -> (PathSpec, f6
         .collect();
 
     // Input direction at the path head.
-    let first_cell = setup
-        .library
-        .cell(&steps[0].cell)
-        .expect("library cell");
+    let first_cell = setup.library.cell(&steps[0].cell).expect("library cell");
     let first_inverting = first_cell
         .arc_inverting(steps[0].pin, &steps[0].side_values, setup.process.vdd)
         .unwrap_or(first_cell.function.is_inverting());
