@@ -5,43 +5,227 @@
 //! with two waveform calculations per arc (≈2x a plain pass), the iterative
 //! refinement costs at least three passes' worth, and Esperance brings the
 //! iterative cost down.
+//!
+//! Scale is selected with `XTALK_STA_SCALE` (`small` (default), `medium`,
+//! `s38417`): criterion-style sampling at the small scale, one-shot
+//! measurements for the larger configs. Every run also measures the
+//! execution layer on `Iterative`: wall/CPU time and Newton-solve counts
+//! with the stage-solve cache off (the pre-cache engine) vs on — one cold
+//! analysis and one warm re-analysis on the same analyzer — asserts all
+//! three produce bit-identical delays, and appends the numbers to
+//! `BENCH_sta.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
 use xtalk::prelude::*;
 use xtalk_bench::{build_design, Design};
 
-fn design() -> Design {
-    // ~200 cells: large enough to have real couplings, small enough for
-    // statistically meaningful Criterion runs.
-    build_design(&GeneratorConfig::small(4242))
+fn scale() -> (GeneratorConfig, &'static str, bool) {
+    match std::env::var("XTALK_STA_SCALE").as_deref() {
+        Ok("s38417") => (GeneratorConfig::s38417_like(), "s38417_like", true),
+        Ok("medium") => (GeneratorConfig::medium(4242), "medium", false),
+        // ~200 cells: large enough to have real couplings, small enough
+        // for statistically meaningful Criterion runs.
+        _ => (GeneratorConfig::small(4242), "small", false),
+    }
 }
 
+const MODES: [AnalysisMode; 6] = [
+    AnalysisMode::BestCase,
+    AnalysisMode::StaticDoubled,
+    AnalysisMode::WorstCase,
+    AnalysisMode::OneStep,
+    AnalysisMode::Iterative { esperance: false },
+    AnalysisMode::Iterative { esperance: true },
+];
+
 fn bench_sta_modes(c: &mut Criterion) {
-    let d = design();
+    let (config, label, one_shot) = scale();
+    let d = build_design(&config);
     let sta = Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics).expect("sta");
 
-    let mut group = c.benchmark_group("sta_modes");
-    group.sample_size(10);
-    for mode in [
-        AnalysisMode::BestCase,
-        AnalysisMode::StaticDoubled,
-        AnalysisMode::WorstCase,
-        AnalysisMode::OneStep,
-        AnalysisMode::Iterative { esperance: false },
-        AnalysisMode::Iterative { esperance: true },
+    if !one_shot {
+        let mut group = c.benchmark_group("sta_modes");
+        group.sample_size(10);
+        for mode in MODES {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(mode.to_string().replace(' ', "_")),
+                &mode,
+                |b, &mode| b.iter(|| black_box(sta.analyze(mode).expect("analysis").longest_delay)),
+            );
+        }
+        group.finish();
+    }
+
+    report_exec_layer(&d, label);
+}
+
+/// Wall and CPU seconds consumed by one closure call. CPU time comes from
+/// `/proc/self/stat` (utime + stime across all threads) and falls back to
+/// the wall reading off Linux; it is the noise-resistant number on shared
+/// hosts, where single-shot wall clocks of minute-long runs vary by tens
+/// of percent.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64, f64) {
+    let cpu0 = cpu_seconds();
+    let started = Instant::now();
+    let value = f();
+    let wall = started.elapsed().as_secs_f64();
+    let cpu = match (cpu0, cpu_seconds()) {
+        (Some(a), Some(b)) => b - a,
+        _ => wall,
+    };
+    (value, wall, cpu)
+}
+
+fn cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Fields 14/15 (utime/stime, clock ticks) follow the parenthesised
+    // command name; split after the closing paren to survive spaces in it.
+    let after = stat.rsplit(')').next()?;
+    let mut fields = after.split_whitespace();
+    let utime: f64 = fields.nth(11)?.parse().ok()?;
+    let stime: f64 = fields.next()?.parse().ok()?;
+    // USER_HZ is 100 on every mainstream Linux configuration.
+    Some((utime + stime) / 100.0)
+}
+
+/// One-shot measurement of the execution layer on the refinement mode:
+/// pre-cache engine (serial, cache off) vs the cached engine — one cold
+/// analysis plus one warm re-analysis on the same analyzer — asserting
+/// bit-identical results, printing the speedups, and appending a JSON
+/// record per measurement to `BENCH_sta.json`.
+fn report_exec_layer(d: &Design, label: &str) {
+    let mode = AnalysisMode::Iterative { esperance: false };
+    let threads = ExecConfig::from_env().threads;
+
+    let baseline_sta = Sta::with_config(
+        &d.netlist,
+        &d.library,
+        &d.process,
+        &d.parasitics,
+        ExecConfig::serial().with_cache(false),
+    )
+    .expect("sta");
+    let (baseline, baseline_wall, baseline_cpu) =
+        timed(|| baseline_sta.analyze(mode).expect("baseline"));
+
+    let cached_sta = Sta::with_config(
+        &d.netlist,
+        &d.library,
+        &d.process,
+        &d.parasitics,
+        ExecConfig::from_env(),
+    )
+    .expect("sta");
+    let (cached, cached_wall, cached_cpu) = timed(|| cached_sta.analyze(mode).expect("cached"));
+    // The warm re-analysis: the persistent cache answers every solve, the
+    // workload of repeated what-if / ECO analyses on one analyzer.
+    let (warm, warm_wall, warm_cpu) = timed(|| cached_sta.analyze(mode).expect("warm"));
+
+    assert_eq!(
+        baseline.longest_delay.to_bits(),
+        cached.longest_delay.to_bits()
+    );
+    assert_eq!(
+        baseline.longest_delay.to_bits(),
+        warm.longest_delay.to_bits()
+    );
+    assert!(
+        cached.newton_solves < baseline.newton_solves,
+        "cache did not reduce Newton solves on refinement passes \
+         ({} vs {})",
+        cached.newton_solves,
+        baseline.newton_solves
+    );
+    let stats = cached_sta.cache_stats();
+    if stats.evictions == 0 {
+        assert_eq!(warm.newton_solves, 0, "warm re-analysis re-integrated");
+    }
+
+    println!(
+        "sta_exec/{label}: baseline {baseline_wall:.3} s wall / {baseline_cpu:.3} s cpu \
+         ({} newton), {} threads",
+        baseline.newton_solves, threads,
+    );
+    for (name, report, wall, cpu) in [
+        ("cold", &cached, cached_wall, cached_cpu),
+        ("warm", &warm, warm_wall, warm_cpu),
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode.to_string().replace(' ', "_")),
-            &mode,
-            |b, &mode| b.iter(|| black_box(sta.analyze(mode).expect("analysis").longest_delay)),
+        println!(
+            "sta_exec/{label}: cached/{name} {wall:.3} s wall / {cpu:.3} s cpu \
+             ({} newton, {} hits), speedup {:.2}x wall / {:.2}x cpu",
+            report.newton_solves,
+            report.cache_hits,
+            baseline_wall / wall.max(1e-9),
+            baseline_cpu / cpu.max(1e-9),
         );
     }
-    group.finish();
+    println!(
+        "sta_exec/{label}: cache {} hits, {} misses, {} evictions",
+        stats.hits, stats.misses, stats.evictions
+    );
+    for (i, p) in cached.pass_stats.iter().enumerate() {
+        println!(
+            "sta_exec/{label}: pass {} delay {:.3} ns, {} calls, {} newton, \
+             {} hits ({:.0}%)",
+            i + 1,
+            p.delay * 1e9,
+            p.solver_calls,
+            p.newton_solves,
+            p.cache_hits,
+            100.0 * p.hit_ratio(),
+        );
+    }
+
+    let mut json = String::from("[\n");
+    let rows = [
+        ("baseline", &baseline, baseline_wall, baseline_cpu),
+        ("cached_cold", &cached, cached_wall, cached_cpu),
+        ("cached_warm", &warm, warm_wall, warm_cpu),
+    ];
+    for (i, (engine, report, wall, cpu)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "  {{\"bench\": \"sta_modes\", \"engine\": \"{engine}\", \
+             \"mode\": \"{mode}\", \"scale\": \"{label}\", \
+             \"gates\": {}, \"threads\": {}, \"wall_s\": {wall:.6}, \
+             \"cpu_s\": {cpu:.6}, \"passes\": {}, \"stage_solves\": {}, \
+             \"newton_solves\": {}, \"cache_hits\": {}}}{}",
+            d.netlist.gate_count(),
+            if *engine == "baseline" { 1 } else { threads },
+            report.passes,
+            report.stage_solves,
+            report.newton_solves,
+            report.cache_hits,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("]\n");
+    let path = bench_json_path();
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// `BENCH_sta.json` at the workspace root (two levels above this crate).
+fn bench_json_path() -> PathBuf {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    root.join("BENCH_sta.json")
 }
 
 fn bench_graph_build(c: &mut Criterion) {
-    let d = design();
+    let (config, _, one_shot) = scale();
+    if one_shot {
+        return;
+    }
+    let d = build_design(&config);
     c.bench_function("timing_graph_build", |b| {
         b.iter(|| {
             let sta = Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics).expect("sta");

@@ -15,6 +15,8 @@
 //!   table while the longest-path delay keeps decreasing — optionally
 //!   recomputing only stages that can lie on long paths (Esperance).
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 use xtalk_layout::Parasitics;
@@ -24,9 +26,12 @@ use xtalk_tech::{Library, Process};
 use xtalk_wave::pwl::Waveform;
 use xtalk_wave::stage::{Coupling, CouplingMode, Load, StageError, StageSolver};
 
-use crate::graph::{TNodeId, TNodeKind, TimingGraph};
+use crate::exec::cache::SolveKey;
+use crate::exec::pool::WorkerPool;
+use crate::exec::{wavefront, CacheStats, ExecConfig, Executor};
+use crate::graph::{StageInst, TNodeId, TNodeKind, TimingGraph};
 use crate::mode::AnalysisMode;
-use crate::report::{build_path, ModeReport};
+use crate::report::{build_path, ModeReport, PassStat};
 
 /// Errors from [`Sta`].
 #[derive(Debug)]
@@ -119,16 +124,56 @@ pub(crate) enum Quiet {
     Until(f64),
 }
 
+/// Work counters of one pass or stage evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SolveCounters {
+    /// Logical stage-solver calls — the paper's work metric (its mode
+    /// comparisons count solver invocations). A call answered by the
+    /// stage-solve cache still counts here.
+    pub calls: usize,
+    /// Newton integrations actually performed (cache misses or cache off).
+    pub solves: usize,
+    /// Calls answered by the stage-solve cache.
+    pub hits: usize,
+}
+
+impl SolveCounters {
+    pub(crate) fn absorb(&mut self, other: SolveCounters) {
+        self.calls += other.calls;
+        self.solves += other.solves;
+        self.hits += other.hits;
+    }
+}
+
 /// Result of one full propagation pass.
 pub(crate) struct PassOutput {
     pub states: Vec<NodeState>,
-    pub stage_solves: usize,
+    pub counters: SolveCounters,
 }
 
 /// Result of evaluating one stage: waveforms to merge into its output.
 pub(crate) struct StageEval {
     pub(crate) merges: Vec<(bool, WaveInfo)>,
-    pub(crate) solves: usize,
+    pub(crate) counters: SolveCounters,
+}
+
+/// Read-only view of in-flight pass state, shared by the serial level loop
+/// (a plain slice) and the wavefront scheduler (write-once cells committed
+/// by each node's unique producer task).
+pub(crate) enum StateView<'x> {
+    /// The serial/incremental representation.
+    Slice(&'x [NodeState]),
+    /// The wavefront representation.
+    Cells(&'x [OnceLock<NodeState>]),
+}
+
+impl StateView<'_> {
+    fn get(&self, node: usize, rising: bool) -> Option<&WaveInfo> {
+        match self {
+            StateView::Slice(states) => states[node].get(rising),
+            StateView::Cells(cells) => cells[node].get().and_then(|st| st.get(rising)),
+        }
+    }
 }
 
 /// Coupling treatment of one propagation pass.
@@ -147,10 +192,12 @@ pub struct Sta<'a> {
     process: &'a Process,
     parasitics: &'a Parasitics,
     graph: TimingGraph,
+    exec: Executor,
 }
 
 impl<'a> Sta<'a> {
-    /// Builds the analyzer (expands the timing graph).
+    /// Builds the analyzer (expands the timing graph) with the environment
+    /// execution configuration ([`ExecConfig::from_env`]).
     ///
     /// # Errors
     ///
@@ -162,6 +209,28 @@ impl<'a> Sta<'a> {
         process: &'a Process,
         parasitics: &'a Parasitics,
     ) -> Result<Self, StaError> {
+        Self::with_config(
+            netlist,
+            library,
+            process,
+            parasitics,
+            ExecConfig::from_env(),
+        )
+    }
+
+    /// Builds the analyzer with an explicit execution configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::Netlist`] when the netlist does not expand to a DAG or
+    /// references unknown cells.
+    pub fn with_config(
+        netlist: &'a Netlist,
+        library: &'a Library,
+        process: &'a Process,
+        parasitics: &'a Parasitics,
+        config: ExecConfig,
+    ) -> Result<Self, StaError> {
         let graph = TimingGraph::build(netlist, library, process, parasitics)?;
         Ok(Sta {
             netlist,
@@ -169,7 +238,25 @@ impl<'a> Sta<'a> {
             process,
             parasitics,
             graph,
+            exec: Executor::new(config),
         })
+    }
+
+    /// The execution configuration in effect.
+    pub fn exec_config(&self) -> &ExecConfig {
+        self.exec.config()
+    }
+
+    /// Stage-solve cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.exec.cache_stats()
+    }
+
+    /// Drops every stage-solve cache entry (counters keep accumulating).
+    /// Purely a memory/diagnostic control: cached entries are exact-match,
+    /// so clearing never changes any reported arrival.
+    pub fn clear_solve_cache(&self) {
+        self.exec.clear_cache();
     }
 
     /// The expanded timing graph.
@@ -205,6 +292,7 @@ impl<'a> Sta<'a> {
             process: self.process,
             parasitics: self.parasitics,
             graph: &self.graph,
+            exec: &self.exec,
         }
     }
 
@@ -221,10 +309,9 @@ impl<'a> Sta<'a> {
     pub(crate) fn compute_states(
         &self,
         mode: AnalysisMode,
-        pass_delays: &mut Vec<f64>,
-        solves: &mut usize,
+        pass_stats: &mut Vec<PassStat>,
     ) -> Result<Vec<NodeState>, StaError> {
-        self.ctx().compute_states(mode, pass_delays, solves)
+        self.ctx().compute_states(mode, pass_stats)
     }
 }
 
@@ -238,50 +325,56 @@ pub(crate) struct EngineCtx<'a> {
     pub(crate) process: &'a Process,
     pub(crate) parasitics: &'a Parasitics,
     pub(crate) graph: &'a TimingGraph,
+    pub(crate) exec: &'a Executor,
 }
 
 impl EngineCtx<'_> {
     /// Runs the requested analysis and reports the longest path.
     pub(crate) fn analyze(&self, mode: AnalysisMode) -> Result<ModeReport, StaError> {
         let started = Instant::now();
-        let mut pass_delays: Vec<f64> = Vec::new();
-        let mut solves = 0usize;
-        let final_states = self.compute_states(mode, &mut pass_delays, &mut solves)?;
-        self.assemble_report(mode, final_states, pass_delays, solves, started)
+        let mut pass_stats: Vec<PassStat> = Vec::new();
+        let final_states = self.compute_states(mode, &mut pass_stats)?;
+        self.assemble_report(mode, final_states, pass_stats, started)
     }
 
-    /// Runs the passes of `mode` and returns the final node states.
+    fn pass_stat(&self, out: &PassOutput, earliest: bool) -> PassStat {
+        PassStat {
+            delay: self
+                .extreme(&out.states, earliest)
+                .map(|(_, _, d)| d)
+                .unwrap_or(0.0),
+            solver_calls: out.counters.calls,
+            newton_solves: out.counters.solves,
+            cache_hits: out.counters.hits,
+        }
+    }
+
+    /// Runs the passes of `mode` and returns the final node states,
+    /// recording one [`PassStat`] per propagation pass.
     pub(crate) fn compute_states(
         &self,
         mode: AnalysisMode,
-        pass_delays: &mut Vec<f64>,
-        solves: &mut usize,
+        pass_stats: &mut Vec<PassStat>,
     ) -> Result<Vec<NodeState>, StaError> {
-        let mut solves_local = 0usize;
-        let mut pass_local: Vec<f64> = Vec::new();
         let final_states = match mode {
             AnalysisMode::BestCase => {
                 let out = self.run_pass(&Policy::Uniform(CouplingMode::Grounded), None, None)?;
-                solves_local += out.stage_solves;
-                pass_local.push(self.longest(&out.states).map(|(_, _, d)| d).unwrap_or(0.0));
+                pass_stats.push(self.pass_stat(&out, false));
                 out.states
             }
             AnalysisMode::StaticDoubled => {
                 let out = self.run_pass(&Policy::Uniform(CouplingMode::Doubled), None, None)?;
-                solves_local += out.stage_solves;
-                pass_local.push(self.longest(&out.states).map(|(_, _, d)| d).unwrap_or(0.0));
+                pass_stats.push(self.pass_stat(&out, false));
                 out.states
             }
             AnalysisMode::WorstCase => {
                 let out = self.run_pass(&Policy::Uniform(CouplingMode::Active), None, None)?;
-                solves_local += out.stage_solves;
-                pass_local.push(self.longest(&out.states).map(|(_, _, d)| d).unwrap_or(0.0));
+                pass_stats.push(self.pass_stat(&out, false));
                 out.states
             }
             AnalysisMode::OneStep => {
                 let out = self.run_pass(&Policy::QuietAware { prev: None }, None, None)?;
-                solves_local += out.stage_solves;
-                pass_local.push(self.longest(&out.states).map(|(_, _, d)| d).unwrap_or(0.0));
+                pass_stats.push(self.pass_stat(&out, false));
                 out.states
             }
             AnalysisMode::MinDelay => {
@@ -291,23 +384,17 @@ impl EngineCtx<'_> {
                     None,
                     true,
                 )?;
-                solves_local += out.stage_solves;
-                pass_local.push(
-                    self.extreme(&out.states, true)
-                        .map(|(_, _, d)| d)
-                        .unwrap_or(0.0),
-                );
+                pass_stats.push(self.pass_stat(&out, true));
                 out.states
             }
             AnalysisMode::Iterative { esperance } => {
                 // Pass 1: the plain one-step analysis.
                 let mut out = self.run_pass(&Policy::QuietAware { prev: None }, None, None)?;
-                solves_local += out.stage_solves;
                 let mut delay = self
                     .longest(&out.states)
                     .map(|(_, _, d)| d)
                     .ok_or(StaError::NoArrivals)?;
-                pass_local.push(delay);
+                pass_stats.push(self.pass_stat(&out, false));
                 // Refinement passes against the stored quiescent times.
                 for _ in 0..10 {
                     let quiet = self.quiet_table(&out.states);
@@ -321,12 +408,11 @@ impl EngineCtx<'_> {
                         Some(&out.states),
                         recompute.as_deref(),
                     )?;
-                    solves_local += next.stage_solves;
                     let next_delay = self
                         .longest(&next.states)
                         .map(|(_, _, d)| d)
                         .ok_or(StaError::NoArrivals)?;
-                    pass_local.push(next_delay);
+                    pass_stats.push(self.pass_stat(&next, false));
                     // Converged when the improvement drops below 0.1% —
                     // the paper's refinement settles within a few passes.
                     let improved = next_delay < delay - (1e-13 + 1e-3 * delay);
@@ -339,8 +425,6 @@ impl EngineCtx<'_> {
                 out.states
             }
         };
-        pass_delays.extend(pass_local);
-        *solves += solves_local;
         Ok(final_states)
     }
 
@@ -349,8 +433,7 @@ impl EngineCtx<'_> {
         &self,
         mode: AnalysisMode,
         final_states: Vec<NodeState>,
-        pass_delays: Vec<f64>,
-        solves: usize,
+        pass_stats: Vec<PassStat>,
         started: Instant,
     ) -> Result<ModeReport, StaError> {
         let earliest = mode == AnalysisMode::MinDelay;
@@ -389,9 +472,12 @@ impl EngineCtx<'_> {
             },
             endpoint_rising: rising,
             critical_path,
-            passes: pass_delays.len(),
-            pass_delays,
-            stage_solves: solves,
+            passes: pass_stats.len(),
+            pass_delays: pass_stats.iter().map(|p| p.delay).collect(),
+            stage_solves: pass_stats.iter().map(|p| p.solver_calls).sum(),
+            newton_solves: pass_stats.iter().map(|p| p.newton_solves).sum(),
+            cache_hits: pass_stats.iter().map(|p| p.cache_hits).sum(),
+            pass_stats,
             runtime: started.elapsed(),
         })
     }
@@ -523,8 +609,26 @@ impl EngineCtx<'_> {
     }
 
     /// Runs one full propagation pass; `earliest` selects min-delay
-    /// semantics (earliest merging, fastest sensitization).
+    /// semantics (earliest merging, fastest sensitization). Dispatches to
+    /// the wavefront scheduler when the configuration allows parallelism
+    /// and the design is big enough; both paths are bit-identical (see the
+    /// scheduler notes in `DESIGN.md`).
     pub(crate) fn run_pass_with(
+        &self,
+        policy: &Policy<'_>,
+        prev: Option<&[NodeState]>,
+        recompute: Option<&[bool]>,
+        earliest: bool,
+    ) -> Result<PassOutput, StaError> {
+        match self.exec.pool_for(self.graph.stages.len()) {
+            Some(pool) => self.run_pass_wavefront(pool, policy, prev, recompute, earliest),
+            None => self.run_pass_serial(policy, prev, recompute, earliest),
+        }
+    }
+
+    /// The serial (and small-design) pass: the paper's breadth-first level
+    /// loop, one stage at a time.
+    fn run_pass_serial(
         &self,
         policy: &Policy<'_>,
         prev: Option<&[NodeState]>,
@@ -534,114 +638,192 @@ impl EngineCtx<'_> {
         let solver = StageSolver::new(self.process);
         let n = self.graph.nodes.len();
         let mut states: Vec<NodeState> = vec![NodeState::default(); n];
-        let mut calculated = vec![false; n];
-        let mut solves = 0usize;
+        let mut counters = SolveCounters::default();
 
-        self.init_start_states(&mut states, &mut calculated);
+        self.init_start_states(&mut states);
 
         for level in &self.graph.levels {
             let results = self.eval_stages(
                 &solver,
                 level,
                 policy,
-                &states,
-                &calculated,
+                &StateView::Slice(&states),
                 prev,
                 recompute,
                 earliest,
             )?;
             for (si, ev) in results {
                 let out_idx = self.graph.stages[si].output.index();
-                solves += ev.solves;
+                counters.absorb(ev.counters);
                 for (out_rising, info) in ev.merges {
                     merge_with(&mut states[out_idx], out_rising, info, earliest);
                 }
-                calculated[out_idx] = true;
             }
         }
 
+        Ok(PassOutput { states, counters })
+    }
+
+    /// The parallel pass: dependency-counter wavefront propagation over the
+    /// persistent worker pool. Every node has a unique producer stage, so
+    /// each task commits exactly its own output cell and the result is
+    /// bit-identical to the serial level loop.
+    fn run_pass_wavefront(
+        &self,
+        pool: &WorkerPool,
+        policy: &Policy<'_>,
+        prev: Option<&[NodeState]>,
+        recompute: Option<&[bool]>,
+        earliest: bool,
+    ) -> Result<PassOutput, StaError> {
+        let solver = StageSolver::new(self.process);
+        let n = self.graph.nodes.len();
+        let cells: Vec<OnceLock<NodeState>> =
+            std::iter::repeat_with(OnceLock::new).take(n).collect();
+        let proto = self.start_node_state();
+        for (i, node) in self.graph.nodes.iter().enumerate() {
+            if node.is_start {
+                let _ = cells[i].set(proto.clone());
+            }
+        }
+        // The one-step policy reads finalized aggressor states, so those
+        // become dependency edges too (acyclic by the static level rule).
+        let aggressor_aware = matches!(policy, Policy::QuietAware { prev: None });
+        let deps = wavefront::DepGraph::build(self.graph, aggressor_aware);
+
+        let calls = AtomicUsize::new(0);
+        let solves = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let first_error: Mutex<Option<(usize, StaError)>> = Mutex::new(None);
+        let view = StateView::Cells(&cells);
+
+        wavefront::execute(pool, &deps, &|si: usize| {
+            // After a failure the pass result is discarded; remaining tasks
+            // only tick the scheduler's counters down.
+            if failed.load(Ordering::Relaxed) {
+                return;
+            }
+            match self.eval_stage(si, &solver, policy, &view, prev, recompute, earliest) {
+                Ok(ev) => {
+                    calls.fetch_add(ev.counters.calls, Ordering::Relaxed);
+                    solves.fetch_add(ev.counters.solves, Ordering::Relaxed);
+                    hits.fetch_add(ev.counters.hits, Ordering::Relaxed);
+                    let mut out = NodeState::default();
+                    for (out_rising, info) in ev.merges {
+                        merge_with(&mut out, out_rising, info, earliest);
+                    }
+                    // Unique producer: this task alone writes this cell.
+                    let _ = cells[self.graph.stages[si].output.index()].set(out);
+                }
+                Err(e) => {
+                    failed.store(true, Ordering::Relaxed);
+                    let gate = self.netlist.gate(self.graph.stages[si].gate).name.clone();
+                    let err = StaError::Stage { gate, source: e };
+                    let mut slot = first_error.lock().unwrap_or_else(PoisonError::into_inner);
+                    // Keep the lowest stage index for a deterministic error.
+                    match &*slot {
+                        Some((prev_si, _)) if *prev_si <= si => {}
+                        _ => *slot = Some((si, err)),
+                    }
+                }
+            }
+        });
+
+        if let Some((_, err)) = first_error
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            return Err(err);
+        }
+        let states = cells
+            .into_iter()
+            .map(|c| c.into_inner().unwrap_or_default())
+            .collect();
         Ok(PassOutput {
             states,
-            stage_solves: solves,
+            counters: SolveCounters {
+                calls: calls.into_inner(),
+                solves: solves.into_inner(),
+                hits: hits.into_inner(),
+            },
         })
     }
 
-    /// Seeds startpoint nodes (primary-input nets) with full-swing ramps at
-    /// `t = 0` and marks them calculated.
-    pub(crate) fn init_start_states(&self, states: &mut [NodeState], calculated: &mut [bool]) {
+    /// The state of every startpoint node: full-swing ramps at `t = 0`.
+    fn start_node_state(&self) -> NodeState {
         let process = self.process;
         let vdd = process.vdd;
         let th = process.delay_threshold();
         let vth = process.coupling_vth;
         let slew = process.default_input_slew;
+        let rise = Waveform::ramp(0.0, slew, 0.0, vdd).expect("valid ramp");
+        let fall = Waveform::ramp(0.0, slew, vdd, 0.0).expect("valid ramp");
+        NodeState {
+            dirs: [
+                Some(self.wave_info(fall, th, vth, vdd, None)),
+                Some(self.wave_info(rise, th, vth, vdd, None)),
+            ],
+        }
+    }
+
+    /// Seeds startpoint nodes (primary-input nets) with full-swing ramps at
+    /// `t = 0`.
+    pub(crate) fn init_start_states(&self, states: &mut [NodeState]) {
+        let proto = self.start_node_state();
         for (i, node) in self.graph.nodes.iter().enumerate() {
             if node.is_start {
-                let rise = Waveform::ramp(0.0, slew, 0.0, vdd).expect("valid ramp");
-                let fall = Waveform::ramp(0.0, slew, vdd, 0.0).expect("valid ramp");
-                states[i] = NodeState {
-                    dirs: [
-                        Some(self.wave_info(fall, th, vth, vdd, None)),
-                        Some(self.wave_info(rise, th, vth, vdd, None)),
-                    ],
-                };
-                calculated[i] = true;
+                states[i] = proto.clone();
             }
         }
     }
 
-    /// The per-level propagation step: evaluates an explicit set of stages
+    /// The batch propagation step: evaluates an explicit set of stages
     /// against a read-only snapshot of the pass state and returns their
-    /// output merges, in input order. Stages within one dependency level
-    /// only read states produced by earlier levels, so they are solved
-    /// concurrently; the caller applies the merges serially. Both the batch
-    /// passes and the incremental engine drive propagation through this
-    /// function.
+    /// output merges, in input order. The caller guarantees every stage in
+    /// the set is ready (its inputs final), so the set fans out over the
+    /// worker pool without internal ordering; the caller applies the merges
+    /// serially. The serial level loop and the incremental engine's dirty
+    /// sweep drive propagation through this function.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn eval_stages(
         &self,
         solver: &StageSolver<'_>,
         stage_ids: &[usize],
         policy: &Policy<'_>,
-        states: &[NodeState],
-        calculated: &[bool],
+        view: &StateView<'_>,
         prev: Option<&[NodeState]>,
         recompute: Option<&[bool]>,
         earliest: bool,
     ) -> Result<Vec<(usize, StageEval)>, StaError> {
-        let process = self.process;
-        let vdd = process.vdd;
-        let th = process.delay_threshold();
-        let vth = process.coupling_vth;
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let eval = |si: usize| -> (usize, Result<StageEval, StageError>) {
-            (
-                si,
-                self.eval_stage(
-                    si, solver, policy, states, calculated, prev, recompute, th, vth, vdd, earliest,
-                ),
-            )
-        };
-        let results: Vec<(usize, Result<StageEval, StageError>)> = if stage_ids.len() < 32
-            || threads <= 1
-        {
-            stage_ids.iter().map(|&si| eval(si)).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let chunk = stage_ids.len().div_ceil(threads);
-                let handles: Vec<_> = stage_ids
-                    .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move || slice.iter().map(|&si| eval(si)).collect::<Vec<_>>())
+        let results: Vec<(usize, Result<StageEval, StageError>)> =
+            match self.exec.pool_for(stage_ids.len()) {
+                None => stage_ids
+                    .iter()
+                    .map(|&si| {
+                        (
+                            si,
+                            self.eval_stage(si, solver, policy, view, prev, recompute, earliest),
+                        )
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("stage workers do not panic"))
-                    .collect()
-            })
-        };
+                    .collect(),
+                Some(pool) => {
+                    let slots: Vec<OnceLock<(usize, Result<StageEval, StageError>)>> =
+                        std::iter::repeat_with(OnceLock::new)
+                            .take(stage_ids.len())
+                            .collect();
+                    wavefront::execute_flat(pool, stage_ids.len(), &|pos: usize| {
+                        let si = stage_ids[pos];
+                        let result =
+                            self.eval_stage(si, solver, policy, view, prev, recompute, earliest);
+                        let _ = slots[pos].set((si, result));
+                    });
+                    slots
+                        .into_iter()
+                        .map(|slot| slot.into_inner().expect("every slot evaluated"))
+                        .collect()
+                }
+            };
         results
             .into_iter()
             .map(|(si, result)| match result {
@@ -662,20 +844,20 @@ impl EngineCtx<'_> {
         si: usize,
         solver: &StageSolver<'_>,
         policy: &Policy<'_>,
-        states: &[NodeState],
-        calculated: &[bool],
+        view: &StateView<'_>,
         prev: Option<&[NodeState]>,
         recompute: Option<&[bool]>,
-        th: f64,
-        vth: f64,
-        vdd: f64,
         earliest: bool,
     ) -> Result<StageEval, StageError> {
+        let process = self.process;
+        let vdd = process.vdd;
+        let th = process.delay_threshold();
+        let vth = process.coupling_vth;
         let stage_inst = &self.graph.stages[si];
         let out_idx = stage_inst.output.index();
         let mut ev = StageEval {
             merges: Vec::new(),
-            solves: 0,
+            counters: SolveCounters::default(),
         };
 
         // Esperance: reuse the previous pass's result for off-path stages
@@ -705,7 +887,7 @@ impl EngineCtx<'_> {
                 // falling launch transition is the mirrored clock rise
                 // (Q falls at the same clock edge).
                 let source_rising = if launch { true } else { in_rising };
-                let Some(info) = states[input.node.index()].get(source_rising) else {
+                let Some(info) = view.get(input.node.index(), source_rising) else {
                     continue;
                 };
                 let out_rising = !in_rising;
@@ -725,12 +907,20 @@ impl EngineCtx<'_> {
                 }
 
                 // Coupling treatment.
-                let (result, extra_solves) = self.solve_arc(
-                    solver, stage, slot, &in_wave, side, stage_inst, policy, states, calculated,
+                let wave = self.solve_arc(
+                    solver,
+                    &gate.cell,
+                    stage,
+                    slot,
+                    &in_wave,
+                    side,
+                    si,
+                    policy,
+                    view,
                     in_rising,
-                );
-                ev.solves += extra_solves;
-                let wave = result?;
+                    earliest,
+                    &mut ev.counters,
+                )?;
                 let winfo = self.wave_info(
                     wave,
                     th,
@@ -745,29 +935,78 @@ impl EngineCtx<'_> {
                 ev.merges.push((out_rising, winfo));
             }
         }
-        let _ = gate;
         Ok(ev)
     }
 
-    /// Solves one arc under the given coupling policy. Returns the waveform
-    /// and the number of stage solves consumed.
+    /// One stage solve routed through the stage-solve cache. `calls` counts
+    /// the logical invocation either way; only a miss (or a disabled cache)
+    /// pays the Newton integration. The key covers every input the solver
+    /// result depends on — see `exec::cache` — so a hit is bit-identical to
+    /// the solve it replaces.
     #[allow(clippy::too_many_arguments)]
-    fn solve_arc(
+    fn solve_cached(
         &self,
         solver: &StageSolver<'_>,
+        cell_name: &str,
+        stage_in_cell: usize,
         stage: &Stage,
         slot: usize,
         in_wave: &Waveform,
         side: &[f64],
-        stage_inst: &crate::graph::StageInst,
+        load: Load,
+        out_rising: bool,
+        earliest: bool,
+        counters: &mut SolveCounters,
+    ) -> Result<Waveform, StageError> {
+        counters.calls += 1;
+        let cache = self.exec.cache();
+        if !cache.enabled() {
+            counters.solves += 1;
+            return solver
+                .solve(stage, slot, in_wave, side, load)
+                .map(|r| r.wave);
+        }
+        let key = SolveKey::new(
+            cell_name,
+            stage_in_cell,
+            slot,
+            out_rising,
+            earliest,
+            in_wave,
+            &load,
+        );
+        if let Some(wave) = cache.get(&key) {
+            counters.hits += 1;
+            return Ok(wave);
+        }
+        counters.solves += 1;
+        let wave = solver.solve(stage, slot, in_wave, side, load)?.wave;
+        cache.put(key, wave.clone());
+        Ok(wave)
+    }
+
+    /// Solves one arc under the given coupling policy, counting the work
+    /// into `counters`.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_arc(
+        &self,
+        solver: &StageSolver<'_>,
+        cell_name: &str,
+        stage: &Stage,
+        slot: usize,
+        in_wave: &Waveform,
+        side: &[f64],
+        si: usize,
         policy: &Policy<'_>,
-        states: &[NodeState],
-        calculated: &[bool],
+        view: &StateView<'_>,
         in_rising: bool,
-    ) -> (Result<Waveform, StageError>, usize) {
+        earliest: bool,
+        counters: &mut SolveCounters,
+    ) -> Result<Waveform, StageError> {
         let out_rising = !in_rising;
         let vdd = self.process.vdd;
         let vth = self.process.coupling_vth;
+        let stage_inst: &StageInst = &self.graph.stages[si];
 
         let grounded_load = |mode: CouplingMode| Load {
             cground: stage_inst.cground,
@@ -777,49 +1016,39 @@ impl EngineCtx<'_> {
                 .map(|&(_, c)| Coupling::new(c, mode))
                 .collect(),
         };
+        let solve = |load: Load, counters: &mut SolveCounters| {
+            self.solve_cached(
+                solver,
+                cell_name,
+                stage_inst.stage,
+                stage,
+                slot,
+                in_wave,
+                side,
+                load,
+                out_rising,
+                earliest,
+                counters,
+            )
+        };
 
         match policy {
-            Policy::Uniform(mode) => {
-                let load = grounded_load(*mode);
-                (
-                    solver
-                        .solve(stage, slot, in_wave, side, load)
-                        .map(|r| r.wave),
-                    1,
-                )
-            }
+            Policy::Uniform(mode) => solve(grounded_load(*mode), counters),
             Policy::QuietAware { prev } => {
                 if stage_inst.couplings.is_empty() {
-                    let load = Load::grounded(stage_inst.cground);
-                    return (
-                        solver
-                            .solve(stage, slot, in_wave, side, load)
-                            .map(|r| r.wave),
-                        1,
-                    );
+                    return solve(Load::grounded(stage_inst.cground), counters);
                 }
                 // Best-case waveform: all aggressors quiet.
-                let bcs = match solver.solve(
-                    stage,
-                    slot,
-                    in_wave,
-                    side,
-                    grounded_load(CouplingMode::Grounded),
-                ) {
-                    Ok(r) => r,
-                    Err(e) => return (Err(e), 1),
-                };
+                let bcs = solve(grounded_load(CouplingMode::Grounded), counters)?;
                 // Earliest possible victim activity: the best-case waveform
                 // entering the coupling threshold band.
                 let start_th = if out_rising { vth } else { vdd - vth };
-                let t_bcs = bcs
-                    .wave
-                    .crossing(start_th)
-                    .unwrap_or_else(|| bcs.wave.start_time());
+                let t_bcs = bcs.crossing(start_th).unwrap_or_else(|| bcs.start_time());
 
                 // Per-aggressor decision (paper §5.1 pseudo code).
                 let agg_rising = !out_rising;
                 let mut any_active = false;
+                let level = self.graph.stage_level[si];
                 let couplings: Vec<Coupling> = stage_inst
                     .couplings
                     .iter()
@@ -828,12 +1057,12 @@ impl EngineCtx<'_> {
                             Some(table) => table[other.index()][agg_rising as usize],
                             None => {
                                 let node = self.graph.net_node[other.index()];
-                                if !calculated[node.index()] {
+                                if !self.graph.calculated_at(node, level) {
                                     // "line i is not calculated": worst case.
                                     any_active = true;
                                     return Coupling::new(c, CouplingMode::Active);
                                 }
-                                match states[node.index()].get(agg_rising) {
+                                match view.get(node.index(), agg_rising) {
                                     Some(info) => Quiet::Until(info.quiescent),
                                     None => Quiet::Never,
                                 }
@@ -853,18 +1082,13 @@ impl EngineCtx<'_> {
 
                 if !any_active {
                     // The best-case solve already used exactly this load.
-                    return (Ok(bcs.wave), 1);
+                    return Ok(bcs);
                 }
                 let load = Load {
                     cground: stage_inst.cground,
                     couplings,
                 };
-                (
-                    solver
-                        .solve(stage, slot, in_wave, side, load)
-                        .map(|r| r.wave),
-                    2,
-                )
+                solve(load, counters)
             }
         }
     }

@@ -1,0 +1,273 @@
+//! The cross-pass stage-solve cache.
+//!
+//! A transistor-level stage solve is a pure function of the cell stage
+//! definition, the switching slot, the input waveform, the sensitizing side
+//! values and the driven load (grounded cap + coupling caps with their
+//! treatment). The cache memoizes solves under a key built from exactly
+//! those inputs, so any two solver invocations with bit-identical inputs —
+//! across refinement passes, across [`crate::AnalysisMode`]s, across ECO
+//! graph rebuilds — share one Newton integration.
+//!
+//! Keys are **exact-match**: waveform points and capacitances enter as
+//! canonical IEEE-754 bit patterns ([`xtalk_wave::canon_bits`]; the only
+//! normalization is `-0.0 == +0.0`). A hit therefore returns the identical
+//! `Waveform` the solver would have produced, and the cache can never
+//! change a reported arrival. Side values are *not* part of the key: they
+//! are a pure function of `(cell, stage, slot, output direction, earliest)`
+//! and the process, all of which the key carries.
+//!
+//! The table is sharded by a stable FNV hash of the key so concurrent
+//! wavefront workers rarely contend on one mutex. Each shard holds at most
+//! `capacity / SHARDS` entries; an insert into a full shard clears it
+//! (counted as evictions) — simple, and harmless because the cache is only
+//! an accelerator.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use xtalk_wave::signature::{canon_bits, StableHasher};
+use xtalk_wave::stage::{CouplingMode, Load};
+use xtalk_wave::Waveform;
+
+/// Shard count; a power of two keeps the index a mask.
+const SHARDS: usize = 16;
+
+/// Hit/miss/evict counters of the stage-solve cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a Newton integration.
+    pub misses: u64,
+    /// Entries discarded by capacity eviction.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache is idle).
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Exact-match identity of one stage solve.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SolveKey {
+    /// Library cell name: the stable identity of the stage definition
+    /// (stage index within the cell below). Survives ECO graph rebuilds.
+    cell: String,
+    /// Stage index within the cell.
+    stage: u32,
+    /// Switching input slot.
+    slot: u32,
+    /// Bit 0: output rising; bit 1: earliest (min-delay side values).
+    flags: u8,
+    /// Canonical bit pairs of the input waveform's points.
+    wave: Vec<(u64, u64)>,
+    /// Canonical bits of the grounded load capacitance.
+    cground: u64,
+    /// Canonical bits + treatment of each coupling cap, in load order
+    /// (order matters: the solver breaks snap-time ties by position).
+    couplings: Vec<(u64, u8)>,
+}
+
+fn mode_byte(mode: CouplingMode) -> u8 {
+    match mode {
+        CouplingMode::Grounded => 0,
+        CouplingMode::Doubled => 1,
+        CouplingMode::Active => 2,
+        CouplingMode::Assisting => 3,
+    }
+}
+
+impl SolveKey {
+    pub(crate) fn new(
+        cell: &str,
+        stage: usize,
+        slot: usize,
+        out_rising: bool,
+        earliest: bool,
+        in_wave: &Waveform,
+        load: &Load,
+    ) -> Self {
+        SolveKey {
+            cell: cell.to_string(),
+            stage: stage as u32,
+            slot: slot as u32,
+            flags: u8::from(out_rising) | (u8::from(earliest) << 1),
+            wave: in_wave.canon_points(),
+            cground: canon_bits(load.cground),
+            couplings: load
+                .couplings
+                .iter()
+                .map(|c| (canon_bits(c.c), mode_byte(c.mode)))
+                .collect(),
+        }
+    }
+
+    /// Stable shard hash (FNV-1a; independent of the std `HashMap` seed).
+    fn shard(&self) -> usize {
+        let mut h = StableHasher::new();
+        h.write_bytes(self.cell.as_bytes());
+        h.write_u64(u64::from(self.stage) << 32 | u64::from(self.slot));
+        h.write_u64(u64::from(self.flags));
+        for &(t, v) in &self.wave {
+            h.write_u64(t);
+            h.write_u64(v);
+        }
+        h.write_u64(self.cground);
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+}
+
+/// The sharded concurrent memo table.
+pub(crate) struct SolveCache {
+    shards: Vec<Mutex<HashMap<SolveKey, Waveform>>>,
+    /// Entry cap per shard; 0 disables the cache entirely.
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SolveCache {
+    /// Builds the cache. `enabled = false` or `capacity = 0` yields a
+    /// disabled cache: every lookup misses without touching a shard.
+    pub(crate) fn new(enabled: bool, capacity: usize) -> Self {
+        SolveCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_capacity: if enabled {
+                capacity.div_ceil(SHARDS)
+            } else {
+                0
+            },
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.shard_capacity > 0
+    }
+
+    /// Looks the key up, counting a hit or miss.
+    pub(crate) fn get(&self, key: &SolveKey) -> Option<Waveform> {
+        if !self.enabled() {
+            return None;
+        }
+        let shard = lock(&self.shards[key.shard()]);
+        match shard.get(key) {
+            Some(wave) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(wave.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a solve result, evicting the shard when full.
+    pub(crate) fn put(&self, key: SolveKey, wave: Waveform) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = lock(&self.shards[key.shard()]);
+        if shard.len() >= self.shard_capacity {
+            self.evictions
+                .fetch_add(shard.len() as u64, Ordering::Relaxed);
+            shard.clear();
+        }
+        shard.insert(key, wave);
+    }
+
+    /// Drops every entry (counters keep accumulating).
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            lock(shard).clear();
+        }
+    }
+
+    /// Entries currently resident.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Locks a shard, recovering from poisoning (shard maps hold plain data, so
+/// a panicking worker cannot leave one in a torn state).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtalk_wave::stage::Coupling;
+
+    fn key(slot: usize, cg: f64) -> SolveKey {
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let load = Load {
+            cground: cg,
+            couplings: vec![Coupling::new(1e-15, CouplingMode::Active)],
+        };
+        SolveKey::new("INVX1", 0, slot, true, false, &w, &load)
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = SolveCache::new(true, 1024);
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        assert!(cache.get(&key(0, 1e-15)).is_none());
+        cache.put(key(0, 1e-15), w.clone());
+        let got = cache.get(&key(0, 1e-15)).expect("hit");
+        assert_eq!(got.points(), w.points());
+        assert!(cache.get(&key(1, 1e-15)).is_none(), "slot is keyed");
+        assert!(cache.get(&key(0, 2e-15)).is_none(), "load is keyed");
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert!(s.hit_ratio() > 0.24 && s.hit_ratio() < 0.26);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = SolveCache::new(false, 1024);
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        cache.put(key(0, 1e-15), w);
+        assert!(cache.get(&key(0, 1e-15)).is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn capacity_eviction_clears_full_shards() {
+        let cache = SolveCache::new(true, SHARDS); // one entry per shard
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        for i in 0..64 {
+            cache.put(key(i, 1e-15), w.clone());
+        }
+        assert!(cache.stats().evictions > 0);
+        assert!(cache.len() <= SHARDS);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The persistent execution layer of the STA engine.
+//!
+//! Two cooperating pieces, both built once per analyzer and reused across
+//! every pass, mode and ECO sweep:
+//!
+//! - a **wavefront scheduler** ([`wavefront`]): a long-lived worker pool
+//!   ([`pool::WorkerPool`]) driving dependency-counter wavefront
+//!   propagation with work-stealing deques, replacing the
+//!   spawn-per-level/barrier-per-level scheme;
+//! - a **stage-solve cache** ([`cache::SolveCache`]): a sharded concurrent
+//!   memo table over the pure inputs of a transistor-level stage solve,
+//!   letting refinement passes and repeated modes skip Newton integration
+//!   when the inputs are bit-identical.
+//!
+//! [`ExecConfig`] is the user-facing knob set: thread count
+//! (`--threads` / `XTALK_THREADS`; 1 preserves the fully serial path),
+//! the small-batch serial cutoff, and the cache switch/capacity.
+
+pub(crate) mod cache;
+pub(crate) mod pool;
+pub(crate) mod wavefront;
+
+use std::sync::OnceLock;
+
+pub use cache::CacheStats;
+
+/// Execution configuration of an analyzer: parallelism and caching.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker count for parallel passes. `1` runs the engine on the fully
+    /// serial code path (no pool is ever built); `n > 1` uses the calling
+    /// thread plus `n - 1` pool workers.
+    pub threads: usize,
+    /// Stage-count threshold below which a pass (or a dirty batch) runs
+    /// inline on the calling thread even when a pool exists — scheduling
+    /// overhead dominates tiny batches.
+    pub serial_cutoff: usize,
+    /// Enables the cross-pass stage-solve cache.
+    pub cache: bool,
+    /// Total stage-solve cache capacity, in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            serial_cutoff: 32,
+            cache: true,
+            cache_capacity: 1 << 20,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The default configuration with environment overrides applied:
+    /// `XTALK_THREADS` (integer; `1` = serial, `0`/unset = auto),
+    /// `XTALK_CACHE` (`0`/`off` disables the stage-solve cache) and
+    /// `XTALK_CACHE_CAPACITY` (entry count).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut config = ExecConfig::default();
+        if let Some(threads) = std::env::var("XTALK_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            config.threads = threads;
+        }
+        if matches!(
+            std::env::var("XTALK_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        ) {
+            config.cache = false;
+        }
+        if let Some(capacity) = std::env::var("XTALK_CACHE_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            config.cache_capacity = capacity;
+        }
+        config
+    }
+
+    /// A fully serial configuration (single thread, cache on).
+    #[must_use]
+    pub fn serial() -> Self {
+        ExecConfig {
+            threads: 1,
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the small-batch serial cutoff.
+    #[must_use]
+    pub fn with_serial_cutoff(mut self, cutoff: usize) -> Self {
+        self.serial_cutoff = cutoff;
+        self
+    }
+
+    /// Enables or disables the stage-solve cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+}
+
+/// The per-analyzer execution state: the lazily built worker pool and the
+/// stage-solve cache.
+pub(crate) struct Executor {
+    config: ExecConfig,
+    pool: OnceLock<pool::WorkerPool>,
+    cache: cache::SolveCache,
+}
+
+impl Executor {
+    pub(crate) fn new(config: ExecConfig) -> Self {
+        let cache = cache::SolveCache::new(config.cache, config.cache_capacity);
+        Executor {
+            config,
+            pool: OnceLock::new(),
+            cache,
+        }
+    }
+
+    pub(crate) fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The pool to use for a batch of `stages` stages: `None` selects the
+    /// serial path (single-threaded config, or a batch under the cutoff).
+    pub(crate) fn pool_for(&self, stages: usize) -> Option<&pool::WorkerPool> {
+        if self.config.threads <= 1 || stages < self.config.serial_cutoff {
+            return None;
+        }
+        Some(
+            self.pool
+                .get_or_init(|| pool::WorkerPool::new(self.config.threads)),
+        )
+    }
+
+    pub(crate) fn cache(&self) -> &cache::SolveCache {
+        &self.cache
+    }
+
+    pub(crate) fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    pub(crate) fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders_compose() {
+        let c = ExecConfig::serial()
+            .with_threads(4)
+            .with_serial_cutoff(0)
+            .with_cache(false);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.serial_cutoff, 0);
+        assert!(!c.cache);
+        assert_eq!(ExecConfig::serial().threads, 1);
+        assert_eq!(ExecConfig::default().with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn executor_respects_serial_paths() {
+        let serial = Executor::new(ExecConfig::serial());
+        assert!(serial.pool_for(10_000).is_none(), "threads=1 never pools");
+        let parallel = Executor::new(ExecConfig::default().with_threads(2));
+        assert!(parallel.pool_for(4).is_none(), "below the cutoff");
+        assert!(parallel.pool_for(4096).is_some(), "above the cutoff");
+        let nocache = Executor::new(ExecConfig::default().with_cache(false));
+        assert!(!nocache.cache().enabled());
+    }
+}

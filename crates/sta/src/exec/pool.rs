@@ -1,0 +1,251 @@
+//! The long-lived worker pool behind the wavefront scheduler.
+//!
+//! The previous engine spawned fresh scoped threads at every dependency
+//! level of every pass — thread creation plus a full barrier per level. The
+//! pool here is built once per analyzer and reused across passes, modes and
+//! ECO sweeps: helper threads park on a condvar between jobs, and one
+//! [`WorkerPool::run`] call broadcasts a job to all of them.
+//!
+//! # Why one `unsafe` block exists
+//!
+//! `run` hands the workers a borrowed closure (`&dyn Fn(usize) + Sync`)
+//! that captures the engine's pass-local state. Persistent threads cannot
+//! borrow from a caller's stack in the type system (`std::thread::scope`
+//! exists precisely because of that), so the reference's lifetime is erased
+//! to `'static` for the duration of the call. Soundness is restored by a
+//! run-to-completion protocol:
+//!
+//! - `run` does not return until every helper has finished executing the
+//!   job and decremented `active` (observed under the state mutex), so the
+//!   erased reference never outlives the frame that owns the closure;
+//! - helpers drop their copy of the job reference before decrementing
+//!   `active` and never touch it again until the next `run` installs a new
+//!   job at a higher epoch;
+//! - a caller-side panic inside the job is caught, the wait for helpers
+//!   still happens, and the panic is then resumed; helper-side panics are
+//!   caught, recorded, and re-raised on the caller after the job drains;
+//! - `run` is serialized by a private lock, so two concurrent callers
+//!   cannot install overlapping jobs.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased broadcast job. Only ever dereferenced between a `run`
+/// call's installation and its completion wait.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct PoolState {
+    /// Monotone job counter; helpers run each epoch exactly once.
+    epoch: u64,
+    /// The current job (present while an epoch is executing).
+    job: Option<Job>,
+    /// Helpers still executing the current epoch.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Helpers wait here for a new epoch.
+    work: Condvar,
+    /// `run` waits here for `active == 0`.
+    done: Condvar,
+    /// A helper panicked inside the current job.
+    panicked: AtomicBool,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, PoolState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A persistent pool of `threads - 1` helper threads; the calling thread
+/// participates as worker 0 of every [`run`](WorkerPool::run).
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes `run` calls.
+    run_gate: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Builds a pool for `threads` total workers (`threads >= 2`; the
+    /// caller is worker 0, so `threads - 1` OS threads are spawned).
+    pub(crate) fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "a pool below two workers is pointless");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (1..threads)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xtalk-exec-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            run_gate: Mutex::new(()),
+        }
+    }
+
+    /// Total workers (helpers plus the caller).
+    pub(crate) fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs `f(worker_index)` once on every worker concurrently (index 0 on
+    /// the calling thread) and returns after all of them finish.
+    #[allow(unsafe_code)]
+    pub(crate) fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        let _gate = self.run_gate.lock().unwrap_or_else(PoisonError::into_inner);
+        // SAFETY: the erased reference is dereferenced only by this call's
+        // epoch; `run` blocks below until every helper has finished the job
+        // and dropped its copy of the reference (the run-to-completion
+        // protocol in the module docs), so it never outlives `f`.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        {
+            let mut st = lock(&self.shared);
+            st.epoch += 1;
+            st.job = Some(job);
+            st.active = self.handles.len();
+            self.shared.work.notify_all();
+        }
+        let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
+        {
+            let mut st = lock(&self.shared);
+            while st.active > 0 {
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            st.job = None;
+        }
+        let helper_panicked = self.shared.panicked.swap(false, Ordering::SeqCst);
+        match caller {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if helper_panicked => {
+                panic!("worker thread panicked during parallel stage evaluation")
+            }
+            Ok(()) => {}
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        lock(&self.shared).shutdown = true;
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match st.job {
+                    Some(job) if st.epoch != seen => {
+                        seen = st.epoch;
+                        break job;
+                    }
+                    _ => {}
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(|| job(idx))).is_err() {
+            shared.panicked.store(true, Ordering::SeqCst);
+        }
+        // The job reference is dead from here on; only then release `run`.
+        let mut st = lock(shared);
+        st.active -= 1;
+        let all_done = st.active == 0;
+        drop(st);
+        if all_done {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn all_workers_run_each_job() {
+        let pool = WorkerPool::new(4);
+        for _ in 0..16 {
+            let count = AtomicUsize::new(0);
+            let seen = Mutex::new(Vec::new());
+            pool.run(&|idx| {
+                count.fetch_add(1, Ordering::SeqCst);
+                seen.lock().expect("seen").push(idx);
+            });
+            assert_eq!(count.load(Ordering::SeqCst), 4);
+            let mut ids = seen.into_inner().expect("ids");
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn borrowed_state_survives_many_epochs() {
+        let pool = WorkerPool::new(3);
+        let mut total = 0usize;
+        for round in 0..64 {
+            let local: Vec<usize> = (0..100).map(|i| i + round).collect();
+            let sum = AtomicUsize::new(0);
+            pool.run(&|idx| {
+                for chunk in local.chunks(35).skip(idx).step_by(3) {
+                    sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                }
+            });
+            total += sum.load(Ordering::SeqCst);
+        }
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn helper_panic_is_reported_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|idx| {
+                if idx == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "helper panic must surface");
+        // The pool still works afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Dependency-counter wavefront scheduling with work-stealing deques.
+//!
+//! The level-barrier schedule the engine used before ran every dependency
+//! level behind a full join: one slow Newton solve stalled the entire next
+//! level. The wavefront scheduler replaces the barrier with per-stage
+//! atomic dependency counters — a stage becomes runnable the instant its
+//! last prerequisite finishes — and per-worker deques with stealing, so an
+//! idle worker takes work from a loaded one instead of waiting.
+//!
+//! Determinism does not depend on execution order: every timing node has
+//! exactly one producer stage, each task commits only its own output (the
+//! degenerate — and therefore free — case of stage-index-ordered commits),
+//! and merges *within* a stage are applied in the fixed arc order. See the
+//! scheduler notes in `DESIGN.md`.
+//!
+//! The dependency edges are the timing arcs plus, for the one-step coupling
+//! policy only, victim → aggressor-producer edges for aggressors at a
+//! strictly lower dependency level: those are exactly the aggressor states
+//! the serial schedule guarantees to be final when the victim is evaluated
+//! (the engine's static calculated-level rule, [`TimingGraph`]'s
+//! `node_calc_level`). Aggressors at the same or a higher level are never
+//! read — the policy pessimistically treats them as active — so they need
+//! no edge, and the graph of arcs plus lower-level edges stays acyclic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::graph::TimingGraph;
+
+use super::pool::WorkerPool;
+
+/// The static dependency structure of one pass.
+pub(crate) struct DepGraph {
+    /// Initial unresolved-prerequisite count per stage.
+    base: Vec<u32>,
+    /// Stages unblocked by each stage's completion (deduplicated).
+    succs: Vec<Vec<u32>>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of one pass. `aggressor_aware` adds the
+    /// one-step policy's extra edges (see the module docs).
+    pub(crate) fn build(graph: &TimingGraph, aggressor_aware: bool) -> DepGraph {
+        let n = graph.stages.len();
+        let mut base = vec![0u32; n];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // `stamp[p] == s` marks producer `p` already recorded for stage `s`,
+        // deduplicating without a per-stage set.
+        let mut stamp: Vec<u32> = vec![u32::MAX; n];
+        for (si, stage) in graph.stages.iter().enumerate() {
+            let mut add = |p: usize, stamp: &mut Vec<u32>| {
+                if stamp[p] != si as u32 {
+                    stamp[p] = si as u32;
+                    base[si] += 1;
+                    succs[p].push(si as u32);
+                }
+            };
+            for input in &stage.inputs {
+                if let Some(p) = graph.producer[input.node.index()] {
+                    add(p, &mut stamp);
+                }
+            }
+            if aggressor_aware {
+                let level = graph.stage_level[si];
+                for &(other, _) in &stage.couplings {
+                    let node = graph.net_node[other.index()];
+                    if let Some(p) = graph.producer[node.index()] {
+                        if graph.stage_level[p] < level {
+                            add(p, &mut stamp);
+                        }
+                    }
+                }
+            }
+        }
+        DepGraph { base, succs }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.base.len()
+    }
+}
+
+/// Per-worker work-stealing deques: owners push/pop LIFO for locality,
+/// thieves steal FIFO from the opposite end.
+struct StealQueues {
+    queues: Vec<Mutex<VecDeque<u32>>>,
+}
+
+fn lock(q: &Mutex<VecDeque<u32>>) -> MutexGuard<'_, VecDeque<u32>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl StealQueues {
+    fn new(workers: usize) -> Self {
+        StealQueues {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    fn push(&self, worker: usize, item: u32) {
+        lock(&self.queues[worker]).push_back(item);
+    }
+
+    /// Pops from the worker's own deque, stealing from the others when it
+    /// is empty.
+    fn pop(&self, worker: usize) -> Option<u32> {
+        if let Some(item) = lock(&self.queues[worker]).pop_back() {
+            return Some(item);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            if let Some(item) = lock(&self.queues[(worker + offset) % n]).pop_front() {
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+/// Runs `task(stage)` exactly once for every stage of `deps`, respecting
+/// the dependency edges, across all workers of `pool`.
+pub(crate) fn execute(pool: &WorkerPool, deps: &DepGraph, task: &(dyn Fn(usize) + Sync)) {
+    let n = deps.len();
+    if n == 0 {
+        return;
+    }
+    let workers = pool.threads();
+    let queues = StealQueues::new(workers);
+    let pending: Vec<AtomicU32> = deps.base.iter().map(|&c| AtomicU32::new(c)).collect();
+    let mut seeded = 0usize;
+    for si in 0..n {
+        if deps.base[si] == 0 {
+            queues.push(seeded % workers, si as u32);
+            seeded += 1;
+        }
+    }
+    let remaining = AtomicUsize::new(n);
+    pool.run(&|worker| loop {
+        if let Some(si) = queues.pop(worker) {
+            let si = si as usize;
+            task(si);
+            for &succ in &deps.succs[si] {
+                if pending[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    queues.push(worker, succ);
+                }
+            }
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                return;
+            }
+        } else if remaining.load(Ordering::Acquire) == 0 {
+            return;
+        } else {
+            // Another worker holds the frontier; let it run.
+            std::thread::yield_now();
+        }
+    });
+    debug_assert_eq!(remaining.load(Ordering::SeqCst), 0, "wavefront drained");
+}
+
+/// Runs `task(index)` for every `index < count` across all workers of
+/// `pool` — the dependency-free fan-out used for batch stage sets whose
+/// readiness the caller already guarantees (a dirty level of the
+/// incremental sweep).
+pub(crate) fn execute_flat(pool: &WorkerPool, count: usize, task: &(dyn Fn(usize) + Sync)) {
+    let next = AtomicUsize::new(0);
+    pool.run(&|_worker| loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        if index >= count {
+            return;
+        }
+        task(index);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A synthetic diamond-chain dependency graph exercises ordering.
+    fn chain_deps(n: usize) -> DepGraph {
+        // Stage i depends on i-1; succs mirror that.
+        let mut base = vec![0u32; n];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 1..n {
+            base[i] = 1;
+            succs[i - 1].push(i as u32);
+        }
+        DepGraph { base, succs }
+    }
+
+    #[test]
+    fn wavefront_respects_dependencies() {
+        let pool = WorkerPool::new(4);
+        let n = 500;
+        let deps = chain_deps(n);
+        let order = Mutex::new(Vec::new());
+        execute(&pool, &deps, &|si| {
+            order.lock().expect("order").push(si);
+        });
+        let order = order.into_inner().expect("order");
+        assert_eq!(order.len(), n);
+        // A pure chain admits exactly one legal order.
+        for (i, &si) in order.iter().enumerate() {
+            assert_eq!(si, i);
+        }
+    }
+
+    #[test]
+    fn flat_execution_covers_every_index_once() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        execute_flat(&pool, hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        let deps = chain_deps(0);
+        execute(&pool, &deps, &|_| panic!("no stages to run"));
+        execute_flat(&pool, 0, &|_| panic!("no work"));
+    }
+}

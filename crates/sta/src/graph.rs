@@ -117,6 +117,13 @@ pub struct TimingGraph {
     pub producer: Vec<Option<usize>>,
     /// Dependency level of each stage (its index into `levels`).
     pub stage_level: Vec<usize>,
+    /// First dependency level at which each timing node's state is final:
+    /// `0` for startpoints, `stage_level[producer] + 1` for produced nodes,
+    /// `u32::MAX` for floating non-start nodes (never calculated). A stage
+    /// evaluated at level `L` may read exactly the nodes with
+    /// `node_calc_level <= L` — the engine's static "calculated" rule (see
+    /// [`TimingGraph::calculated_at`]).
+    pub node_calc_level: Vec<u32>,
 }
 
 impl TimingGraph {
@@ -379,6 +386,20 @@ impl TimingGraph {
             levels[stage_level[si]].push(si);
         }
 
+        let node_calc_level: Vec<u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                if node.is_start {
+                    0
+                } else if let Some(p) = producer[i] {
+                    stage_level[p] as u32 + 1
+                } else {
+                    u32::MAX
+                }
+            })
+            .collect();
+
         Ok(TimingGraph {
             nodes,
             stages,
@@ -388,7 +409,19 @@ impl TimingGraph {
             net_node,
             producer,
             stage_level,
+            node_calc_level,
         })
+    }
+
+    /// Whether `node`'s state is final when a stage at dependency level
+    /// `stage_level` is evaluated. This is the breadth-first schedule's
+    /// *static* "calculated" predicate: startpoints are final from level 0,
+    /// produced nodes one level after their producer, and it is identical
+    /// for the serial level loop and the wavefront scheduler (which turns
+    /// exactly these relations into dependency edges).
+    #[inline]
+    pub fn calculated_at(&self, node: TNodeId, stage_level: usize) -> bool {
+        (self.node_calc_level[node.index()] as usize) <= stage_level
     }
 
     /// Number of timing arcs (stage-input connections).

@@ -28,14 +28,14 @@
 
 use xtalk_wave::stage::StageSolver;
 
-use crate::engine::{merge_with, EngineCtx, NodeState, Policy, StaError};
+use crate::engine::{merge_with, EngineCtx, NodeState, Policy, SolveCounters, StaError, StateView};
 
 /// Outcome of one incremental sweep.
 pub(crate) struct SweepOutput {
     /// Per-node flag: the node's cached state was replaced.
     pub changed: Vec<bool>,
-    /// Stage solves consumed.
-    pub solves: usize,
+    /// Solver work consumed (logical calls, Newton solves, cache hits).
+    pub counters: SolveCounters,
     /// Stages re-evaluated (of `graph.stages.len()` total).
     pub reevaluated: usize,
 }
@@ -58,17 +58,16 @@ pub(crate) fn repropagate(
     states.resize(n, NodeState::default());
     let mut out = SweepOutput {
         changed: vec![false; n],
-        solves: 0,
+        counters: SolveCounters::default(),
         reevaluated: 0,
     };
 
     // Start states depend only on the process, but re-derive and compare
     // them so a start node that fell out of the cache remap is repaired.
     let mut starts: Vec<NodeState> = vec![NodeState::default(); n];
-    let mut calculated = vec![false; n];
-    ctx.init_start_states(&mut starts, &mut calculated);
+    ctx.init_start_states(&mut starts);
     for i in 0..n {
-        if calculated[i] && !state_eq(&states[i], &starts[i], epsilon) {
+        if ctx.graph.nodes[i].is_start && !state_eq(&states[i], &starts[i], epsilon) {
             states[i] = std::mem::take(&mut starts[i]);
             out.changed[i] = true;
         }
@@ -76,7 +75,7 @@ pub(crate) fn repropagate(
     drop(starts);
 
     let mut dirty: Vec<usize> = Vec::new();
-    for level in &ctx.graph.levels {
+    for (lvl, level) in ctx.graph.levels.iter().enumerate() {
         dirty.clear();
         for &si in level {
             let stage = &ctx.graph.stages[si];
@@ -92,11 +91,12 @@ pub(crate) fn repropagate(
                     Policy::Uniform(_) => false,
                     // One-step: the decision reads a calculated aggressor's
                     // quiescent time (an uncalculated one is pessimistically
-                    // active regardless of its value).
+                    // active regardless of its value). "Calculated" is the
+                    // schedule's static level rule.
                     Policy::QuietAware { prev: None } => {
                         stage.couplings.iter().any(|&(other, _)| {
-                            let node = ctx.graph.net_node[other.index()].index();
-                            calculated[node] && out.changed[node]
+                            let node = ctx.graph.net_node[other.index()];
+                            ctx.graph.calculated_at(node, lvl) && out.changed[node.index()]
                         })
                     }
                     // Refinement: the decision reads the previous pass's
@@ -120,14 +120,13 @@ pub(crate) fn repropagate(
                 &solver,
                 &dirty,
                 policy,
-                states,
-                &calculated,
+                &StateView::Slice(states),
                 None,
                 None,
                 earliest,
             )?;
             for (si, ev) in results {
-                out.solves += ev.solves;
+                out.counters.absorb(ev.counters);
                 out.reevaluated += 1;
                 let out_idx = ctx.graph.stages[si].output.index();
                 // Rebuild the output from scratch: this stage is the node's
@@ -141,12 +140,6 @@ pub(crate) fn repropagate(
                     out.changed[out_idx] = true;
                 }
             }
-        }
-
-        // Whether re-evaluated or reused, every output of this level is now
-        // final — exactly the batch pass's calculated set.
-        for &si in level {
-            calculated[ctx.graph.stages[si].output.index()] = true;
         }
     }
 

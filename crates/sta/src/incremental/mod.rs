@@ -58,10 +58,11 @@ use xtalk_netlist::{GateId, Netlist};
 use xtalk_tech::{Library, Process};
 use xtalk_wave::stage::CouplingMode;
 
-use crate::engine::{EngineCtx, NodeState, Policy, Pred, Quiet, Sta, StaError};
+use crate::engine::{EngineCtx, NodeState, Policy, Pred, Quiet, SolveCounters, Sta, StaError};
+use crate::exec::{CacheStats, ExecConfig, Executor};
 use crate::graph::{TNodeKind, TimingGraph};
 use crate::mode::AnalysisMode;
-use crate::report::ModeReport;
+use crate::report::{ModeReport, PassStat};
 
 /// Cached result of one propagation pass of one mode.
 struct PassCache {
@@ -92,8 +93,11 @@ pub struct AnalyzeStats {
     /// Stage evaluations actually performed, summed over passes. A fully
     /// clean replay evaluates zero stages.
     pub stages_evaluated: usize,
-    /// Transistor-level stage solves consumed.
+    /// Transistor-level stage solves consumed (logical solver calls; calls
+    /// answered by the stage-solve cache are included).
     pub stage_solves: usize,
+    /// Solver calls answered by the cross-pass stage-solve cache.
+    pub cache_hits: usize,
 }
 
 /// A crosstalk-aware static timing analyzer with persistent caches and
@@ -117,6 +121,7 @@ pub struct IncrementalSta<'a> {
     netlist: Netlist,
     parasitics: Parasitics,
     graph: TimingGraph,
+    exec: Executor,
     caches: Vec<(AnalysisMode, ModeCache)>,
     /// Seed gates of each applied edit not yet consumed by every cache.
     dirt_log: Vec<BTreeSet<GateId>>,
@@ -139,6 +144,28 @@ impl<'a> IncrementalSta<'a> {
         process: &'a Process,
         parasitics: Parasitics,
     ) -> Result<Self, StaError> {
+        Self::with_config(
+            netlist,
+            library,
+            process,
+            parasitics,
+            ExecConfig::from_env(),
+        )
+    }
+
+    /// Builds the analyzer with an explicit execution configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::Netlist`] when the netlist does not expand to a timing
+    /// graph.
+    pub fn with_config(
+        netlist: Netlist,
+        library: &'a Library,
+        process: &'a Process,
+        parasitics: Parasitics,
+        config: ExecConfig,
+    ) -> Result<Self, StaError> {
         let graph = TimingGraph::build(&netlist, library, process, &parasitics)?;
         Ok(Self {
             library,
@@ -146,12 +173,29 @@ impl<'a> IncrementalSta<'a> {
             netlist,
             parasitics,
             graph,
+            exec: Executor::new(config),
             caches: Vec::new(),
             dirt_log: Vec::new(),
             epsilon: 0.0,
             edits: 0,
             last_stats: AnalyzeStats::default(),
         })
+    }
+
+    /// The execution configuration in effect.
+    pub fn exec_config(&self) -> &ExecConfig {
+        self.exec.config()
+    }
+
+    /// Stage-solve cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.exec.cache_stats()
+    }
+
+    /// Drops every stage-solve cache entry (the arrival caches are
+    /// unaffected; exact-match keys mean results never change).
+    pub fn clear_solve_cache(&self) {
+        self.exec.clear_cache();
     }
 
     /// The current netlist (reflecting all applied edits).
@@ -211,6 +255,7 @@ impl<'a> IncrementalSta<'a> {
             process: self.process,
             parasitics: &self.parasitics,
             graph: &self.graph,
+            exec: &self.exec,
         }
     }
 
@@ -283,6 +328,7 @@ impl<'a> IncrementalSta<'a> {
                 passes: report.passes,
                 stages_evaluated: report.passes * self.graph.stages.len(),
                 stage_solves: report.stage_solves,
+                cache_hits: report.cache_hits,
             };
             return Ok(report);
         }
@@ -327,8 +373,13 @@ impl<'a> IncrementalSta<'a> {
         let ctx = self.ctx();
         let seed = self.seed_mask(cache.synced);
         cache.synced = self.dirt_log.len();
-        let mut pass_delays: Vec<f64> = Vec::new();
-        let mut solves = 0usize;
+        let mut pass_stats: Vec<PassStat> = Vec::new();
+        let pass_stat = |counters: SolveCounters, delay: f64| PassStat {
+            delay,
+            solver_calls: counters.calls,
+            newton_solves: counters.solves,
+            cache_hits: counters.hits,
+        };
 
         match mode {
             AnalysisMode::BestCase
@@ -344,16 +395,16 @@ impl<'a> IncrementalSta<'a> {
                     AnalysisMode::MinDelay => Policy::Uniform(CouplingMode::Assisting),
                     _ => Policy::QuietAware { prev: None },
                 };
-                solves += self.sweep_pass(cache, 0, &policy, None, &seed, earliest, stats)?;
+                let counters = self.sweep_pass(cache, 0, &policy, None, &seed, earliest, stats)?;
                 cache.passes.truncate(1);
-                pass_delays.push(
-                    ctx.extreme(&cache.passes[0].states, earliest)
-                        .map(|(_, _, d)| d)
-                        .unwrap_or(0.0),
-                );
+                let delay = ctx
+                    .extreme(&cache.passes[0].states, earliest)
+                    .map(|(_, _, d)| d)
+                    .unwrap_or(0.0);
+                pass_stats.push(pass_stat(counters, delay));
             }
             AnalysisMode::Iterative { esperance: false } => {
-                solves += self.sweep_pass(
+                let counters = self.sweep_pass(
                     cache,
                     0,
                     &Policy::QuietAware { prev: None },
@@ -367,7 +418,7 @@ impl<'a> IncrementalSta<'a> {
                     .longest(&cache.passes[0].states)
                     .map(|(_, _, d)| d)
                     .ok_or(StaError::NoArrivals)?;
-                pass_delays.push(delay);
+                pass_stats.push(pass_stat(counters, delay));
                 // Same refinement loop and convergence test as the batch
                 // engine, with each full pass replaced by a cached sweep.
                 for _ in 0..10 {
@@ -379,7 +430,7 @@ impl<'a> IncrementalSta<'a> {
                             .map(|i| old.and_then(|o| o.get(i)) != Some(&quiet[i]))
                             .collect()
                     });
-                    solves += self.sweep_pass(
+                    let counters = self.sweep_pass(
                         cache,
                         next,
                         &Policy::QuietAware { prev: Some(&quiet) },
@@ -393,7 +444,7 @@ impl<'a> IncrementalSta<'a> {
                         .longest(&cache.passes[next].states)
                         .map(|(_, _, d)| d)
                         .ok_or(StaError::NoArrivals)?;
-                    pass_delays.push(next_delay);
+                    pass_stats.push(pass_stat(counters, next_delay));
                     let improved = next_delay < delay - (1e-13 + 1e-3 * delay);
                     pass_idx = next;
                     delay = next_delay.min(delay);
@@ -416,11 +467,11 @@ impl<'a> IncrementalSta<'a> {
             .expect("every mode runs at least one pass")
             .states
             .clone();
-        ctx.assemble_report(mode, final_states, pass_delays, solves, started)
+        ctx.assemble_report(mode, final_states, pass_stats, started)
     }
 
     /// Replays cached pass `idx` incrementally, or runs it in full when the
-    /// cache has no pass `idx` yet. Returns the solves consumed.
+    /// cache has no pass `idx` yet. Returns the solver work consumed.
     #[allow(clippy::too_many_arguments)]
     fn sweep_pass(
         &self,
@@ -431,7 +482,7 @@ impl<'a> IncrementalSta<'a> {
         seed: &[bool],
         earliest: bool,
         stats: &mut AnalyzeStats,
-    ) -> Result<usize, StaError> {
+    ) -> Result<SolveCounters, StaError> {
         let ctx = self.ctx();
         if let Some(pass) = cache.passes.get_mut(idx) {
             let swept = dirty::repropagate(
@@ -444,17 +495,19 @@ impl<'a> IncrementalSta<'a> {
                 self.epsilon,
             )?;
             stats.stages_evaluated += swept.reevaluated;
-            stats.stage_solves += swept.solves;
-            Ok(swept.solves)
+            stats.stage_solves += swept.counters.calls;
+            stats.cache_hits += swept.counters.hits;
+            Ok(swept.counters)
         } else {
             let out = ctx.run_pass_with(policy, None, None, earliest)?;
             stats.stages_evaluated += self.graph.stages.len();
-            stats.stage_solves += out.stage_solves;
+            stats.stage_solves += out.counters.calls;
+            stats.cache_hits += out.counters.hits;
             cache.passes.push(PassCache {
                 states: out.states,
                 quiet_used: None,
             });
-            Ok(out.stage_solves)
+            Ok(out.counters)
         }
     }
 

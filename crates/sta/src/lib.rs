@@ -37,10 +37,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool contains the
+// crate's single audited `#[allow(unsafe_code)]` (a lifetime erasure with a
+// run-to-completion proof — see `exec::pool`); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod exec;
 pub mod graph;
 pub mod incremental;
 pub mod mode;
@@ -49,8 +53,9 @@ pub mod report;
 pub mod sdf;
 
 pub use engine::{Sta, StaError};
+pub use exec::{CacheStats, ExecConfig};
 pub use incremental::{AnalyzeStats, Edit, EditError, EditOutcome, IncrementalSta};
 pub use mode::AnalysisMode;
 pub use noise::{glitch_report, GlitchRecord, GlitchReport};
-pub use report::{ModeReport, PathStep};
+pub use report::{ModeReport, PassStat, PathStep};
 pub use sdf::{parse_sdf, write_sdf};

@@ -59,6 +59,34 @@ impl EndpointArrival {
     }
 }
 
+/// Work summary of one propagation pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassStat {
+    /// Longest (for min-delay: shortest) endpoint arrival after the pass,
+    /// seconds.
+    pub delay: f64,
+    /// Logical stage-solver calls — the paper's work metric; calls answered
+    /// by the stage-solve cache are included.
+    pub solver_calls: usize,
+    /// Newton integrations actually performed during the pass.
+    pub newton_solves: usize,
+    /// Solver calls answered by the stage-solve cache.
+    pub cache_hits: usize,
+}
+
+impl PassStat {
+    /// Cache hits as a fraction of the pass's solver calls (0 for an
+    /// uncached or empty pass).
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.solver_calls == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.solver_calls as f64
+        }
+    }
+}
+
 /// Result of one analysis run.
 #[derive(Debug, Clone)]
 pub struct ModeReport {
@@ -83,15 +111,24 @@ pub struct ModeReport {
     pub passes: usize,
     /// Longest delay after each pass (iterative convergence trace).
     pub pass_delays: Vec<f64>,
-    /// Stage solutions performed (work measure).
+    /// Logical stage-solver calls across all passes (the paper's work
+    /// measure; cache hits included).
     pub stage_solves: usize,
+    /// Newton integrations actually performed across all passes
+    /// (`stage_solves - cache_hits`).
+    pub newton_solves: usize,
+    /// Solver calls answered by the stage-solve cache across all passes.
+    pub cache_hits: usize,
+    /// Per-pass work breakdown (delay, solver calls, Newton solves, cache
+    /// hits), in pass order.
+    pub pass_stats: Vec<PassStat>,
     /// Wall-clock runtime.
     pub runtime: Duration,
 }
 
 impl fmt::Display for ModeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
+        write!(
             f,
             "{:<22} {:>9.3} ns   ({} passes, {} solves, {:.2?})",
             self.mode.to_string(),
@@ -99,7 +136,18 @@ impl fmt::Display for ModeReport {
             self.passes,
             self.stage_solves,
             self.runtime
-        )
+        )?;
+        if self.cache_hits > 0 {
+            let ratio = self.cache_hits as f64 / self.stage_solves.max(1) as f64;
+            write!(
+                f,
+                "   [{} newton, {} cached, {:.0}% hit]",
+                self.newton_solves,
+                self.cache_hits,
+                ratio * 100.0
+            )?;
+        }
+        writeln!(f)
     }
 }
 
@@ -343,11 +391,25 @@ mod tests {
             passes: 1,
             pass_delays: vec![10.5e-9],
             stage_solves: 123,
+            newton_solves: 100,
+            cache_hits: 23,
+            pass_stats: vec![PassStat {
+                delay: 10.5e-9,
+                solver_calls: 123,
+                newton_solves: 100,
+                cache_hits: 23,
+            }],
             runtime: Duration::from_millis(12),
         };
-        let t = comparison_table("s27", 13, &[r]);
+        let t = comparison_table("s27", 13, std::slice::from_ref(&r));
         assert!(t.contains("s27 (13 cells)"));
         assert!(t.contains("Best case"));
         assert!(t.contains("10.500"));
+        // The Display form surfaces the cache breakdown when hits occurred.
+        let shown = r.to_string();
+        assert!(shown.contains("123 solves"));
+        assert!(shown.contains("23 cached"));
+        let ps = r.pass_stats[0];
+        assert!((ps.hit_ratio() - 23.0 / 123.0).abs() < 1e-12);
     }
 }

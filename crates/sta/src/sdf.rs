@@ -18,9 +18,8 @@ use crate::mode::AnalysisMode;
 ///
 /// Propagates [`StaError`] from the underlying analysis.
 pub fn write_sdf(sta: &Sta<'_>, mode: AnalysisMode) -> Result<String, StaError> {
-    let mut pass_delays = Vec::new();
-    let mut solves = 0usize;
-    let states = sta.compute_states(mode, &mut pass_delays, &mut solves)?;
+    let mut pass_stats = Vec::new();
+    let states = sta.compute_states(mode, &mut pass_stats)?;
     Ok(render(sta, &states))
 }
 

@@ -54,7 +54,9 @@ pub mod network;
 pub mod newton;
 pub mod pwl;
 pub mod sensitize;
+pub mod signature;
 pub mod stage;
 
 pub use pwl::{Waveform, WaveformError};
+pub use signature::{canon_bits, StableHasher};
 pub use stage::{Coupling, CouplingMode, Load, Snap, StageResult, StageSolver};

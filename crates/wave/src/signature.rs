@@ -1,0 +1,137 @@
+//! Stable, canonical bit-signatures of waveforms.
+//!
+//! The STA engine memoizes transistor-level stage solves across passes and
+//! modes. A memo key must (a) be *exact* — two keys compare equal only when
+//! the solver inputs are bit-identical, so a cache hit can never change a
+//! reported arrival — and (b) hash *stably*, independent of pointer values,
+//! `HashMap` seeds or platform, so counters and shard assignment are
+//! reproducible run to run.
+//!
+//! The only "quantization" performed is canonicalization of IEEE-754
+//! equal-but-distinct encodings: `-0.0` maps to `+0.0` (they are
+//! numerically equal inputs, so the solve result is identical). Everything
+//! else is the raw bit pattern; accuracy impact is exactly zero.
+
+use crate::pwl::Waveform;
+
+/// Canonical bit pattern of an `f64` for exact-match keys: `-0.0`
+/// normalizes to `+0.0`, every other value keeps its IEEE-754 encoding.
+#[inline]
+#[must_use]
+pub fn canon_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0
+    } else {
+        x.to_bits()
+    }
+}
+
+/// A seed-free FNV-1a 64-bit hasher: deterministic across runs, platforms
+/// and processes, unlike the std `HashMap` hasher.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds one `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds one `f64` through [`canon_bits`].
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(canon_bits(v));
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Waveform {
+    /// The waveform's points as canonical `(time, voltage)` bit pairs —
+    /// the exact-match identity of the waveform for memoization.
+    #[must_use]
+    pub fn canon_points(&self) -> Vec<(u64, u64)> {
+        self.points()
+            .iter()
+            .map(|&(t, v)| (canon_bits(t), canon_bits(v)))
+            .collect()
+    }
+
+    /// A stable 64-bit signature of the waveform (FNV-1a over
+    /// [`Waveform::canon_points`]): equal for bit-identical waveforms,
+    /// reproducible across runs.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.points().len() as u64);
+        for &(t, v) in self.points() {
+            h.write_f64(t);
+            h.write_f64(v);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_zero_canonicalizes() {
+        assert_eq!(canon_bits(-0.0), canon_bits(0.0));
+        assert_ne!(canon_bits(1.0), canon_bits(-1.0));
+        assert_ne!(canon_bits(1.0), canon_bits(1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn signature_is_stable_and_discriminating() {
+        let a = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let b = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let c = Waveform::ramp(0.0, 1.1e-9, 0.0, 3.3).expect("ramp");
+        assert_eq!(a.signature(), b.signature());
+        assert_ne!(a.signature(), c.signature());
+        // FNV is seed-free: the value is a constant of the input.
+        assert_eq!(a.signature(), a.clone().signature());
+    }
+
+    #[test]
+    fn canon_points_match_points() {
+        let w = Waveform::ramp(2e-10, 5e-10, 3.3, 0.0).expect("ramp");
+        let pts = w.canon_points();
+        assert_eq!(pts.len(), w.points().len());
+        for (&(t, v), &(tb, vb)) in w.points().iter().zip(&pts) {
+            assert_eq!(canon_bits(t), tb);
+            assert_eq!(canon_bits(v), vb);
+        }
+    }
+}

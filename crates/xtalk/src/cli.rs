@@ -4,17 +4,21 @@
 //! here makes it unit-testable. Supported commands:
 //!
 //! ```text
-//! xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch]
+//! xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch] [--threads N]
 //! xtalk flow <netlist.(bench|v)> --out DIR
 //! xtalk convert <input.(bench|v)> <output.(bench|v)>
 //! xtalk generate --preset NAME [--seed N] <output.(bench|v)>
 //! xtalk liberty <output.lib> [--cells A,B,...]
-//! xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE]
-//! xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check]
+//! xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE] [--threads N]
+//! xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check] [--threads N]
 //! ```
 //!
 //! Modes: `best`, `doubled`, `worst`, `onestep`, `iterative` (default),
 //! `esperance`, `min`.
+//!
+//! `--threads N` sizes the wavefront scheduler's worker pool (`1` forces
+//! the serial engine); it overrides the `XTALK_THREADS` environment
+//! variable. `XTALK_CACHE=0` disables the stage-solve cache.
 //!
 //! `eco` replays an edit script (one edit per line: `resize <gate> <cell>`,
 //! `reroute <net> <scale>`, `buffer <net> [cell]`, `uncouple <a> <b>`;
@@ -26,7 +30,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use xtalk_netlist::{GeneratorConfig, Netlist};
-use xtalk_sta::{AnalysisMode, IncrementalSta, Sta};
+use xtalk_sta::{AnalysisMode, ExecConfig, IncrementalSta, ModeReport, Sta};
 use xtalk_tech::{Library, Process};
 
 /// A CLI failure, printed to stderr by the binary.
@@ -56,15 +60,18 @@ pub const USAGE: &str = "\
 xtalk — crosstalk-aware static timing analysis (DATE 2000 reproduction)
 
 USAGE:
-  xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch]
+  xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch] [--threads N]
   xtalk flow <netlist.(bench|v)> --out DIR
   xtalk convert <input.(bench|v)> <output.(bench|v)>
   xtalk generate --preset small|medium|s35932|s38417|s38584 [--seed N] <output.(bench|v)>
   xtalk liberty <output.lib> [--cells A,B,...]
-  xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE]
-  xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check]
+  xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE] [--threads N]
+  xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check] [--threads N]
 
 MODES: best | doubled | worst | onestep | iterative (default) | esperance | min
+
+PARALLELISM: --threads N sizes the wavefront worker pool (1 = serial engine);
+overrides XTALK_THREADS. XTALK_CACHE=0 disables the stage-solve cache.
 
 ECO EDITS (one per line, `#` comments):
   resize <gate> <cell> | reroute <net> <scale> | buffer <net> [cell] | uncouple <a> <b>
@@ -171,6 +178,34 @@ fn flag<'a>(flags: &[(&'a str, Option<&'a str>)], name: &str) -> Option<Option<&
     flags.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
 }
 
+/// Builds the execution config from the environment, letting `--threads`
+/// override `XTALK_THREADS`.
+fn exec_config(flags: &[(&str, Option<&str>)]) -> Result<ExecConfig, CliError> {
+    let mut config = ExecConfig::from_env();
+    if let Some(threads) = flag(flags, "threads") {
+        let threads: usize = threads
+            .and_then(|t| t.parse().ok())
+            .filter(|&t| t >= 1)
+            .ok_or_else(|| err("--threads expects an integer >= 1"))?;
+        config = config.with_threads(threads);
+    }
+    Ok(config)
+}
+
+/// One-line solver-work summary: logical calls, Newton integrations
+/// actually run, and stage-solve cache hits.
+fn solver_summary(report: &ModeReport) -> String {
+    let mut line = format!(
+        "solver: {} calls, {} newton solves",
+        report.stage_solves, report.newton_solves
+    );
+    if report.cache_hits > 0 {
+        let ratio = 100.0 * report.cache_hits as f64 / report.stage_solves.max(1) as f64;
+        let _ = write!(line, ", {} cache hits ({ratio:.0}%)", report.cache_hits);
+    }
+    line
+}
+
 struct LoadedDesign {
     process: Process,
     library: Library,
@@ -220,8 +255,9 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
         return Err(err(format!("report needs one netlist file\n\n{USAGE}")));
     };
     let mode = parse_mode(flag(&flags, "mode").flatten().unwrap_or("iterative"))?;
+    let config = exec_config(&flags)?;
     let d = load_design(netlist_path, flag(&flags, "spef").flatten())?;
-    let sta = Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics)
+    let sta = Sta::with_config(&d.netlist, &d.library, &d.process, &d.parasitics, config)
         .map_err(|e| err(e.to_string()))?;
     let report = sta.analyze(mode).map_err(|e| err(e.to_string()))?;
 
@@ -246,6 +282,7 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
         report.passes,
         report.runtime.as_secs_f64()
     );
+    let _ = writeln!(out, "{}", solver_summary(&report));
     let _ = writeln!(out, "critical path:");
     for step in &report.critical_path {
         let _ = writeln!(
@@ -400,8 +437,9 @@ fn cmd_sdf(args: &[String]) -> Result<String, CliError> {
         )));
     };
     let mode = parse_mode(flag(&flags, "mode").flatten().unwrap_or("iterative"))?;
+    let config = exec_config(&flags)?;
     let d = load_design(netlist_path, flag(&flags, "spef").flatten())?;
-    let sta = Sta::new(&d.netlist, &d.library, &d.process, &d.parasitics)
+    let sta = Sta::with_config(&d.netlist, &d.library, &d.process, &d.parasitics, config)
         .map_err(|e| err(e.to_string()))?;
     let sdf = xtalk_sta::write_sdf(&sta, mode).map_err(|e| err(e.to_string()))?;
     std::fs::write(output, &sdf)?;
@@ -419,11 +457,13 @@ fn cmd_eco(args: &[String]) -> Result<String, CliError> {
         )));
     };
     let mode = parse_mode(flag(&flags, "mode").flatten().unwrap_or("iterative"))?;
+    let config = exec_config(&flags)?;
     let d = load_design(netlist_path, flag(&flags, "spef").flatten())?;
     let script = std::fs::read_to_string(script_path)?;
 
-    let mut eco = IncrementalSta::new(d.netlist, &d.library, &d.process, d.parasitics)
-        .map_err(|e| err(e.to_string()))?;
+    let mut eco =
+        IncrementalSta::with_config(d.netlist, &d.library, &d.process, d.parasitics, config)
+            .map_err(|e| err(e.to_string()))?;
     let baseline = eco.analyze(mode).map_err(|e| err(e.to_string()))?;
 
     let mut out = String::new();
@@ -451,6 +491,15 @@ fn cmd_eco(args: &[String]) -> Result<String, CliError> {
         eco.graph().stages.len() * stats.passes,
         stats.stage_solves,
         report.runtime.as_secs_f64()
+    );
+    let cache = eco.cache_stats();
+    let _ = writeln!(
+        out,
+        "cache: {} hits, {} misses, {} evictions ({:.0}% hit)",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        100.0 * cache.hit_ratio()
     );
 
     if flag(&flags, "check").is_some() {
@@ -604,6 +653,45 @@ mod tests {
         std::fs::write(&bad, "resize no_such_gate INVX4\n").expect("write script");
         let e = run(&argv(&["eco", &bench, &bad])).unwrap_err();
         assert!(e.to_string().contains("unknown gate"), "{e}");
+    }
+
+    #[test]
+    fn report_threads_flag_matches_serial_and_prints_solver_line() {
+        let bench = tmp("t7.bench");
+        run(&argv(&[
+            "generate", "--preset", "small", "--seed", "11", &bench,
+        ]))
+        .expect("generate");
+        let serial = run(&argv(&[
+            "report",
+            &bench,
+            "--mode",
+            "onestep",
+            "--threads",
+            "1",
+        ]))
+        .expect("serial report");
+        let par = run(&argv(&[
+            "report",
+            &bench,
+            "--mode",
+            "onestep",
+            "--threads",
+            "2",
+        ]))
+        .expect("parallel report");
+        assert!(serial.contains("solver:"), "{serial}");
+        // The timing lines must agree exactly between a serial and a
+        // 2-thread run (runtime differs, so compare up to the parenthesis).
+        let delay = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("path delay"))
+                .and_then(|l| l.split('(').next())
+                .map(str::to_string)
+        };
+        assert_eq!(delay(&serial), delay(&par));
+        assert!(run(&argv(&["report", &bench, "--threads", "0"])).is_err());
+        assert!(run(&argv(&["report", &bench, "--threads"])).is_err());
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use xtalk_wave as wave;
 /// The most common imports in one place.
 pub mod prelude {
     pub use xtalk_netlist::{GeneratorConfig, Netlist};
-    pub use xtalk_sta::{AnalysisMode, Edit, IncrementalSta, ModeReport, Sta};
+    pub use xtalk_sta::{AnalysisMode, Edit, ExecConfig, IncrementalSta, ModeReport, Sta};
     pub use xtalk_tech::{Library, Process};
     pub use xtalk_wave::{CouplingMode, Waveform};
 }

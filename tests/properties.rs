@@ -86,6 +86,82 @@ proptest! {
         }
     }
 
+    /// A parallel wavefront run is bit-identical to the serial engine in
+    /// every analysis mode: same delay bits, same pass trajectory, same
+    /// critical endpoint.
+    #[test]
+    fn parallel_matches_serial_bitwise(seed in 0u64..1000, gates in 24usize..56, depth in 3usize..6) {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let netlist = xtalk::netlist::generator::generate(
+            &tiny_config(seed, gates, depth), &library).expect("generate");
+        let placement = xtalk::layout::place::place(&netlist, &library, &process);
+        let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+        let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+        let serial = Sta::with_config(&netlist, &library, &process, &parasitics,
+            ExecConfig::serial()).expect("sta");
+        // cutoff 0 forces the wavefront scheduler even on tiny circuits.
+        let par = Sta::with_config(&netlist, &library, &process, &parasitics,
+            ExecConfig::serial().with_threads(4).with_serial_cutoff(0)).expect("sta");
+        for mode in [
+            AnalysisMode::BestCase,
+            AnalysisMode::StaticDoubled,
+            AnalysisMode::WorstCase,
+            AnalysisMode::OneStep,
+            AnalysisMode::Iterative { esperance: false },
+            AnalysisMode::Iterative { esperance: true },
+            AnalysisMode::MinDelay,
+        ] {
+            let a = serial.analyze(mode).expect("serial");
+            let b = par.analyze(mode).expect("parallel");
+            prop_assert_eq!(a.longest_delay.to_bits(), b.longest_delay.to_bits(),
+                "{mode}: serial {} vs parallel {}", a.longest_delay, b.longest_delay);
+            prop_assert_eq!(a.endpoint_net, b.endpoint_net);
+            prop_assert_eq!(a.pass_delays.len(), b.pass_delays.len());
+            for (x, y) in a.pass_delays.iter().zip(&b.pass_delays) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// The stage-solve cache is transparent: a warm re-run answers every
+    /// solver call from the cache, and clearing it mid-run never changes
+    /// a single arrival bit.
+    #[test]
+    fn solve_cache_is_transparent(seed in 0u64..1000, gates in 24usize..56) {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let netlist = xtalk::netlist::generator::generate(
+            &tiny_config(seed, gates, 5), &library).expect("generate");
+        let placement = xtalk::layout::place::place(&netlist, &library, &process);
+        let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+        let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+        let mode = AnalysisMode::Iterative { esperance: false };
+        let uncached = Sta::with_config(&netlist, &library, &process, &parasitics,
+            ExecConfig::serial().with_cache(false)).expect("sta");
+        let reference = uncached.analyze(mode).expect("uncached");
+        prop_assert_eq!(reference.cache_hits, 0);
+        prop_assert_eq!(reference.newton_solves, reference.stage_solves);
+
+        let cached = Sta::with_config(&netlist, &library, &process, &parasitics,
+            ExecConfig::serial()).expect("sta");
+        let cold = cached.analyze(mode).expect("cold");
+        let warm = cached.analyze(mode).expect("warm");
+        cached.clear_solve_cache();
+        let cleared = cached.analyze(mode).expect("cleared");
+        for r in [&cold, &warm, &cleared] {
+            prop_assert_eq!(r.longest_delay.to_bits(), reference.longest_delay.to_bits());
+            prop_assert_eq!(r.endpoint_net, reference.endpoint_net);
+            prop_assert_eq!(r.passes, reference.passes);
+        }
+        // The warm replay answers everything from the cache.
+        prop_assert_eq!(warm.cache_hits, warm.stage_solves);
+        prop_assert_eq!(warm.newton_solves, 0);
+        // Refinement passes re-solve only stages whose coupling decisions
+        // changed, so even the cold run hits for the unchanged majority.
+        prop_assert!(cold.passes == 1 || cold.cache_hits > 0);
+    }
+
     /// SPEF roundtrip is lossless for any generated layout.
     #[test]
     fn spef_roundtrip_lossless(seed in 0u64..10_000) {
