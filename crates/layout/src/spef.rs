@@ -39,6 +39,8 @@ pub enum SpefError {
     Parse {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token, when known.
+        column: Option<usize>,
         /// Description of the problem.
         message: String,
     },
@@ -52,15 +54,43 @@ pub enum SpefError {
 impl std::fmt::Display for SpefError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpefError::Parse { line, message } => {
-                write!(f, "SPEF parse error at line {line}: {message}")
-            }
+            SpefError::Parse {
+                line,
+                column,
+                message,
+            } => match column {
+                Some(col) => write!(
+                    f,
+                    "SPEF parse error at line {line}, column {col}: {message}"
+                ),
+                None => write!(f, "SPEF parse error at line {line}: {message}"),
+            },
             SpefError::UnknownNet { net } => write!(f, "SPEF references unknown net `{net}`"),
         }
     }
 }
 
 impl std::error::Error for SpefError {}
+
+/// Parses a numeric SPEF field, requiring it to be finite and non-negative
+/// so a corrupted file cannot inject NaN/Inf parasitics into the analysis.
+/// `raw` is the full source line, used for column context.
+fn parse_value(tok: &str, raw: &str, line: usize, what: &str) -> Result<f64, SpefError> {
+    let column = raw.find(tok).map(|i| raw[..i].chars().count() + 1);
+    let v: f64 = tok.parse().map_err(|_| SpefError::Parse {
+        line,
+        column,
+        message: format!("bad {what} `{tok}`"),
+    })?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(SpefError::Parse {
+            line,
+            column,
+            message: format!("{what} `{tok}` must be finite and non-negative"),
+        });
+    }
+    Ok(v)
+}
 
 /// Writes `parasitics` as SPEF text.
 pub fn write(netlist: &Netlist, parasitics: &Parasitics) -> String {
@@ -135,6 +165,7 @@ pub fn parse(text: &str, netlist: &Netlist) -> Result<Parasitics, SpefError> {
             let mut it = rest.split_whitespace();
             let name = it.next().ok_or_else(|| SpefError::Parse {
                 line: lineno,
+                column: None,
                 message: "missing net name".to_string(),
             })?;
             current = Some(lookup(name)?);
@@ -165,17 +196,11 @@ pub fn parse(text: &str, netlist: &Netlist) -> Result<Parasitics, SpefError> {
         match section {
             Section::Cap => match fields.as_slice() {
                 [_idx, _name, value] => {
-                    let ff: f64 = value.parse().map_err(|_| SpefError::Parse {
-                        line: lineno,
-                        message: format!("bad capacitance `{value}`"),
-                    })?;
+                    let ff = parse_value(value, raw, lineno, "capacitance")?;
                     nets[net.index()].cwire += ff * 1e-15;
                 }
                 [_idx, _name, other, value] => {
-                    let ff: f64 = value.parse().map_err(|_| SpefError::Parse {
-                        line: lineno,
-                        message: format!("bad capacitance `{value}`"),
-                    })?;
+                    let ff = parse_value(value, raw, lineno, "capacitance")?;
                     let other = lookup(other)?;
                     nets[net.index()].couplings.push(CouplingCap {
                         other,
@@ -185,21 +210,20 @@ pub fn parse(text: &str, netlist: &Netlist) -> Result<Parasitics, SpefError> {
                 _ => {
                     return Err(SpefError::Parse {
                         line: lineno,
+                        column: None,
                         message: "malformed *CAP entry".to_string(),
                     })
                 }
             },
             Section::Res => match fields.as_slice() {
                 [_idx, _name, value] => {
-                    let ohm: f64 = value.parse().map_err(|_| SpefError::Parse {
-                        line: lineno,
-                        message: format!("bad resistance `{value}`"),
-                    })?;
+                    let ohm = parse_value(value, raw, lineno, "resistance")?;
                     nets[net.index()].rwire += ohm;
                 }
                 _ => {
                     return Err(SpefError::Parse {
                         line: lineno,
+                        column: None,
                         message: "malformed *RES entry".to_string(),
                     })
                 }
@@ -207,6 +231,7 @@ pub fn parse(text: &str, netlist: &Netlist) -> Result<Parasitics, SpefError> {
             Section::None => {
                 return Err(SpefError::Parse {
                     line: lineno,
+                    column: None,
                     message: "data outside *CAP/*RES section".to_string(),
                 })
             }
@@ -285,6 +310,48 @@ mod tests {
         let text = "*D_NET CLK 1.0\n1 CLK 2.0\n";
         let err = parse(text, &nl).unwrap_err();
         assert!(err.to_string().contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_and_negative_values() {
+        let (nl, _) = setup();
+        for bad in ["NaN", "inf", "-inf", "-1.0"] {
+            let text = format!("*D_NET CLK 1.0\n*CAP\n1 CLK {bad}\n*END\n");
+            let err = parse(&text, &nl).unwrap_err();
+            assert!(
+                err.to_string().contains("finite and non-negative"),
+                "capacitance `{bad}` must be rejected, got: {err}"
+            );
+            let text = format!("*D_NET CLK 1.0\n*RES\n1 CLK {bad}\n*END\n");
+            let err = parse(&text, &nl).unwrap_err();
+            assert!(
+                err.to_string().contains("finite and non-negative"),
+                "resistance `{bad}` must be rejected, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_column_context() {
+        let (nl, _) = setup();
+        let text = "*D_NET CLK 1.0\n*CAP\n1 CLK oops\n*END\n";
+        let err = parse(text, &nl).unwrap_err();
+        match err {
+            SpefError::Parse { line, column, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(column, Some(7), "column points at the bad value");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let (nl, _) = setup();
+        // Mid-entry EOF: a *CAP row with the value cut off.
+        let text = "*D_NET CLK 1.0\n*CAP\n1 CLK";
+        let err = parse(text, &nl).unwrap_err();
+        assert!(matches!(err, SpefError::Parse { line: 3, .. }), "{err}");
     }
 
     #[test]

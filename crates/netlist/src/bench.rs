@@ -41,6 +41,24 @@ use crate::netlist::{NetId, Netlist};
 /// Name of the implicit clock net connected to `DFF` cells.
 pub const CLOCK_NET: &str = "CLK";
 
+/// A parse error with no column information.
+fn perr(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        column: None,
+        message: message.into(),
+    }
+}
+
+/// A parse error pointing at the first occurrence of `token` in `raw`.
+fn perr_at(line: usize, raw: &str, token: &str, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        column: raw.find(token).map(|i| raw[..i].chars().count() + 1),
+        message: message.into(),
+    }
+}
+
 /// Parses `.bench` text into a [`Netlist`], mapping gates onto `library`.
 ///
 /// # Errors
@@ -67,45 +85,40 @@ pub fn parse(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
             continue;
         }
         if let Some(name) = parse_io(line, "INPUT") {
-            let id = nl.net_or_insert(name.map_err(|m| NetlistError::Parse {
-                line: lineno,
-                message: m,
-            })?);
+            let id = nl.net_or_insert(name.map_err(|m| perr(lineno, m))?);
             nl.mark_primary_input(id);
             continue;
         }
         if let Some(name) = parse_io(line, "OUTPUT") {
-            let id = nl.net_or_insert(name.map_err(|m| NetlistError::Parse {
-                line: lineno,
-                message: m,
-            })?);
+            let id = nl.net_or_insert(name.map_err(|m| perr(lineno, m))?);
             nl.mark_primary_output(id);
             continue;
         }
         // name = FUNC(a, b, ...)
-        let (lhs, rhs) = line.split_once('=').ok_or_else(|| NetlistError::Parse {
-            line: lineno,
-            message: "expected `name = FUNC(...)`".to_string(),
-        })?;
+        let (lhs, rhs) = line
+            .split_once('=')
+            .ok_or_else(|| perr(lineno, "expected `name = FUNC(...)`"))?;
         let out_name = lhs.trim();
         if out_name.is_empty()
             || !out_name
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || "_.[]".contains(c))
         {
-            return Err(NetlistError::Parse {
-                line: lineno,
-                message: format!("`{out_name}` is not a valid net name"),
-            });
+            return Err(perr_at(
+                lineno,
+                raw,
+                out_name,
+                format!("`{out_name}` is not a valid net name"),
+            ));
         }
         let rhs = rhs.trim();
-        let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
-            line: lineno,
-            message: "missing `(`".to_string(),
-        })?;
+        let open = rhs
+            .find('(')
+            .ok_or_else(|| perr_at(lineno, raw, rhs, "missing `(`"))?;
         if !rhs.ends_with(')') {
             return Err(NetlistError::Parse {
                 line: lineno,
+                column: Some(raw.trim_end().chars().count().max(1)),
                 message: "missing `)`".to_string(),
             });
         }
@@ -116,10 +129,7 @@ pub fn parse(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
             .filter(|s| !s.is_empty())
             .collect();
         if args.is_empty() {
-            return Err(NetlistError::Parse {
-                line: lineno,
-                message: "gate with no inputs".to_string(),
-            });
+            return Err(perr_at(lineno, raw, rhs, "gate with no inputs"));
         }
         let function = match func_name.as_str() {
             "NOT" | "INV" => Function::Inv,
@@ -415,6 +425,28 @@ mod tests {
         assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
         let err = parse("y = NOT(a\n", &lib()).unwrap_err();
         assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        // Mid-line EOF: the closing `)` never arrives.
+        let err = parse("INPUT(a)\ny = NAND(a, b", &lib()).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
+        // EOF right after the `=`.
+        let err = parse("INPUT(a)\ny =", &lib()).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_column_context() {
+        let err = parse("INPUT(a)\n  y! = NOT(a)\n", &lib()).unwrap_err();
+        match err {
+            NetlistError::Parse { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, Some(3), "column points at the bad net name");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub enum NetlistError {
     Parse {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token, when known.
+        column: Option<usize>,
         /// What went wrong.
         message: String,
     },
@@ -75,9 +77,14 @@ impl fmt::Display for NetlistError {
                 f,
                 "cell `{cell}` takes {expected} inputs but {got} were connected"
             ),
-            NetlistError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
-            }
+            NetlistError::Parse {
+                line,
+                column,
+                message,
+            } => match column {
+                Some(col) => write!(f, "parse error at line {line}, column {col}: {message}"),
+                None => write!(f, "parse error at line {line}: {message}"),
+            },
             NetlistError::UnsupportedGate { line, gate } => {
                 write!(f, "unsupported gate `{gate}` at line {line}")
             }
@@ -97,9 +104,16 @@ mod tests {
         assert_eq!(e.to_string(), "net `n1` has multiple drivers");
         let e = NetlistError::Parse {
             line: 3,
+            column: None,
             message: "bad token".into(),
         };
         assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = NetlistError::Parse {
+            line: 3,
+            column: Some(7),
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3, column 7: bad token");
         let e = NetlistError::PinCountMismatch {
             cell: "NAND2X1".into(),
             expected: 2,

@@ -45,34 +45,33 @@ use crate::netlist::{NetId, Netlist};
 /// referenced cell is missing from `library`).
 pub fn parse(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
     let stripped = strip_comments(text);
-    let mut statements = stripped.split(';').map(str::trim);
+    let mut statements = split_statements(&stripped).into_iter();
 
     // Module header: `module name ( ports )`.
-    let header = statements
+    let (hline, _hcol, header) = statements
         .next()
-        .filter(|s| !s.is_empty())
+        .filter(|(_, _, s)| !s.is_empty())
         .ok_or_else(|| parse_err(1, "empty source"))?;
     let header = header
         .strip_prefix("module")
-        .ok_or_else(|| parse_err(1, "expected `module`"))?
+        .ok_or_else(|| parse_err(hline, "expected `module`"))?
         .trim();
     let (name, _ports) = match header.find('(') {
         Some(open) => {
             let name = header[..open].trim();
             let rest = header[open + 1..]
                 .strip_suffix(')')
-                .ok_or_else(|| parse_err(1, "unterminated port list"))?;
+                .ok_or_else(|| parse_err(hline, "unterminated port list"))?;
             (name, Some(rest))
         }
         None => (header, None),
     };
     if name.is_empty() {
-        return Err(parse_err(1, "module needs a name"));
+        return Err(parse_err(hline, "module needs a name"));
     }
     let mut nl = Netlist::new(name);
 
-    for stmt in statements {
-        let stmt = stmt.trim();
+    for (line, col, stmt) in statements {
         if stmt.is_empty() {
             continue;
         }
@@ -103,7 +102,7 @@ pub fn parse(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
             continue;
         }
         // Instance: `CELL inst (.PIN(net), ...)`.
-        parse_instance(stmt, &mut nl, library)?;
+        parse_instance(stmt, line, col, &mut nl, library)?;
     }
     Ok(nl)
 }
@@ -111,7 +110,61 @@ pub fn parse(text: &str, library: &Library) -> Result<Netlist, NetlistError> {
 fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
     NetlistError::Parse {
         line,
+        column: None,
         message: message.into(),
+    }
+}
+
+fn parse_err_at(line: usize, column: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        column: Some(column),
+        message: message.into(),
+    }
+}
+
+/// Splits `text` on `;`, recording the 1-based line and column where each
+/// statement's first non-whitespace character sits. Statements are returned
+/// trimmed; byte offsets into a trimmed statement can be mapped back to
+/// source positions with [`pos_in`].
+fn split_statements(text: &str) -> Vec<(usize, usize, &str)> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    for piece in text.split(';') {
+        let lead = piece.len() - piece.trim_start().len();
+        let (sl, sc) = advance(line, col, &piece[..lead]);
+        out.push((sl, sc, piece.trim()));
+        let (el, ec) = advance(line, col, piece);
+        line = el;
+        col = ec + 1; // the consumed `;`
+    }
+    out
+}
+
+/// Position after walking `s` starting from (`line`, `col`).
+fn advance(mut line: usize, mut col: usize, s: &str) -> (usize, usize) {
+    for ch in s.chars() {
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// Line/column of byte offset `off` within `stmt`, whose first character
+/// sits at (`line`, `col`).
+fn pos_in(stmt: &str, off: usize, line: usize, col: usize) -> (usize, usize) {
+    let pre = &stmt[..off];
+    match pre.rsplit_once('\n') {
+        Some((before, after)) => (
+            line + before.matches('\n').count() + 1,
+            after.chars().count() + 1,
+        ),
+        None => (line, col + pre.chars().count()),
     }
 }
 
@@ -119,15 +172,22 @@ fn split_names(rest: &str) -> impl Iterator<Item = &str> {
     rest.split(',').map(str::trim).filter(|s| !s.is_empty())
 }
 
-fn parse_instance(stmt: &str, nl: &mut Netlist, library: &Library) -> Result<(), NetlistError> {
+fn parse_instance(
+    stmt: &str,
+    line: usize,
+    col: usize,
+    nl: &mut Netlist,
+    library: &Library,
+) -> Result<(), NetlistError> {
     let open = stmt
         .find('(')
-        .ok_or_else(|| parse_err(0, format!("unrecognised statement `{stmt}`")))?;
+        .ok_or_else(|| parse_err_at(line, col, format!("unrecognised statement `{stmt}`")))?;
     let head: Vec<&str> = stmt[..open].split_whitespace().collect();
     let [cell_name, inst_name] = head[..] else {
-        return Err(parse_err(
-            0,
-            format!("bad instance header `{}`", &stmt[..open]),
+        return Err(parse_err_at(
+            line,
+            col,
+            format!("bad instance header `{}`", stmt[..open].trim()),
         ));
     };
     let cell = library
@@ -138,25 +198,33 @@ fn parse_instance(stmt: &str, nl: &mut Netlist, library: &Library) -> Result<(),
     let body = stmt[open + 1..]
         .trim_end()
         .strip_suffix(')')
-        .ok_or_else(|| parse_err(0, "unterminated connection list"))?;
+        .ok_or_else(|| {
+            let (el, ec) = pos_in(stmt, stmt.len(), line, col);
+            parse_err_at(el, ec, "unterminated connection list")
+        })?;
 
     let mut inputs: Vec<Option<NetId>> = vec![None; cell.inputs.len()];
     let mut output: Option<NetId> = None;
-    for conn in body.split(',') {
-        let conn = conn.trim();
+    // Byte offset of the next connection within `stmt`, for error positions.
+    let mut off = open + 1;
+    for conn_raw in body.split(',') {
+        let conn_off = off + (conn_raw.len() - conn_raw.trim_start().len());
+        off += conn_raw.len() + 1; // the consumed `,`
+        let conn = conn_raw.trim();
         if conn.is_empty() {
             continue;
         }
-        let conn = conn
-            .strip_prefix('.')
-            .ok_or_else(|| parse_err(0, format!("expected named connection, got `{conn}`")))?;
+        let (cl, cc) = pos_in(stmt, conn_off, line, col);
+        let conn = conn.strip_prefix('.').ok_or_else(|| {
+            parse_err_at(cl, cc, format!("expected named connection, got `{conn}`"))
+        })?;
         let open = conn
             .find('(')
-            .ok_or_else(|| parse_err(0, format!("bad connection `{conn}`")))?;
+            .ok_or_else(|| parse_err_at(cl, cc, format!("bad connection `{conn}`")))?;
         let pin = conn[..open].trim();
         let net = conn[open + 1..]
             .strip_suffix(')')
-            .ok_or_else(|| parse_err(0, format!("bad connection `{conn}`")))?
+            .ok_or_else(|| parse_err_at(cl, cc, format!("bad connection `{conn}`")))?
             .trim();
         let net_id = nl.net_or_insert(net);
         if pin == cell.output {
@@ -164,21 +232,22 @@ fn parse_instance(stmt: &str, nl: &mut Netlist, library: &Library) -> Result<(),
         } else if let Some(idx) = cell.input_index(pin) {
             inputs[idx] = Some(net_id);
         } else {
-            return Err(parse_err(
-                0,
+            return Err(parse_err_at(
+                cl,
+                cc,
                 format!("cell `{cell_name}` has no pin `{pin}`"),
             ));
         }
     }
-    let output =
-        output.ok_or_else(|| parse_err(0, format!("instance `{inst_name}` leaves output open")))?;
+    let output = output
+        .ok_or_else(|| parse_err(line, format!("instance `{inst_name}` leaves output open")))?;
     let inputs: Vec<NetId> = inputs
         .into_iter()
         .enumerate()
         .map(|(i, n)| {
             n.ok_or_else(|| {
                 parse_err(
-                    0,
+                    line,
                     format!(
                         "instance `{inst_name}` leaves input `{}` open",
                         cell.inputs[i]
@@ -206,11 +275,19 @@ fn strip_comments(text: &str) -> String {
                 }
                 b'*' => {
                     i += 2;
+                    out.push(' ');
+                    // Preserve newlines inside the comment so line numbers
+                    // in downstream parse errors stay accurate.
                     while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                        if bytes[i] == b'\n' {
+                            out.push('\n');
+                        }
                         i += 1;
                     }
+                    if i < bytes.len() && bytes[i] == b'\n' {
+                        out.push('\n');
+                    }
                     i = (i + 2).min(bytes.len());
-                    out.push(' ');
                     continue;
                 }
                 _ => {}
@@ -320,6 +397,50 @@ mod tests {
     #[test]
     fn rejects_unknown_pin() {
         let src = "module t (a, y); input a; output y; INVX1 u0 (.Z(a), .Y(y)); endmodule";
+        let err = parse(src, &lib()).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_line_and_column_context() {
+        let src = "module t (a, y);\ninput a;\noutput y;\nINVX1 u0 (.Z(a), .Y(y));\nendmodule\n";
+        let err = parse(src, &lib()).unwrap_err();
+        match err {
+            NetlistError::Parse { line, column, .. } => {
+                assert_eq!(line, 4);
+                assert_eq!(column, Some(11), "column points at the `.Z(a)` connection");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn block_comments_preserve_line_numbers() {
+        let src = "module t (a, y); /* spanning\n multiple\n lines */\ninput a;\noutput y;\n\
+                   INVX1 u0 (.Z(a), .Y(y));\nendmodule\n";
+        let err = parse(src, &lib()).unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 6),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_connection_list_is_a_typed_error() {
+        let src = "module t (a, y);\ninput a;\noutput y;\nINVX1 u0 (.A(a), .Y(y";
+        let err = parse(src, &lib()).unwrap_err();
+        match err {
+            NetlistError::Parse { line, message, .. } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("unterminated"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_a_typed_error() {
+        let src = "module t (a, y); input a; output y; INVX1 u0 /* truncated";
         let err = parse(src, &lib()).unwrap_err();
         assert!(matches!(err, NetlistError::Parse { .. }), "{err}");
     }

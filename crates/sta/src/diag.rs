@@ -1,0 +1,169 @@
+//! Structured diagnostics for degrade-don't-die analysis.
+//!
+//! The paper waives solver robustness by fiat ("because of the fine
+//! discretization of the tables we do not get convergence problems", §3). A
+//! production analyzer cannot: one bad stage used to abort the whole run via
+//! [`crate::StaError::Stage`]. Instead, every recoverable fault is recorded
+//! as a [`Diagnostic`] — which node, which [`FaultClass`], how severe, and
+//! what conservative bound was substituted — and collected into
+//! [`crate::ModeReport::diagnostics`] so the analysis completes with a
+//! *never-optimistic* answer. Strict mode
+//! ([`crate::ExecConfig::with_strict`]) restores fail-fast behaviour.
+
+use std::fmt;
+
+/// How bad a recoverable fault is.
+///
+/// Ordering is by severity: `Info < Warning < Error`. The CLI keys its exit
+/// code to the worst severity present in a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: no numerical impact on the reported arrivals.
+    Info,
+    /// A fault was contained with zero accuracy impact (e.g. a corrupt
+    /// cache entry was evicted and the stage re-solved exactly).
+    Warning,
+    /// A stage result was replaced by a conservative bound: the run
+    /// completed but the reported delay is degraded (never optimistic).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The failure taxonomy (DESIGN.md D8): what kind of fault was contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultClass {
+    /// A NaN or infinite value reached the solver boundary (load
+    /// capacitance, side voltage, or a cache key input).
+    NonFiniteValue,
+    /// The stage integrator exceeded its step budget or its Newton iterate
+    /// left the finite domain.
+    SolverDivergence,
+    /// The integration produced a waveform that failed monotonicity or
+    /// finiteness validation.
+    NonMonotoneWaveform,
+    /// A table model or stage description was incomplete (missing side
+    /// value, out-of-range slot).
+    TruncatedModel,
+    /// A worker panicked mid-job; the panic was contained at the stage
+    /// boundary instead of tearing down the pool.
+    WorkerPanic,
+    /// A stage-solve cache entry failed its integrity check and was
+    /// evicted rather than served.
+    CacheCorruption,
+    /// The iterative coupling fixed-point loop failed to settle (pass cap
+    /// hit or oscillation detected); the affected result was clamped to
+    /// the guaranteed-conservative one-step bound.
+    FixedPointDivergence,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultClass::NonFiniteValue => write!(f, "non-finite value"),
+            FaultClass::SolverDivergence => write!(f, "solver divergence"),
+            FaultClass::NonMonotoneWaveform => write!(f, "non-monotone waveform"),
+            FaultClass::TruncatedModel => write!(f, "truncated model"),
+            FaultClass::WorkerPanic => write!(f, "worker panic"),
+            FaultClass::CacheCorruption => write!(f, "cache corruption"),
+            FaultClass::FixedPointDivergence => write!(f, "fixed-point divergence"),
+        }
+    }
+}
+
+/// One contained fault: where it happened, what it was, and what the
+/// analysis did about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity (drives the CLI exit code).
+    pub severity: Severity,
+    /// The gate or net the fault was attributed to.
+    pub node: String,
+    /// The failure class.
+    pub fault: FaultClass,
+    /// The conservative arrival bound substituted for the faulty result,
+    /// in seconds — `None` when containment had no numerical impact.
+    pub substituted_bound: Option<f64>,
+    /// Human-readable context (the underlying error message).
+    pub detail: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} at {}: {}",
+            self.severity, self.fault, self.node, self.detail
+        )?;
+        if let Some(bound) = self.substituted_bound {
+            write!(f, " (substituted conservative bound {:.4} ns)", bound * 1e9)?;
+        }
+        Ok(())
+    }
+}
+
+/// The worst severity present, or `None` for a clean run.
+#[must_use]
+pub fn worst_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_for_exit_codes() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(
+            worst_severity(&[
+                Diagnostic {
+                    severity: Severity::Warning,
+                    node: "n1".into(),
+                    fault: FaultClass::CacheCorruption,
+                    substituted_bound: None,
+                    detail: "evicted".into(),
+                },
+                Diagnostic {
+                    severity: Severity::Error,
+                    node: "G17".into(),
+                    fault: FaultClass::SolverDivergence,
+                    substituted_bound: Some(1e-9),
+                    detail: "step budget".into(),
+                },
+            ]),
+            Some(Severity::Error)
+        );
+        assert_eq!(worst_severity(&[]), None);
+    }
+
+    #[test]
+    fn display_mentions_node_and_bound() {
+        let d = Diagnostic {
+            severity: Severity::Error,
+            node: "G17".into(),
+            fault: FaultClass::NonFiniteValue,
+            substituted_bound: Some(2.5e-9),
+            detail: "NaN load".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("G17"), "{s}");
+        assert!(s.contains("2.5000 ns"), "{s}");
+        let clean = Diagnostic {
+            substituted_bound: None,
+            ..d
+        };
+        assert!(!clean.to_string().contains("substituted"));
+    }
+}

@@ -15,6 +15,7 @@
 //!   table while the longest-path delay keeps decreasing — optionally
 //!   recomputing only stages that can lie on long paths (Esperance).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
@@ -26,12 +27,18 @@ use xtalk_tech::{Library, Process};
 use xtalk_wave::pwl::Waveform;
 use xtalk_wave::stage::{Coupling, CouplingMode, Load, StageError, StageSolver};
 
-use crate::exec::cache::SolveKey;
+use crate::diag::{Diagnostic, FaultClass, Severity};
+use crate::exec::cache::{Lookup, SolveKey};
 use crate::exec::pool::WorkerPool;
 use crate::exec::{wavefront, CacheStats, ExecConfig, Executor};
 use crate::graph::{StageInst, TNodeId, TNodeKind, TimingGraph};
 use crate::mode::AnalysisMode;
 use crate::report::{build_path, ModeReport, PassStat};
+
+/// Extra arrival-time penalty of a conservative fallback waveform, seconds.
+/// Far beyond any real stage delay of the supported designs, so a degraded
+/// arrival can never be optimistic — and is obvious in a report.
+const FALLBACK_PENALTY: f64 = 1e-7;
 
 /// Errors from [`Sta`].
 #[derive(Debug)]
@@ -48,6 +55,18 @@ pub enum StaError {
     },
     /// No endpoint received a waveform — nothing to time.
     NoArrivals,
+    /// A worker panicked while evaluating a stage (strict mode only; the
+    /// default degrade path converts panics into diagnostics).
+    Panic {
+        /// Name of the gate whose stage task panicked.
+        gate: String,
+    },
+    /// The iterative coupling refinement diverged (strict mode only; the
+    /// default degrade path clamps to the previous safe pass).
+    Unstable {
+        /// Longest-path delay of the diverging pass, seconds.
+        delay: f64,
+    },
 }
 
 impl std::fmt::Display for StaError {
@@ -58,6 +77,14 @@ impl std::fmt::Display for StaError {
                 write!(f, "stage solution failed in `{gate}`: {source}")
             }
             StaError::NoArrivals => write!(f, "no endpoint received an arrival"),
+            StaError::Panic { gate } => {
+                write!(f, "stage evaluation panicked in `{gate}`")
+            }
+            StaError::Unstable { delay } => write!(
+                f,
+                "iterative refinement diverged (pass delay rose to {:.4} ns)",
+                delay * 1e9
+            ),
         }
     }
 }
@@ -67,8 +94,33 @@ impl std::error::Error for StaError {
         match self {
             StaError::Netlist(e) => Some(e),
             StaError::Stage { source, .. } => Some(source),
-            StaError::NoArrivals => None,
+            _ => None,
         }
+    }
+}
+
+/// Failure-taxonomy class of a stage error (DESIGN.md D8).
+fn fault_class_of(e: &StageError) -> FaultClass {
+    match e {
+        StageError::MissingSideValue { .. } | StageError::BadSlot { .. } => {
+            FaultClass::TruncatedModel
+        }
+        StageError::NonFiniteInput => FaultClass::NonFiniteValue,
+        StageError::Waveform(_) => FaultClass::NonMonotoneWaveform,
+        // DidNotConverge, NumericalBlowup, and any future variant of the
+        // non_exhaustive enum: the solver failed to produce a result.
+        _ => FaultClass::SolverDivergence,
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -259,6 +311,13 @@ impl<'a> Sta<'a> {
         self.exec.clear_cache();
     }
 
+    /// Installs (or clears, with `None`) a deterministic fault plan for the
+    /// next analyses. Available only in fault-injection builds.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn set_fault_plan(&self, plan: Option<crate::fault::FaultPlan>) {
+        self.exec.set_fault_plan(plan);
+    }
+
     /// The expanded timing graph.
     pub fn graph(&self) -> &TimingGraph {
         &self.graph
@@ -328,13 +387,71 @@ pub(crate) struct EngineCtx<'a> {
     pub(crate) exec: &'a Executor,
 }
 
+/// Per-stage fault-injection decision. In builds without the harness this
+/// is a zero-sized no-op the optimizer removes entirely; with it, the
+/// active [`crate::fault::FaultPlan`] decides at construction.
+struct Inject {
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Option<crate::fault::Fault>,
+}
+
+impl Inject {
+    /// Forces a typed stage error (or panics, for the mid-job-panic class)
+    /// at the solver choke point when the plan selects this stage.
+    fn forced_error(&self, _slot: usize) -> Option<StageError> {
+        #[cfg(any(test, feature = "fault-injection"))]
+        match self.fault {
+            Some(crate::fault::Fault::TruncatedTable) => {
+                return Some(StageError::MissingSideValue { slot: _slot });
+            }
+            Some(crate::fault::Fault::DivergentStage) => {
+                return Some(StageError::DidNotConverge);
+            }
+            Some(crate::fault::Fault::MidJobPanic) => {
+                panic!("fault injection: mid-job panic");
+            }
+            _ => {}
+        }
+        None
+    }
+
+    /// Corrupts the load with NaN when the plan selects this stage.
+    fn doctor_load(&self, load: Load) -> Load {
+        #[cfg(any(test, feature = "fault-injection"))]
+        if self.fault == Some(crate::fault::Fault::NanLoad) {
+            return Load {
+                cground: f64::NAN,
+                ..load
+            };
+        }
+        load
+    }
+
+    /// Whether the freshly solved cache entry should be poisoned.
+    #[cfg(any(test, feature = "fault-injection"))]
+    fn poisons_cache(&self) -> bool {
+        self.fault == Some(crate::fault::Fault::PoisonedCache)
+    }
+}
+
 impl EngineCtx<'_> {
     /// Runs the requested analysis and reports the longest path.
     pub(crate) fn analyze(&self, mode: AnalysisMode) -> Result<ModeReport, StaError> {
         let started = Instant::now();
+        // Diagnostics accumulate per analysis; drop leftovers from an
+        // earlier run that errored out before assembling its report.
+        drop(self.exec.drain_diagnostics());
         let mut pass_stats: Vec<PassStat> = Vec::new();
         let final_states = self.compute_states(mode, &mut pass_stats)?;
         self.assemble_report(mode, final_states, pass_stats, started)
+    }
+
+    /// The fault-injection decision for the stage driven by `_gate`.
+    fn inject_for(&self, _gate: &str) -> Inject {
+        Inject {
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: self.exec.fault_for(_gate),
+        }
     }
 
     fn pass_stat(&self, out: &PassOutput, earliest: bool) -> PassStat {
@@ -395,7 +512,14 @@ impl EngineCtx<'_> {
                     .map(|(_, _, d)| d)
                     .ok_or(StaError::NoArrivals)?;
                 pass_stats.push(self.pass_stat(&out, false));
-                // Refinement passes against the stored quiescent times.
+                // Refinement passes against the stored quiescent times,
+                // under a divergence watchdog: the pass cap bounds the
+                // loop, and a pass whose delay *rises* beyond the
+                // convergence tolerance (oscillation — §5.2 assumes the
+                // refinement settles, a production run cannot) is
+                // discarded in favour of the previous pass, which is
+                // already a guaranteed-conservative one-step bound.
+                let mut capped = true;
                 for _ in 0..10 {
                     let quiet = self.quiet_table(&out.states);
                     let recompute = if esperance {
@@ -413,14 +537,44 @@ impl EngineCtx<'_> {
                         .map(|(_, _, d)| d)
                         .ok_or(StaError::NoArrivals)?;
                     pass_stats.push(self.pass_stat(&next, false));
+                    let tolerance = 1e-13 + 1e-3 * delay;
+                    if next_delay > delay + tolerance {
+                        if self.exec.config().strict {
+                            return Err(StaError::Unstable { delay: next_delay });
+                        }
+                        self.exec.push_diagnostic(Diagnostic {
+                            severity: Severity::Warning,
+                            node: "(iterative refinement)".to_string(),
+                            fault: FaultClass::FixedPointDivergence,
+                            substituted_bound: Some(delay),
+                            detail: format!(
+                                "pass delay rose from {:.4} ns to {:.4} ns; \
+                                 keeping the previous conservative pass",
+                                delay * 1e9,
+                                next_delay * 1e9
+                            ),
+                        });
+                        capped = false;
+                        break;
+                    }
                     // Converged when the improvement drops below 0.1% —
                     // the paper's refinement settles within a few passes.
-                    let improved = next_delay < delay - (1e-13 + 1e-3 * delay);
+                    let improved = next_delay < delay - tolerance;
                     out = next;
                     delay = next_delay.min(delay);
                     if !improved {
+                        capped = false;
                         break;
                     }
+                }
+                if capped {
+                    self.exec.push_diagnostic(Diagnostic {
+                        severity: Severity::Warning,
+                        node: "(iterative refinement)".to_string(),
+                        fault: FaultClass::FixedPointDivergence,
+                        substituted_bound: Some(delay),
+                        detail: "pass cap (10) reached before convergence".to_string(),
+                    });
                 }
                 out.states
             }
@@ -461,6 +615,7 @@ impl EngineCtx<'_> {
             endpoint,
             rising,
         );
+        let diagnostics = self.exec.drain_diagnostics();
         Ok(ModeReport {
             mode,
             longest_delay,
@@ -478,6 +633,7 @@ impl EngineCtx<'_> {
             newton_solves: pass_stats.iter().map(|p| p.newton_solves).sum(),
             cache_hits: pass_stats.iter().map(|p| p.cache_hits).sum(),
             pass_stats,
+            diagnostics,
             runtime: started.elapsed(),
         })
     }
@@ -704,7 +860,7 @@ impl EngineCtx<'_> {
             if failed.load(Ordering::Relaxed) {
                 return;
             }
-            match self.eval_stage(si, &solver, policy, &view, prev, recompute, earliest) {
+            match self.eval_stage_contained(si, &solver, policy, &view, prev, recompute, earliest) {
                 Ok(ev) => {
                     calls.fetch_add(ev.counters.calls, Ordering::Relaxed);
                     solves.fetch_add(ev.counters.solves, Ordering::Relaxed);
@@ -716,10 +872,8 @@ impl EngineCtx<'_> {
                     // Unique producer: this task alone writes this cell.
                     let _ = cells[self.graph.stages[si].output.index()].set(out);
                 }
-                Err(e) => {
+                Err(err) => {
                     failed.store(true, Ordering::Relaxed);
-                    let gate = self.netlist.gate(self.graph.stages[si].gate).name.clone();
-                    let err = StaError::Stage { gate, source: e };
                     let mut slot = first_error.lock().unwrap_or_else(PoisonError::into_inner);
                     // Keep the lowest stage index for a deterministic error.
                     match &*slot {
@@ -796,26 +950,29 @@ impl EngineCtx<'_> {
         recompute: Option<&[bool]>,
         earliest: bool,
     ) -> Result<Vec<(usize, StageEval)>, StaError> {
-        let results: Vec<(usize, Result<StageEval, StageError>)> =
+        let results: Vec<(usize, Result<StageEval, StaError>)> =
             match self.exec.pool_for(stage_ids.len()) {
                 None => stage_ids
                     .iter()
                     .map(|&si| {
                         (
                             si,
-                            self.eval_stage(si, solver, policy, view, prev, recompute, earliest),
+                            self.eval_stage_contained(
+                                si, solver, policy, view, prev, recompute, earliest,
+                            ),
                         )
                     })
                     .collect(),
                 Some(pool) => {
-                    let slots: Vec<OnceLock<(usize, Result<StageEval, StageError>)>> =
+                    let slots: Vec<OnceLock<(usize, Result<StageEval, StaError>)>> =
                         std::iter::repeat_with(OnceLock::new)
                             .take(stage_ids.len())
                             .collect();
                     wavefront::execute_flat(pool, stage_ids.len(), &|pos: usize| {
                         let si = stage_ids[pos];
-                        let result =
-                            self.eval_stage(si, solver, policy, view, prev, recompute, earliest);
+                        let result = self.eval_stage_contained(
+                            si, solver, policy, view, prev, recompute, earliest,
+                        );
                         let _ = slots[pos].set((si, result));
                     });
                     slots
@@ -826,13 +983,7 @@ impl EngineCtx<'_> {
             };
         results
             .into_iter()
-            .map(|(si, result)| match result {
-                Ok(ev) => Ok((si, ev)),
-                Err(e) => Err(StaError::Stage {
-                    gate: self.netlist.gate(self.graph.stages[si].gate).name.clone(),
-                    source: e,
-                }),
-            })
+            .map(|(si, result)| result.map(|ev| (si, ev)))
             .collect()
     }
 
@@ -879,6 +1030,7 @@ impl EngineCtx<'_> {
             .cell(&gate.cell)
             .expect("graph construction verified cells");
         let stage: &Stage = &cell.stages[stage_inst.stage];
+        let inject = self.inject_for(&gate.name);
 
         for (slot, input) in stage_inst.inputs.iter().enumerate() {
             let launch = stage_inst.is_launch && matches!(stage.inputs[slot], StageSignal::Launch);
@@ -906,8 +1058,10 @@ impl EngineCtx<'_> {
                     in_wave = mirror(&in_wave, vdd);
                 }
 
-                // Coupling treatment.
-                let wave = self.solve_arc(
+                // Coupling treatment. A failed solve degrades to the
+                // conservative fallback waveform under a diagnostic unless
+                // strict mode asks for the error itself.
+                let wave = match self.solve_arc(
                     solver,
                     &gate.cell,
                     stage,
@@ -920,7 +1074,25 @@ impl EngineCtx<'_> {
                     in_rising,
                     earliest,
                     &mut ev.counters,
-                )?;
+                    &inject,
+                ) {
+                    Ok(wave) => wave,
+                    Err(e) => {
+                        if self.exec.config().strict {
+                            return Err(e);
+                        }
+                        let fb = self.fallback_wave(&in_wave, out_rising, earliest);
+                        let crossing = fb.crossing(th).unwrap_or_else(|| fb.end_time());
+                        self.exec.push_diagnostic(Diagnostic {
+                            severity: Severity::Error,
+                            node: gate.name.clone(),
+                            fault: fault_class_of(&e),
+                            substituted_bound: Some(crossing),
+                            detail: e.to_string(),
+                        });
+                        fb
+                    }
+                };
                 let winfo = self.wave_info(
                     wave,
                     th,
@@ -938,11 +1110,152 @@ impl EngineCtx<'_> {
         Ok(ev)
     }
 
+    /// A conservative substitute waveform for a degraded arc: a full-swing
+    /// ramp placed so the reported arrival can never be optimistic — for
+    /// max-delay analyses far *later* than any real stage response (the
+    /// input's end plus [`FALLBACK_PENALTY`]), and for min-delay at the
+    /// input's start, *earlier* than any real response.
+    fn fallback_wave(&self, in_wave: &Waveform, out_rising: bool, earliest: bool) -> Waveform {
+        let vdd = self.process.vdd;
+        let (v0, v1) = if out_rising { (0.0, vdd) } else { (vdd, 0.0) };
+        let slew = self.process.default_input_slew;
+        if earliest {
+            Waveform::ramp(in_wave.start_time(), slew, v0, v1).expect("fallback ramp is finite")
+        } else {
+            Waveform::ramp(in_wave.end_time() + FALLBACK_PENALTY, 10.0 * slew, v0, v1)
+                .expect("fallback ramp is finite")
+        }
+    }
+
+    /// The whole-stage conservative substitute used when a stage task
+    /// panics: every arc that would have been solved gets the fallback
+    /// waveform instead. Mirrors `eval_stage`'s arc walk (Esperance reuse,
+    /// launch mirroring, side-table gating) without touching the solver.
+    fn fallback_eval(
+        &self,
+        si: usize,
+        view: &StateView<'_>,
+        prev: Option<&[NodeState]>,
+        recompute: Option<&[bool]>,
+        earliest: bool,
+    ) -> StageEval {
+        let process = self.process;
+        let vdd = process.vdd;
+        let th = process.delay_threshold();
+        let vth = process.coupling_vth;
+        let stage_inst = &self.graph.stages[si];
+        let out_idx = stage_inst.output.index();
+        let mut ev = StageEval {
+            merges: Vec::new(),
+            counters: SolveCounters::default(),
+        };
+        if let (Some(mask), Some(prev_states)) = (recompute, prev) {
+            if !mask[si] {
+                for rising in [false, true] {
+                    if let Some(pi) = prev_states[out_idx].get(rising) {
+                        ev.merges.push((rising, pi.clone()));
+                    }
+                }
+                return ev;
+            }
+        }
+        let gate = self.netlist.gate(stage_inst.gate);
+        let cell = self
+            .library
+            .cell(&gate.cell)
+            .expect("graph construction verified cells");
+        let stage: &Stage = &cell.stages[stage_inst.stage];
+        for (slot, input) in stage_inst.inputs.iter().enumerate() {
+            let launch = stage_inst.is_launch && matches!(stage.inputs[slot], StageSignal::Launch);
+            for in_rising in [false, true] {
+                let source_rising = if launch { true } else { in_rising };
+                let Some(info) = view.get(input.node.index(), source_rising) else {
+                    continue;
+                };
+                let out_rising = !in_rising;
+                let side_table = if earliest {
+                    &stage_inst.sides_fast
+                } else {
+                    &stage_inst.sides
+                };
+                if side_table[slot][out_rising as usize].is_none() {
+                    continue;
+                }
+                let fb = self.fallback_wave(&info.wave, out_rising, earliest);
+                let winfo = self.wave_info(
+                    fb,
+                    th,
+                    vth,
+                    vdd,
+                    Some(Pred {
+                        stage: si,
+                        slot,
+                        input_rising: in_rising,
+                    }),
+                );
+                ev.merges.push((out_rising, winfo));
+            }
+        }
+        ev
+    }
+
+    /// Evaluates one stage with panic containment: a panicking task is
+    /// converted into a conservative fallback evaluation plus a
+    /// [`FaultClass::WorkerPanic`] diagnostic (or, in strict mode, into
+    /// [`StaError::Panic`]) instead of tearing down the pass. Solver errors
+    /// are tagged with the gate name here.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_stage_contained(
+        &self,
+        si: usize,
+        solver: &StageSolver<'_>,
+        policy: &Policy<'_>,
+        view: &StateView<'_>,
+        prev: Option<&[NodeState]>,
+        recompute: Option<&[bool]>,
+        earliest: bool,
+    ) -> Result<StageEval, StaError> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.eval_stage(si, solver, policy, view, prev, recompute, earliest)
+        })) {
+            Ok(Ok(ev)) => Ok(ev),
+            Ok(Err(e)) => Err(StaError::Stage {
+                gate: self.netlist.gate(self.graph.stages[si].gate).name.clone(),
+                source: e,
+            }),
+            Err(payload) => {
+                let gate = self.netlist.gate(self.graph.stages[si].gate).name.clone();
+                if self.exec.config().strict {
+                    return Err(StaError::Panic { gate });
+                }
+                let ev = self.fallback_eval(si, view, prev, recompute, earliest);
+                let bound = ev
+                    .merges
+                    .iter()
+                    .map(|(_, info)| info.crossing)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                self.exec.push_diagnostic(Diagnostic {
+                    severity: Severity::Error,
+                    node: gate,
+                    fault: FaultClass::WorkerPanic,
+                    substituted_bound: bound.is_finite().then_some(bound),
+                    detail: panic_message(payload.as_ref()),
+                });
+                Ok(ev)
+            }
+        }
+    }
+
     /// One stage solve routed through the stage-solve cache. `calls` counts
     /// the logical invocation either way; only a miss (or a disabled cache)
     /// pays the Newton integration. The key covers every input the solver
     /// result depends on — see `exec::cache` — so a hit is bit-identical to
     /// the solve it replaces.
+    ///
+    /// This is the engine's solver choke point, so it also hosts the fault
+    /// harness (`inject`) and the cache guardrails: a load that refuses a
+    /// key (non-finite capacitance) solves uncached under a diagnostic, and
+    /// a corrupt cache entry is reported, never served.
     #[allow(clippy::too_many_arguments)]
     fn solve_cached(
         &self,
@@ -957,8 +1270,13 @@ impl EngineCtx<'_> {
         out_rising: bool,
         earliest: bool,
         counters: &mut SolveCounters,
+        inject: &Inject,
     ) -> Result<Waveform, StageError> {
         counters.calls += 1;
+        if let Some(e) = inject.forced_error(slot) {
+            return Err(e);
+        }
+        let load = inject.doctor_load(load);
         let cache = self.exec.cache();
         if !cache.enabled() {
             counters.solves += 1;
@@ -966,7 +1284,7 @@ impl EngineCtx<'_> {
                 .solve(stage, slot, in_wave, side, load)
                 .map(|r| r.wave);
         }
-        let key = SolveKey::new(
+        let Some(key) = SolveKey::new(
             cell_name,
             stage_in_cell,
             slot,
@@ -974,13 +1292,45 @@ impl EngineCtx<'_> {
             earliest,
             in_wave,
             &load,
-        );
-        if let Some(wave) = cache.get(&key) {
-            counters.hits += 1;
-            return Ok(wave);
+        ) else {
+            // A non-finite load has no canonical key; solve uncached and
+            // let the stage solver's own input validation classify it.
+            self.exec.push_diagnostic(Diagnostic {
+                severity: Severity::Warning,
+                node: cell_name.to_string(),
+                fault: FaultClass::NonFiniteValue,
+                substituted_bound: None,
+                detail: "non-finite load capacitance rejected by the solve cache".to_string(),
+            });
+            counters.solves += 1;
+            return solver
+                .solve(stage, slot, in_wave, side, load)
+                .map(|r| r.wave);
+        };
+        match cache.get(&key) {
+            Lookup::Hit(wave) => {
+                counters.hits += 1;
+                return Ok(wave);
+            }
+            Lookup::Corrupt => {
+                self.exec.push_diagnostic(Diagnostic {
+                    severity: Severity::Warning,
+                    node: cell_name.to_string(),
+                    fault: FaultClass::CacheCorruption,
+                    substituted_bound: None,
+                    detail: "cache entry failed its integrity check; evicted and re-solved"
+                        .to_string(),
+                });
+            }
+            Lookup::Miss => {}
         }
         counters.solves += 1;
         let wave = solver.solve(stage, slot, in_wave, side, load)?.wave;
+        #[cfg(any(test, feature = "fault-injection"))]
+        if inject.poisons_cache() {
+            cache.put_poisoned(key, wave.clone());
+            return Ok(wave);
+        }
         cache.put(key, wave.clone());
         Ok(wave)
     }
@@ -1002,6 +1352,7 @@ impl EngineCtx<'_> {
         in_rising: bool,
         earliest: bool,
         counters: &mut SolveCounters,
+        inject: &Inject,
     ) -> Result<Waveform, StageError> {
         let out_rising = !in_rising;
         let vdd = self.process.vdd;
@@ -1029,6 +1380,7 @@ impl EngineCtx<'_> {
                 out_rising,
                 earliest,
                 counters,
+                inject,
             )
         };
 

@@ -42,6 +42,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries discarded by capacity eviction.
     pub evictions: u64,
+    /// Entries evicted because they failed the integrity check on lookup
+    /// (stored checksum no longer matched the stored waveform).
+    pub integrity_evictions: u64,
 }
 
 impl CacheStats {
@@ -88,6 +91,11 @@ fn mode_byte(mode: CouplingMode) -> u8 {
 }
 
 impl SolveKey {
+    /// Builds the exact-match key, or `None` when a load value is not
+    /// finite. NaN capacitances have no canonical encoding (distinct
+    /// payloads hash apart), so such keys would never hit and silently
+    /// bloat the shard — and the solve they memoize is garbage anyway.
+    /// Callers surface a diagnostic instead of inserting.
     pub(crate) fn new(
         cell: &str,
         stage: usize,
@@ -96,8 +104,11 @@ impl SolveKey {
         earliest: bool,
         in_wave: &Waveform,
         load: &Load,
-    ) -> Self {
-        SolveKey {
+    ) -> Option<Self> {
+        if !load.cground.is_finite() || load.couplings.iter().any(|c| !c.c.is_finite()) {
+            return None;
+        }
+        Some(SolveKey {
             cell: cell.to_string(),
             stage: stage as u32,
             slot: slot as u32,
@@ -109,7 +120,7 @@ impl SolveKey {
                 .iter()
                 .map(|c| (canon_bits(c.c), mode_byte(c.mode)))
                 .collect(),
-        }
+        })
     }
 
     /// Stable shard hash (FNV-1a; independent of the std `HashMap` seed).
@@ -127,14 +138,31 @@ impl SolveKey {
     }
 }
 
-/// The sharded concurrent memo table.
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Lookup {
+    /// An entry was found and passed its integrity check.
+    Hit(Waveform),
+    /// No entry for the key.
+    Miss,
+    /// An entry was found but its stored checksum no longer matched its
+    /// waveform; it was evicted rather than served. The caller must
+    /// re-solve (exact result, zero accuracy impact) and may report the
+    /// corruption.
+    Corrupt,
+}
+
+/// The sharded concurrent memo table. Each entry carries the FNV signature
+/// of its waveform taken at insert time; a lookup re-derives the signature
+/// and evicts on mismatch, so a torn or corrupted entry is never served.
 pub(crate) struct SolveCache {
-    shards: Vec<Mutex<HashMap<SolveKey, Waveform>>>,
+    shards: Vec<Mutex<HashMap<SolveKey, (u64, Waveform)>>>,
     /// Entry cap per shard; 0 disables the cache entirely.
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    integrity_evictions: AtomicU64,
 }
 
 impl SolveCache {
@@ -151,6 +179,7 @@ impl SolveCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            integrity_evictions: AtomicU64::new(0),
         }
     }
 
@@ -158,20 +187,29 @@ impl SolveCache {
         self.shard_capacity > 0
     }
 
-    /// Looks the key up, counting a hit or miss.
-    pub(crate) fn get(&self, key: &SolveKey) -> Option<Waveform> {
+    /// Looks the key up, counting a hit or miss. An entry that fails its
+    /// integrity check is evicted and reported as [`Lookup::Corrupt`]
+    /// (counted as a miss: the caller re-solves).
+    pub(crate) fn get(&self, key: &SolveKey) -> Lookup {
         if !self.enabled() {
-            return None;
+            return Lookup::Miss;
         }
-        let shard = lock(&self.shards[key.shard()]);
+        let mut shard = lock(&self.shards[key.shard()]);
         match shard.get(key) {
-            Some(wave) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(wave.clone())
+            Some((checksum, wave)) => {
+                if wave.signature() == *checksum {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Hit(wave.clone())
+                } else {
+                    shard.remove(key);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.integrity_evictions.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Corrupt
+                }
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Lookup::Miss
             }
         }
     }
@@ -187,7 +225,20 @@ impl SolveCache {
                 .fetch_add(shard.len() as u64, Ordering::Relaxed);
             shard.clear();
         }
-        shard.insert(key, wave);
+        let checksum = wave.signature();
+        shard.insert(key, (checksum, wave));
+    }
+
+    /// Fault injection: stores `wave` under a checksum that does not match
+    /// it, so the next lookup detects the corruption and evicts.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub(crate) fn put_poisoned(&self, key: SolveKey, wave: Waveform) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = lock(&self.shards[key.shard()]);
+        let checksum = wave.signature() ^ 0xdead_beef;
+        shard.insert(key, (checksum, wave));
     }
 
     /// Drops every entry (counters keep accumulating).
@@ -208,6 +259,7 @@ impl SolveCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            integrity_evictions: self.integrity_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -229,19 +281,21 @@ mod tests {
             cground: cg,
             couplings: vec![Coupling::new(1e-15, CouplingMode::Active)],
         };
-        SolveKey::new("INVX1", 0, slot, true, false, &w, &load)
+        SolveKey::new("INVX1", 0, slot, true, false, &w, &load).expect("finite load")
     }
 
     #[test]
     fn hit_miss_and_counters() {
         let cache = SolveCache::new(true, 1024);
         let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
-        assert!(cache.get(&key(0, 1e-15)).is_none());
+        assert_eq!(cache.get(&key(0, 1e-15)), Lookup::Miss);
         cache.put(key(0, 1e-15), w.clone());
-        let got = cache.get(&key(0, 1e-15)).expect("hit");
+        let Lookup::Hit(got) = cache.get(&key(0, 1e-15)) else {
+            panic!("expected hit");
+        };
         assert_eq!(got.points(), w.points());
-        assert!(cache.get(&key(1, 1e-15)).is_none(), "slot is keyed");
-        assert!(cache.get(&key(0, 2e-15)).is_none(), "load is keyed");
+        assert_eq!(cache.get(&key(1, 1e-15)), Lookup::Miss, "slot is keyed");
+        assert_eq!(cache.get(&key(0, 2e-15)), Lookup::Miss, "load is keyed");
         let s = cache.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 3);
@@ -253,9 +307,47 @@ mod tests {
         let cache = SolveCache::new(false, 1024);
         let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
         cache.put(key(0, 1e-15), w);
-        assert!(cache.get(&key(0, 1e-15)).is_none());
+        assert_eq!(cache.get(&key(0, 1e-15)), Lookup::Miss);
         assert_eq!(cache.stats(), CacheStats::default());
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn nan_load_refuses_a_key() {
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let nan_ground = Load {
+            cground: f64::NAN,
+            couplings: vec![],
+        };
+        assert!(SolveKey::new("INVX1", 0, 0, true, false, &w, &nan_ground).is_none());
+        let nan_coupling = Load {
+            cground: 1e-15,
+            couplings: vec![Coupling::new(f64::NAN, CouplingMode::Grounded)],
+        };
+        assert!(SolveKey::new("INVX1", 0, 0, true, false, &w, &nan_coupling).is_none());
+        let inf = Load {
+            cground: f64::INFINITY,
+            couplings: vec![],
+        };
+        assert!(SolveKey::new("INVX1", 0, 0, true, false, &w, &inf).is_none());
+    }
+
+    #[test]
+    fn poisoned_entry_is_evicted_not_served() {
+        let cache = SolveCache::new(true, 1024);
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        cache.put_poisoned(key(0, 1e-15), w.clone());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(0, 1e-15)), Lookup::Corrupt);
+        assert_eq!(cache.len(), 0, "corrupt entry must be evicted");
+        assert_eq!(cache.get(&key(0, 1e-15)), Lookup::Miss, "gone after evict");
+        let s = cache.stats();
+        assert_eq!(s.integrity_evictions, 1);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2);
+        // A clean re-insert serves normally again.
+        cache.put(key(0, 1e-15), w.clone());
+        assert_eq!(cache.get(&key(0, 1e-15)), Lookup::Hit(w));
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct ExecConfig {
     pub cache: bool,
     /// Total stage-solve cache capacity, in entries.
     pub cache_capacity: usize,
+    /// Fail fast on the first recoverable fault instead of degrading to a
+    /// conservative bound with a [`crate::diag::Diagnostic`].
+    pub strict: bool,
 }
 
 impl Default for ExecConfig {
@@ -50,6 +53,7 @@ impl Default for ExecConfig {
             serial_cutoff: 32,
             cache: true,
             cache_capacity: 1 << 20,
+            strict: false,
         }
     }
 }
@@ -80,6 +84,12 @@ impl ExecConfig {
             .and_then(|v| v.parse::<usize>().ok())
         {
             config.cache_capacity = capacity;
+        }
+        if matches!(
+            std::env::var("XTALK_STRICT").as_deref(),
+            Ok("1") | Ok("on") | Ok("true")
+        ) {
+            config.strict = true;
         }
         config
     }
@@ -113,14 +123,25 @@ impl ExecConfig {
         self.cache = cache;
         self
     }
+
+    /// Enables or disables strict (fail-fast) mode.
+    #[must_use]
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
 }
 
-/// The per-analyzer execution state: the lazily built worker pool and the
-/// stage-solve cache.
+/// The per-analyzer execution state: the lazily built worker pool, the
+/// stage-solve cache, the diagnostic sink of the current analysis, and (in
+/// fault-injection builds) the active fault plan.
 pub(crate) struct Executor {
     config: ExecConfig,
     pool: OnceLock<pool::WorkerPool>,
     cache: cache::SolveCache,
+    diagnostics: std::sync::Mutex<Vec<crate::diag::Diagnostic>>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault_plan: std::sync::Mutex<Option<crate::fault::FaultPlan>>,
 }
 
 impl Executor {
@@ -130,11 +151,59 @@ impl Executor {
             config,
             pool: OnceLock::new(),
             cache,
+            diagnostics: std::sync::Mutex::new(Vec::new()),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault_plan: std::sync::Mutex::new(None),
         }
     }
 
     pub(crate) fn config(&self) -> &ExecConfig {
         &self.config
+    }
+
+    /// Records a contained fault. Callable from any worker thread.
+    pub(crate) fn push_diagnostic(&self, diag: crate::diag::Diagnostic) {
+        self.diagnostics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(diag);
+    }
+
+    /// Drains the diagnostics accumulated since the last drain, sorted for
+    /// determinism (worker arrival order is scheduling-dependent).
+    pub(crate) fn drain_diagnostics(&self) -> Vec<crate::diag::Diagnostic> {
+        let mut diags = std::mem::take(
+            &mut *self
+                .diagnostics
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        diags.sort_by(|a, b| {
+            (a.node.as_str(), a.fault as u8, a.severity)
+                .cmp(&(b.node.as_str(), b.fault as u8, b.severity))
+                .then_with(|| a.detail.cmp(&b.detail))
+        });
+        diags.dedup();
+        diags
+    }
+
+    /// Installs (or clears) the fault plan driving injection.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub(crate) fn set_fault_plan(&self, plan: Option<crate::fault::FaultPlan>) {
+        *self
+            .fault_plan
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = plan;
+    }
+
+    /// The fault to inject at `gate`, if the active plan selects it.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub(crate) fn fault_for(&self, gate: &str) -> Option<crate::fault::Fault> {
+        self.fault_plan
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .filter(|plan| plan.injects_at(gate))
+            .map(|plan| plan.fault())
     }
 
     /// The pool to use for a batch of `stages` stages: `None` selects the

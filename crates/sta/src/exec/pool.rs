@@ -141,7 +141,14 @@ impl WorkerPool {
         match caller {
             Err(payload) => resume_unwind(payload),
             Ok(()) if helper_panicked => {
-                panic!("worker thread panicked during parallel stage evaluation")
+                // Deliberate: the helper's payload is gone (it unwound on
+                // its own thread), so re-raising on the caller is the only
+                // way to propagate the failure. Scheduler-level containment
+                // (wavefront.rs) catches job panics before they reach here.
+                #[allow(clippy::panic)]
+                {
+                    panic!("worker thread panicked during parallel stage evaluation")
+                }
             }
             Ok(()) => {}
         }

@@ -23,6 +23,7 @@
 //! no edge, and the graph of arcs plus lower-level edges stays acyclic.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -118,8 +119,26 @@ impl StealQueues {
     }
 }
 
+/// The first panic payload captured across workers, re-raised after drain.
+type PanicSlot = Mutex<Option<Box<dyn std::any::Any + Send>>>;
+
+fn record_panic(slot: &PanicSlot, payload: Box<dyn std::any::Any + Send>) {
+    let mut first = slot.lock().unwrap_or_else(PoisonError::into_inner);
+    if first.is_none() {
+        *first = Some(payload);
+    }
+}
+
 /// Runs `task(stage)` exactly once for every stage of `deps`, respecting
 /// the dependency edges, across all workers of `pool`.
+///
+/// A panicking task is contained at the stage boundary: its successors are
+/// still released and the drain counter still decremented — otherwise every
+/// other worker would spin forever in the yield loop waiting for a
+/// completion that never comes. The first panic payload is re-raised on the
+/// calling thread once the wavefront has drained. (The engine converts
+/// stage panics into diagnostics *inside* the task, so this backstop only
+/// fires for bugs in the commit path itself.)
 pub(crate) fn execute(pool: &WorkerPool, deps: &DepGraph, task: &(dyn Fn(usize) + Sync)) {
     let n = deps.len();
     if n == 0 {
@@ -136,14 +155,18 @@ pub(crate) fn execute(pool: &WorkerPool, deps: &DepGraph, task: &(dyn Fn(usize) 
         }
     }
     let remaining = AtomicUsize::new(n);
+    let first_panic: PanicSlot = Mutex::new(None);
     pool.run(&|worker| loop {
         if let Some(si) = queues.pop(worker) {
             let si = si as usize;
-            task(si);
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(si)));
             for &succ in &deps.succs[si] {
                 if pending[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                     queues.push(worker, succ);
                 }
+            }
+            if let Err(payload) = outcome {
+                record_panic(&first_panic, payload);
             }
             if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 return;
@@ -156,6 +179,12 @@ pub(crate) fn execute(pool: &WorkerPool, deps: &DepGraph, task: &(dyn Fn(usize) 
         }
     });
     debug_assert_eq!(remaining.load(Ordering::SeqCst), 0, "wavefront drained");
+    if let Some(payload) = first_panic
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        resume_unwind(payload);
+    }
 }
 
 /// Runs `task(index)` for every `index < count` across all workers of
@@ -164,13 +193,22 @@ pub(crate) fn execute(pool: &WorkerPool, deps: &DepGraph, task: &(dyn Fn(usize) 
 /// incremental sweep).
 pub(crate) fn execute_flat(pool: &WorkerPool, count: usize, task: &(dyn Fn(usize) + Sync)) {
     let next = AtomicUsize::new(0);
+    let first_panic: PanicSlot = Mutex::new(None);
     pool.run(&|_worker| loop {
         let index = next.fetch_add(1, Ordering::Relaxed);
         if index >= count {
             return;
         }
-        task(index);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(index))) {
+            record_panic(&first_panic, payload);
+        }
     });
+    if let Some(payload) = first_panic
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        resume_unwind(payload);
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +252,53 @@ mod tests {
         execute_flat(&pool, hits.len(), &|i| {
             hits[i].fetch_add(1, Ordering::SeqCst);
         });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn panicking_task_does_not_deadlock_the_wavefront() {
+        // Before containment, a panic inside a task left its successors'
+        // counters undecremented: the chain behind the panicking stage
+        // never became runnable and every worker spun forever. Now the
+        // wavefront drains completely and the panic surfaces afterwards.
+        let pool = WorkerPool::new(3);
+        let n = 200;
+        let deps = chain_deps(n);
+        let ran: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute(&pool, &deps, &|si| {
+                ran[si].fetch_add(1, Ordering::SeqCst);
+                if si == 17 {
+                    panic!("injected stage panic");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic must propagate after the drain");
+        assert!(
+            ran.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+            "every stage (including those behind the panicking one) ran once"
+        );
+        // The pool survives for the next pass.
+        let hits = AtomicUsize::new(0);
+        execute_flat(&pool, 50, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn panicking_flat_task_still_covers_all_indices() {
+        let pool = WorkerPool::new(2);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute_flat(&pool, hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+                if i == 3 {
+                    panic!("injected flat panic");
+                }
+            });
+        }));
+        assert!(caught.is_err());
         assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
     }
 

@@ -198,6 +198,13 @@ impl<'a> IncrementalSta<'a> {
         self.exec.clear_cache();
     }
 
+    /// Installs (or clears, with `None`) a deterministic fault plan for the
+    /// next analyses. Available only in fault-injection builds.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn set_fault_plan(&self, plan: Option<crate::fault::FaultPlan>) {
+        self.exec.set_fault_plan(plan);
+    }
+
     /// The current netlist (reflecting all applied edits).
     pub fn netlist(&self) -> &Netlist {
         &self.netlist
@@ -321,6 +328,9 @@ impl<'a> IncrementalSta<'a> {
     /// dropped, so the next call recomputes from scratch.
     pub fn analyze(&mut self, mode: AnalysisMode) -> Result<ModeReport, StaError> {
         let started = Instant::now();
+        // Diagnostics accumulate per analysis; drop leftovers from an
+        // earlier run that errored out before assembling its report.
+        drop(self.exec.drain_diagnostics());
         if matches!(mode, AnalysisMode::Iterative { esperance: true }) {
             let report = self.ctx().analyze(mode)?;
             self.last_stats = AnalyzeStats {
@@ -419,8 +429,10 @@ impl<'a> IncrementalSta<'a> {
                     .map(|(_, _, d)| d)
                     .ok_or(StaError::NoArrivals)?;
                 pass_stats.push(pass_stat(counters, delay));
-                // Same refinement loop and convergence test as the batch
-                // engine, with each full pass replaced by a cached sweep.
+                // Same refinement loop, convergence test and divergence
+                // watchdog as the batch engine, with each full pass
+                // replaced by a cached sweep.
+                let mut capped = true;
                 for _ in 0..10 {
                     let quiet = ctx.quiet_table(&cache.passes[pass_idx].states);
                     let next = pass_idx + 1;
@@ -445,12 +457,44 @@ impl<'a> IncrementalSta<'a> {
                         .map(|(_, _, d)| d)
                         .ok_or(StaError::NoArrivals)?;
                     pass_stats.push(pass_stat(counters, next_delay));
-                    let improved = next_delay < delay - (1e-13 + 1e-3 * delay);
+                    let tolerance = 1e-13 + 1e-3 * delay;
+                    if next_delay > delay + tolerance {
+                        if self.exec.config().strict {
+                            return Err(StaError::Unstable { delay: next_delay });
+                        }
+                        self.exec.push_diagnostic(crate::diag::Diagnostic {
+                            severity: crate::diag::Severity::Warning,
+                            node: "(iterative refinement)".to_string(),
+                            fault: crate::diag::FaultClass::FixedPointDivergence,
+                            substituted_bound: Some(delay),
+                            detail: format!(
+                                "pass delay rose from {:.4} ns to {:.4} ns; \
+                                 keeping the previous conservative pass",
+                                delay * 1e9,
+                                next_delay * 1e9
+                            ),
+                        });
+                        // `pass_idx` stays on the previous pass; the
+                        // truncate below drops the diverged one.
+                        capped = false;
+                        break;
+                    }
+                    let improved = next_delay < delay - tolerance;
                     pass_idx = next;
                     delay = next_delay.min(delay);
                     if !improved {
+                        capped = false;
                         break;
                     }
+                }
+                if capped {
+                    self.exec.push_diagnostic(crate::diag::Diagnostic {
+                        severity: crate::diag::Severity::Warning,
+                        node: "(iterative refinement)".to_string(),
+                        fault: crate::diag::FaultClass::FixedPointDivergence,
+                        substituted_bound: Some(delay),
+                        detail: "pass cap (10) reached before convergence".to_string(),
+                    });
                 }
                 // Convergence may come earlier than in the cached run:
                 // deeper cached passes are stale, drop them.

@@ -43,8 +43,11 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod engine;
 pub mod exec;
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod fault;
 pub mod graph;
 pub mod incremental;
 pub mod mode;
@@ -52,8 +55,11 @@ pub mod noise;
 pub mod report;
 pub mod sdf;
 
+pub use diag::{worst_severity, Diagnostic, FaultClass, Severity};
 pub use engine::{Sta, StaError};
 pub use exec::{CacheStats, ExecConfig};
+#[cfg(any(test, feature = "fault-injection"))]
+pub use fault::{Fault, FaultPlan};
 pub use incremental::{AnalyzeStats, Edit, EditError, EditOutcome, IncrementalSta};
 pub use mode::AnalysisMode;
 pub use noise::{glitch_report, GlitchRecord, GlitchReport};

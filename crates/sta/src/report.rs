@@ -122,8 +122,28 @@ pub struct ModeReport {
     /// Per-pass work breakdown (delay, solver calls, Newton solves, cache
     /// hits), in pass order.
     pub pass_stats: Vec<PassStat>,
+    /// Faults contained during the analysis (empty on a clean run). Each
+    /// records the degraded node and the conservative bound substituted for
+    /// it — see `DESIGN.md` D8 for the failure taxonomy.
+    pub diagnostics: Vec<crate::diag::Diagnostic>,
     /// Wall-clock runtime.
     pub runtime: Duration,
+}
+
+impl ModeReport {
+    /// The worst severity among the contained faults (`None` on a clean
+    /// run). Drives the CLI exit code.
+    #[must_use]
+    pub fn worst_severity(&self) -> Option<crate::diag::Severity> {
+        crate::diag::worst_severity(&self.diagnostics)
+    }
+
+    /// Whether the analysis degraded (substituted at least one conservative
+    /// bound) instead of running clean.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !self.diagnostics.is_empty()
+    }
 }
 
 impl fmt::Display for ModeReport {
@@ -146,6 +166,11 @@ impl fmt::Display for ModeReport {
                 self.cache_hits,
                 ratio * 100.0
             )?;
+        }
+        // Only a degraded run mentions diagnostics: clean output stays
+        // byte-identical to the diagnostics-free engine.
+        if !self.diagnostics.is_empty() {
+            write!(f, "   [{} diagnostics]", self.diagnostics.len())?;
         }
         writeln!(f)
     }
@@ -399,6 +424,7 @@ mod tests {
                 newton_solves: 100,
                 cache_hits: 23,
             }],
+            diagnostics: Vec::new(),
             runtime: Duration::from_millis(12),
         };
         let t = comparison_table("s27", 13, std::slice::from_ref(&r));

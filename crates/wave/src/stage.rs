@@ -146,6 +146,14 @@ pub enum StageError {
     DidNotConverge,
     /// The integration produced an invalid waveform (should not happen).
     Waveform(WaveformError),
+    /// A load capacitance or side voltage is NaN or infinite. Rejected up
+    /// front: a NaN capacitance would otherwise vanish into
+    /// `total_cap().max(1e-18)` (since `f64::max` ignores NaN) and yield a
+    /// silently *optimistic* delay.
+    NonFiniteInput,
+    /// The Newton iterate left the finite domain and the bisection fallback
+    /// could not recover it (e.g. a poisoned device table).
+    NumericalBlowup,
 }
 
 impl fmt::Display for StageError {
@@ -157,6 +165,12 @@ impl fmt::Display for StageError {
             StageError::BadSlot { slot } => write!(f, "switching slot {slot} out of range"),
             StageError::DidNotConverge => write!(f, "stage integration exceeded step budget"),
             StageError::Waveform(e) => write!(f, "invalid output waveform: {e}"),
+            StageError::NonFiniteInput => {
+                write!(f, "stage input has a non-finite load or side voltage")
+            }
+            StageError::NumericalBlowup => {
+                write!(f, "stage integration produced a non-finite node voltage")
+            }
         }
     }
 }
@@ -216,6 +230,13 @@ impl<'a> StageSolver<'a> {
             *gate = *side
                 .get(slot)
                 .ok_or(StageError::MissingSideValue { slot })?;
+        }
+
+        if !load.cground.is_finite()
+            || load.couplings.iter().any(|c| !c.c.is_finite())
+            || gates.iter().any(|g| !g.is_finite())
+        {
+            return Err(StageError::NonFiniteInput);
         }
 
         let vdd = self.process.vdd;
@@ -294,10 +315,22 @@ impl<'a> StageSolver<'a> {
                     break;
                 }
                 let step = g / dg;
-                v1 = (v1 - step).clamp(-0.5, vdd + 0.5);
-                if step.abs() < 1e-6 {
-                    break;
+                let next = v1 - step;
+                if next.is_finite() {
+                    v1 = next.clamp(-0.5, vdd + 0.5);
+                    if step.abs() < 1e-6 {
+                        break;
+                    }
+                } else {
+                    // Newton blew up (non-finite residual or derivative, e.g.
+                    // a corrupted table entry): damp to a bisection step
+                    // toward the midpoint of the static bracket
+                    // [-0.5, vdd + 0.5] so the iterate stays finite.
+                    v1 = 0.5 * (v1 + 0.5 * vdd);
                 }
+            }
+            if !v1.is_finite() {
+                return Err(StageError::NumericalBlowup);
             }
 
             // Step-size control: redo overly large steps.
@@ -671,6 +704,54 @@ mod tests {
             .delay_from(&slow, th)
             .expect("delay");
         assert!(d_fast < d_slow, "{d_fast} vs {d_slow}");
+    }
+
+    #[test]
+    fn non_finite_load_rejected_not_silently_optimistic() {
+        // f64::max ignores NaN, so a NaN cap used to fall through
+        // total_cap().max(1e-18) as a near-zero load — a silently fast,
+        // optimistic solve. It must be a typed error instead.
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let solver = StageSolver::new(&p);
+        let input = falling_input(&p);
+        for bad in [f64::NAN, f64::INFINITY] {
+            let err = solver
+                .solve(&inv.stages[0], 0, &input, &[], Load::grounded(bad))
+                .unwrap_err();
+            assert_eq!(err, StageError::NonFiniteInput);
+            let err = solver
+                .solve(
+                    &inv.stages[0],
+                    0,
+                    &input,
+                    &[],
+                    Load {
+                        cground: 20e-15,
+                        couplings: vec![Coupling::new(bad, CouplingMode::Active)],
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err, StageError::NonFiniteInput);
+        }
+    }
+
+    #[test]
+    fn non_finite_side_value_rejected() {
+        let (p, l) = setup();
+        let nand = l.cell("NAND2X1").expect("nand");
+        let solver = StageSolver::new(&p);
+        let input = rising_input(&p);
+        let err = solver
+            .solve(
+                &nand.stages[0],
+                0,
+                &input,
+                &[0.0, f64::NAN],
+                Load::grounded(10e-15),
+            )
+            .unwrap_err();
+        assert_eq!(err, StageError::NonFiniteInput);
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! The `xtalk` command-line tool. See [`xtalk::cli`] for the commands.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match xtalk::cli::run(&args) {
-        Ok(out) => print!("{out}"),
+    match xtalk::cli::run_with_code(&args) {
+        Ok(outcome) => {
+            print!("{}", outcome.text);
+            // Degraded-but-complete runs exit 2 (warnings contained) or 3
+            // (conservative bounds substituted); clean runs exit 0.
+            u8::try_from(outcome.exit_code).map_or(ExitCode::FAILURE, ExitCode::from)
+        }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            ExitCode::FAILURE
         }
     }
 }

@@ -20,6 +20,11 @@
 //! the serial engine); it overrides the `XTALK_THREADS` environment
 //! variable. `XTALK_CACHE=0` disables the stage-solve cache.
 //!
+//! Recoverable analysis faults degrade to conservative bounds and are
+//! listed as diagnostics; [`run_with_code`] keys the exit code to the worst
+//! severity (0 clean, 2 warnings, 3 substituted bounds). `--strict` (or
+//! `XTALK_STRICT=1`) fails fast on the first fault instead.
+//!
 //! `eco` replays an edit script (one edit per line: `resize <gate> <cell>`,
 //! `reroute <net> <scale>`, `buffer <net> [cell]`, `uncouple <a> <b>`;
 //! `#` comments) through the incremental analyzer, re-timing the dirty cone
@@ -30,7 +35,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use xtalk_netlist::{GeneratorConfig, Netlist};
-use xtalk_sta::{AnalysisMode, ExecConfig, IncrementalSta, ModeReport, Sta};
+use xtalk_sta::{AnalysisMode, ExecConfig, IncrementalSta, ModeReport, Severity, Sta};
 use xtalk_tech::{Library, Process};
 
 /// A CLI failure, printed to stderr by the binary.
@@ -60,22 +65,48 @@ pub const USAGE: &str = "\
 xtalk — crosstalk-aware static timing analysis (DATE 2000 reproduction)
 
 USAGE:
-  xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch] [--threads N]
+  xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch] [--threads N] [--strict]
   xtalk flow <netlist.(bench|v)> --out DIR
   xtalk convert <input.(bench|v)> <output.(bench|v)>
   xtalk generate --preset small|medium|s35932|s38417|s38584 [--seed N] <output.(bench|v)>
   xtalk liberty <output.lib> [--cells A,B,...]
-  xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE] [--threads N]
-  xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check] [--threads N]
+  xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE] [--threads N] [--strict]
+  xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check] [--threads N] [--strict]
 
 MODES: best | doubled | worst | onestep | iterative (default) | esperance | min
 
 PARALLELISM: --threads N sizes the wavefront worker pool (1 = serial engine);
 overrides XTALK_THREADS. XTALK_CACHE=0 disables the stage-solve cache.
 
+ROBUSTNESS: recoverable solver faults degrade the affected node to a
+conservative bound and are listed as diagnostics; the exit code is 0 for a
+clean run, 2 when warnings were contained, 3 when conservative bounds were
+substituted. --strict (or XTALK_STRICT=1) fails fast on the first fault
+instead (exit 1).
+
 ECO EDITS (one per line, `#` comments):
   resize <gate> <cell> | reroute <net> <scale> | buffer <net> [cell] | uncouple <a> <b>
 ";
+
+/// A finished CLI run: the stdout text plus the process exit code keyed to
+/// the worst contained-fault severity (see `USAGE`'s ROBUSTNESS note).
+#[derive(Debug)]
+pub struct CliOutcome {
+    /// Text for stdout.
+    pub text: String,
+    /// Process exit code: 0 clean, 2 warnings contained, 3 bounds
+    /// substituted.
+    pub exit_code: i32,
+}
+
+/// Exit code for the worst severity of a completed (degraded) run.
+fn exit_code_for(severity: Option<Severity>) -> i32 {
+    match severity {
+        None | Some(Severity::Info) => 0,
+        Some(Severity::Warning) => 2,
+        Some(Severity::Error) => 3,
+    }
+}
 
 /// Runs the CLI on `args` (without the program name); returns the text to
 /// print on stdout.
@@ -84,18 +115,32 @@ ECO EDITS (one per line, `#` comments):
 ///
 /// [`CliError`] with a user-facing message.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let mut it = args.iter();
-    match it.next().map(String::as_str) {
-        Some("report") => cmd_report(&args[1..]),
-        Some("flow") => cmd_flow(&args[1..]),
-        Some("convert") => cmd_convert(&args[1..]),
-        Some("generate") => cmd_generate(&args[1..]),
-        Some("liberty") => cmd_liberty(&args[1..]),
-        Some("sdf") => cmd_sdf(&args[1..]),
-        Some("eco") => cmd_eco(&args[1..]),
-        Some("help") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
-    }
+    run_with_code(args).map(|outcome| outcome.text)
+}
+
+/// Runs the CLI on `args`, also reporting the exit code a completed run
+/// should terminate with (degraded analyses complete with a conservative
+/// answer but a nonzero code). Fatal errors are still [`CliError`]s.
+///
+/// # Errors
+///
+/// [`CliError`] with a user-facing message.
+pub fn run_with_code(args: &[String]) -> Result<CliOutcome, CliError> {
+    let (text, severity) = match args.first().map(String::as_str) {
+        Some("report") => cmd_report(&args[1..])?,
+        Some("flow") => (cmd_flow(&args[1..])?, None),
+        Some("convert") => (cmd_convert(&args[1..])?, None),
+        Some("generate") => (cmd_generate(&args[1..])?, None),
+        Some("liberty") => (cmd_liberty(&args[1..])?, None),
+        Some("sdf") => (cmd_sdf(&args[1..])?, None),
+        Some("eco") => cmd_eco(&args[1..])?,
+        Some("help") | None => (USAGE.to_string(), None),
+        Some(other) => return Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+    };
+    Ok(CliOutcome {
+        text,
+        exit_code: exit_code_for(severity),
+    })
 }
 
 fn parse_mode(name: &str) -> Result<AnalysisMode, CliError> {
@@ -179,7 +224,7 @@ fn flag<'a>(flags: &[(&'a str, Option<&'a str>)], name: &str) -> Option<Option<&
 }
 
 /// Builds the execution config from the environment, letting `--threads`
-/// override `XTALK_THREADS`.
+/// override `XTALK_THREADS` and `--strict` force fail-fast mode.
 fn exec_config(flags: &[(&str, Option<&str>)]) -> Result<ExecConfig, CliError> {
     let mut config = ExecConfig::from_env();
     if let Some(threads) = flag(flags, "threads") {
@@ -189,7 +234,59 @@ fn exec_config(flags: &[(&str, Option<&str>)]) -> Result<ExecConfig, CliError> {
             .ok_or_else(|| err("--threads expects an integer >= 1"))?;
         config = config.with_threads(threads);
     }
+    if flag(flags, "strict").is_some() {
+        config = config.with_strict(true);
+    }
     Ok(config)
+}
+
+/// Test hook, compiled only in fault-injection builds: `--inject
+/// CLASS:SEED:DENOM` installs a deterministic fault plan on the analyzer so
+/// the degrade-don't-die path can be driven end to end from the CLI.
+#[cfg(feature = "fault-injection")]
+fn fault_plan_from_flags(
+    flags: &[(&str, Option<&str>)],
+) -> Result<Option<xtalk_sta::FaultPlan>, CliError> {
+    let Some(spec) = flag(flags, "inject").flatten() else {
+        return Ok(None);
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [class, seed, denom] = parts.as_slice() else {
+        return Err(err("--inject expects CLASS:SEED:DENOM"));
+    };
+    let fault = match *class {
+        "nan-load" => xtalk_sta::Fault::NanLoad,
+        "truncated-table" => xtalk_sta::Fault::TruncatedTable,
+        "divergent-stage" => xtalk_sta::Fault::DivergentStage,
+        "mid-job-panic" => xtalk_sta::Fault::MidJobPanic,
+        "poisoned-cache" => xtalk_sta::Fault::PoisonedCache,
+        other => return Err(err(format!("unknown fault class `{other}`"))),
+    };
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| err("--inject seed must be an integer"))?;
+    let denom: u64 = denom
+        .parse()
+        .map_err(|_| err("--inject denom must be an integer"))?;
+    Ok(Some(xtalk_sta::FaultPlan::new(fault, seed, denom)))
+}
+
+/// The diagnostics section of a degraded run (empty text for a clean one,
+/// keeping clean output byte-identical to earlier releases).
+fn diagnostics_block(report: &ModeReport) -> String {
+    let mut out = String::new();
+    if report.degraded() {
+        let _ = writeln!(
+            out,
+            "diagnostics: {} fault(s) contained, worst severity {}",
+            report.diagnostics.len(),
+            report.worst_severity().unwrap_or(Severity::Info)
+        );
+        for d in &report.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+    }
+    out
 }
 
 /// One-line solver-work summary: logical calls, Newton integrations
@@ -249,7 +346,7 @@ fn load_design(netlist_path: &str, spef: Option<&str>) -> Result<LoadedDesign, C
     })
 }
 
-fn cmd_report(args: &[String]) -> Result<String, CliError> {
+fn cmd_report(args: &[String]) -> Result<(String, Option<Severity>), CliError> {
     let (pos, flags) = split_flags(args);
     let [netlist_path] = pos.as_slice() else {
         return Err(err(format!("report needs one netlist file\n\n{USAGE}")));
@@ -259,6 +356,10 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     let d = load_design(netlist_path, flag(&flags, "spef").flatten())?;
     let sta = Sta::with_config(&d.netlist, &d.library, &d.process, &d.parasitics, config)
         .map_err(|e| err(e.to_string()))?;
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = fault_plan_from_flags(&flags)? {
+        sta.set_fault_plan(Some(plan));
+    }
     let report = sta.analyze(mode).map_err(|e| err(e.to_string()))?;
 
     let mut out = String::new();
@@ -283,6 +384,7 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
         report.runtime.as_secs_f64()
     );
     let _ = writeln!(out, "{}", solver_summary(&report));
+    let _ = write!(out, "{}", diagnostics_block(&report));
     let _ = writeln!(out, "critical path:");
     for step in &report.critical_path {
         let _ = writeln!(
@@ -319,7 +421,7 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(out);
         let _ = write!(out, "{}", g.to_table(&d.netlist, 10));
     }
-    Ok(out)
+    Ok((out, report.worst_severity()))
 }
 
 fn cmd_flow(args: &[String]) -> Result<String, CliError> {
@@ -449,7 +551,7 @@ fn cmd_sdf(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
-fn cmd_eco(args: &[String]) -> Result<String, CliError> {
+fn cmd_eco(args: &[String]) -> Result<(String, Option<Severity>), CliError> {
     let (pos, flags) = split_flags(args);
     let [netlist_path, script_path] = pos.as_slice() else {
         return Err(err(format!(
@@ -501,6 +603,7 @@ fn cmd_eco(args: &[String]) -> Result<String, CliError> {
         cache.evictions,
         100.0 * cache.hit_ratio()
     );
+    let _ = write!(out, "{}", diagnostics_block(&report));
 
     if flag(&flags, "check").is_some() {
         let fresh = eco
@@ -518,7 +621,7 @@ fn cmd_eco(args: &[String]) -> Result<String, CliError> {
         }
         let _ = writeln!(out, "check: incremental result matches batch re-analysis");
     }
-    Ok(out)
+    Ok((out, report.worst_severity()))
 }
 
 #[cfg(test)]
@@ -692,6 +795,25 @@ mod tests {
         assert_eq!(delay(&serial), delay(&par));
         assert!(run(&argv(&["report", &bench, "--threads", "0"])).is_err());
         assert!(run(&argv(&["report", &bench, "--threads"])).is_err());
+    }
+
+    #[test]
+    fn clean_run_exits_zero_also_under_strict() {
+        let bench = tmp("t8.bench");
+        run(&argv(&[
+            "generate", "--preset", "small", "--seed", "12", &bench,
+        ]))
+        .expect("generate");
+        let outcome = run_with_code(&argv(&["report", &bench, "--mode", "best"])).expect("report");
+        assert_eq!(outcome.exit_code, 0, "clean run must exit 0");
+        assert!(
+            !outcome.text.contains("diagnostics:"),
+            "clean output mentions no diagnostics: {}",
+            outcome.text
+        );
+        let strict = run_with_code(&argv(&["report", &bench, "--mode", "best", "--strict"]))
+            .expect("a clean design passes strict mode");
+        assert_eq!(strict.exit_code, 0);
     }
 
     #[test]

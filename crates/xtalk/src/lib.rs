@@ -58,7 +58,10 @@ pub use xtalk_wave as wave;
 /// The most common imports in one place.
 pub mod prelude {
     pub use xtalk_netlist::{GeneratorConfig, Netlist};
-    pub use xtalk_sta::{AnalysisMode, Edit, ExecConfig, IncrementalSta, ModeReport, Sta};
+    pub use xtalk_sta::{
+        AnalysisMode, Diagnostic, Edit, ExecConfig, FaultClass, IncrementalSta, ModeReport,
+        Severity, Sta,
+    };
     pub use xtalk_tech::{Library, Process};
     pub use xtalk_wave::{CouplingMode, Waveform};
 }
