@@ -127,6 +127,10 @@ pub struct TimingGraph {
 }
 
 impl TimingGraph {
+    /// Adjacency memory layout of this graph build, recorded in bench
+    /// output (`BENCH_sta.json`) so layout A/Bs stay attributable.
+    pub const LAYOUT: &'static str = "nested";
+
     /// Expands `netlist` against `library` into a stage-level timing graph.
     ///
     /// # Errors

@@ -1,0 +1,143 @@
+//! Golden ModeReport snapshot: pins the analyzer's output bit-exactly.
+//!
+//! A fixed generated design is analyzed under every mode and the resulting
+//! arrivals, slacks and work counters are serialized with full `f64` bit
+//! patterns, then compared against the committed snapshot in
+//! `tests/golden/modes_small_97.txt`. Any change to propagation, coupling
+//! treatment, merging or sensitization — however small — flips at least one
+//! bit here, so refactors of the engine are guarded step by step.
+//!
+//! The snapshot was recorded before the layered-engine refactor (CSR graph
+//! + kernel/policy split) and must survive it unchanged.
+//!
+//! Regenerate (only when an *intentional* numerical change lands) with:
+//!
+//! ```text
+//! XTALK_BLESS=1 cargo test -p xtalk --test golden_modes
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use xtalk::prelude::*;
+
+/// Clock period used for the pinned slack column, seconds.
+const PERIOD: f64 = 10e-9;
+
+/// All analyses the snapshot covers: the paper's five plus the two
+/// extensions (Esperance refinement and min-delay/hold).
+const MODES: [AnalysisMode; 7] = [
+    AnalysisMode::BestCase,
+    AnalysisMode::StaticDoubled,
+    AnalysisMode::WorstCase,
+    AnalysisMode::OneStep,
+    AnalysisMode::Iterative { esperance: false },
+    AnalysisMode::Iterative { esperance: true },
+    AnalysisMode::MinDelay,
+];
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/modes_small_97.txt")
+}
+
+/// Hex bit pattern of an `f64` (or `-` for an absent arrival).
+fn bits(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{:016x}", v.to_bits()),
+        None => "-".to_string(),
+    }
+}
+
+fn snapshot() -> String {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let netlist = xtalk::netlist::generator::generate(&GeneratorConfig::small(97), &library)
+        .expect("generate");
+    let placement = xtalk::layout::place::place(&netlist, &library, &process);
+    let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+    let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+    let sta = Sta::new(&netlist, &library, &process, &parasitics).expect("sta");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# golden mode snapshot: small(97), {} gates, {} nets, period {} ns",
+        netlist.gate_count(),
+        netlist.net_count(),
+        PERIOD * 1e9
+    );
+    for mode in MODES {
+        let r = sta.analyze(mode).expect("analysis");
+        assert!(
+            r.diagnostics.is_empty(),
+            "golden run must be clean, got {:?}",
+            r.diagnostics
+        );
+        let endpoint = r
+            .endpoint_net
+            .map(|n| netlist.net(n).name.clone())
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "mode={mode} delay={} endpoint={endpoint} rising={} passes={} solves={}",
+            bits(Some(r.longest_delay)),
+            r.endpoint_rising,
+            r.passes,
+            r.stage_solves
+        );
+        for (i, d) in r.pass_delays.iter().enumerate() {
+            let _ = writeln!(out, "  pass[{i}] delay={}", bits(Some(*d)));
+        }
+        for e in &r.endpoints {
+            let slack = PERIOD - e.latest();
+            let _ = writeln!(
+                out,
+                "  endpoint={} rise={} fall={} slack={}",
+                netlist.net(e.net).name,
+                bits(e.rise),
+                bits(e.fall),
+                bits(Some(slack))
+            );
+        }
+        let _ = writeln!(out, "  path_len={}", r.critical_path.len());
+        for step in &r.critical_path {
+            let _ = writeln!(
+                out,
+                "  step gate={} cell={} pin={} net={} rising={} arrival={}",
+                netlist.gate(step.gate).name,
+                step.cell,
+                step.pin as isize,
+                netlist.net(step.net).name,
+                step.rising,
+                bits(Some(step.arrival))
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn mode_reports_match_golden_snapshot() {
+    let current = snapshot();
+    let path = golden_path();
+    if std::env::var("XTALK_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, &current).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with XTALK_BLESS=1", path.display()));
+    if golden != current {
+        // Locate the first diverging line for a readable failure.
+        for (i, (g, c)) in golden.lines().zip(current.lines()).enumerate() {
+            assert_eq!(g, c, "golden snapshot diverged at line {}", i + 1);
+        }
+        assert_eq!(
+            golden.lines().count(),
+            current.lines().count(),
+            "golden snapshot line count diverged"
+        );
+        panic!("golden snapshot diverged");
+    }
+}
