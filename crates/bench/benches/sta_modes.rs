@@ -289,11 +289,7 @@ fn write_bench_json(mut rows: Vec<String>, label: &str) {
     }
     let mut json = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "  {row}{}",
-            if i + 1 < rows.len() { "," } else { "" }
-        );
+        let _ = writeln!(json, "  {row}{}", if i + 1 < rows.len() { "," } else { "" });
     }
     json.push_str("]\n");
     if let Err(e) = std::fs::write(&path, &json) {

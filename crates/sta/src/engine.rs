@@ -1,9 +1,14 @@
-//! The waveform-propagation engine and the five coupling analyses.
+//! The analyzer facade and mode dispatch.
 //!
-//! Propagation is the paper's §4 breadth-first scheme over the expanded
-//! stage graph: one worst-case waveform per node and transition direction,
-//! visited in topological order (linear in arcs). Coupling treatment per
-//! [`AnalysisMode`] follows §5:
+//! This module is deliberately thin. The propagation machinery — arrival
+//! store, stage evaluation, pass scheduling, caching, fallbacks — lives in
+//! [`crate::kernel`] as the [`PropagationCore`] shared by every analysis
+//! surface; the per-mode coupling treatments live in [`crate::policy`].
+//! What remains here is the public [`Sta`] entry point, the [`StaError`]
+//! taxonomy, and `PropagationCore::compute_states`: the one place an
+//! [`AnalysisMode`] is mapped onto a policy and a pass sequence.
+//!
+//! Coupling treatment per mode follows the paper's §5:
 //!
 //! - the **one-step** algorithm (§5.1) computes a best-case (all-quiet)
 //!   waveform per victim transition to lower-bound the victim's earliest
@@ -15,30 +20,17 @@
 //!   table while the longest-path delay keeps decreasing — optionally
 //!   recomputing only stages that can lie on long paths (Esperance).
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
-use std::time::Instant;
-
 use xtalk_layout::Parasitics;
 use xtalk_netlist::{Netlist, NetlistError};
-use xtalk_tech::cell::{Stage, StageSignal};
 use xtalk_tech::{Library, Process};
-use xtalk_wave::pwl::Waveform;
-use xtalk_wave::stage::{Coupling, CouplingMode, Load, StageError, StageSolver};
+use xtalk_wave::stage::StageError;
 
-use crate::diag::{Diagnostic, FaultClass, Severity};
-use crate::exec::cache::{Lookup, SolveKey};
-use crate::exec::pool::WorkerPool;
-use crate::exec::{wavefront, CacheStats, ExecConfig, Executor};
-use crate::graph::{StageInst, TNodeId, TNodeKind, TimingGraph};
+use crate::exec::{CacheStats, ExecConfig, Executor};
+use crate::graph::TimingGraph;
+use crate::kernel::{NodeState, PropagationCore};
 use crate::mode::AnalysisMode;
-use crate::report::{build_path, ModeReport, PassStat};
-
-/// Extra arrival-time penalty of a conservative fallback waveform, seconds.
-/// Far beyond any real stage delay of the supported designs, so a degraded
-/// arrival can never be optimistic — and is obvious in a report.
-const FALLBACK_PENALTY: f64 = 1e-7;
+use crate::policy;
+use crate::report::{ModeReport, PassStat};
 
 /// Errors from [`Sta`].
 #[derive(Debug)]
@@ -99,142 +91,10 @@ impl std::error::Error for StaError {
     }
 }
 
-/// Failure-taxonomy class of a stage error (DESIGN.md D8).
-fn fault_class_of(e: &StageError) -> FaultClass {
-    match e {
-        StageError::MissingSideValue { .. } | StageError::BadSlot { .. } => {
-            FaultClass::TruncatedModel
-        }
-        StageError::NonFiniteInput => FaultClass::NonFiniteValue,
-        StageError::Waveform(_) => FaultClass::NonMonotoneWaveform,
-        // DidNotConverge, NumericalBlowup, and any future variant of the
-        // non_exhaustive enum: the solver failed to produce a result.
-        _ => FaultClass::SolverDivergence,
-    }
-}
-
-/// Best-effort text of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
 impl From<NetlistError> for StaError {
     fn from(e: NetlistError) -> Self {
         StaError::Netlist(e)
     }
-}
-
-/// Arrival information for one node and direction.
-#[derive(Debug, Clone)]
-pub(crate) struct WaveInfo {
-    /// The worst-case waveform.
-    pub wave: Waveform,
-    /// Crossing time of the delay threshold (Vdd/2), seconds.
-    pub crossing: f64,
-    /// Time after which the node is quiet in this direction (waveform has
-    /// passed the coupling threshold band), seconds.
-    pub quiescent: f64,
-    /// Predecessor arc, for path reconstruction.
-    pub pred: Option<Pred>,
-}
-
-/// Predecessor record of a worst-case arrival.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Pred {
-    /// Stage-instance index.
-    pub stage: usize,
-    /// Input slot within the stage.
-    pub slot: usize,
-    /// Direction of the input transition.
-    pub input_rising: bool,
-}
-
-/// Per-node arrival state (index 0 = falling, 1 = rising).
-#[derive(Debug, Clone, Default)]
-pub(crate) struct NodeState {
-    pub dirs: [Option<WaveInfo>; 2],
-}
-
-impl NodeState {
-    pub(crate) fn get(&self, rising: bool) -> Option<&WaveInfo> {
-        self.dirs[rising as usize].as_ref()
-    }
-}
-
-/// Quiescence classification of a net in one direction.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) enum Quiet {
-    /// The net never makes this transition.
-    Never,
-    /// The net is quiet after this time.
-    Until(f64),
-}
-
-/// Work counters of one pass or stage evaluation.
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct SolveCounters {
-    /// Logical stage-solver calls — the paper's work metric (its mode
-    /// comparisons count solver invocations). A call answered by the
-    /// stage-solve cache still counts here.
-    pub calls: usize,
-    /// Newton integrations actually performed (cache misses or cache off).
-    pub solves: usize,
-    /// Calls answered by the stage-solve cache.
-    pub hits: usize,
-}
-
-impl SolveCounters {
-    pub(crate) fn absorb(&mut self, other: SolveCounters) {
-        self.calls += other.calls;
-        self.solves += other.solves;
-        self.hits += other.hits;
-    }
-}
-
-/// Result of one full propagation pass.
-pub(crate) struct PassOutput {
-    pub states: Vec<NodeState>,
-    pub counters: SolveCounters,
-}
-
-/// Result of evaluating one stage: waveforms to merge into its output.
-pub(crate) struct StageEval {
-    pub(crate) merges: Vec<(bool, WaveInfo)>,
-    pub(crate) counters: SolveCounters,
-}
-
-/// Read-only view of in-flight pass state, shared by the serial level loop
-/// (a plain slice) and the wavefront scheduler (write-once cells committed
-/// by each node's unique producer task).
-pub(crate) enum StateView<'x> {
-    /// The serial/incremental representation.
-    Slice(&'x [NodeState]),
-    /// The wavefront representation.
-    Cells(&'x [OnceLock<NodeState>]),
-}
-
-impl StateView<'_> {
-    fn get(&self, node: usize, rising: bool) -> Option<&WaveInfo> {
-        match self {
-            StateView::Slice(states) => states[node].get(rising),
-            StateView::Cells(cells) => cells[node].get().and_then(|st| st.get(rising)),
-        }
-    }
-}
-
-/// Coupling treatment of one propagation pass.
-pub(crate) enum Policy<'p> {
-    /// Every coupling cap gets the same fixed treatment.
-    Uniform(CouplingMode),
-    /// The paper's one-step decision per coupling cap; `prev` supplies the
-    /// previous pass's quiescent-time table during iterative refinement.
-    QuietAware { prev: Option<&'p Vec<[Quiet; 2]>> },
 }
 
 /// The crosstalk-aware static timing analyzer.
@@ -343,9 +203,9 @@ impl<'a> Sta<'a> {
         self.parasitics
     }
 
-    /// Borrowed engine context over this analyzer's inputs and graph.
-    pub(crate) fn ctx(&self) -> EngineCtx<'_> {
-        EngineCtx {
+    /// Borrowed propagation core over this analyzer's inputs and graph.
+    pub(crate) fn ctx(&self) -> PropagationCore<'_> {
+        PropagationCore {
             netlist: self.netlist,
             library: self.library,
             process: self.process,
@@ -374,1158 +234,30 @@ impl<'a> Sta<'a> {
     }
 }
 
-/// Borrowed view of one analysis's inputs and expanded graph: the reusable
-/// engine core shared by the batch [`Sta`] facade and the incremental (ECO)
-/// engine, which owns its design data and graph and so cannot use [`Sta`]'s
-/// borrowed form directly.
-pub(crate) struct EngineCtx<'a> {
-    pub(crate) netlist: &'a Netlist,
-    pub(crate) library: &'a Library,
-    pub(crate) process: &'a Process,
-    pub(crate) parasitics: &'a Parasitics,
-    pub(crate) graph: &'a TimingGraph,
-    pub(crate) exec: &'a Executor,
-}
-
-/// Per-stage fault-injection decision. In builds without the harness this
-/// is a zero-sized no-op the optimizer removes entirely; with it, the
-/// active [`crate::fault::FaultPlan`] decides at construction.
-struct Inject {
-    #[cfg(any(test, feature = "fault-injection"))]
-    fault: Option<crate::fault::Fault>,
-}
-
-impl Inject {
-    /// Forces a typed stage error (or panics, for the mid-job-panic class)
-    /// at the solver choke point when the plan selects this stage.
-    fn forced_error(&self, _slot: usize) -> Option<StageError> {
-        #[cfg(any(test, feature = "fault-injection"))]
-        match self.fault {
-            Some(crate::fault::Fault::TruncatedTable) => {
-                return Some(StageError::MissingSideValue { slot: _slot });
-            }
-            Some(crate::fault::Fault::DivergentStage) => {
-                return Some(StageError::DidNotConverge);
-            }
-            Some(crate::fault::Fault::MidJobPanic) => {
-                panic!("fault injection: mid-job panic");
-            }
-            _ => {}
-        }
-        None
-    }
-
-    /// Corrupts the load with NaN when the plan selects this stage.
-    fn doctor_load(&self, load: Load) -> Load {
-        #[cfg(any(test, feature = "fault-injection"))]
-        if self.fault == Some(crate::fault::Fault::NanLoad) {
-            return Load {
-                cground: f64::NAN,
-                ..load
-            };
-        }
-        load
-    }
-
-    /// Whether the freshly solved cache entry should be poisoned.
-    #[cfg(any(test, feature = "fault-injection"))]
-    fn poisons_cache(&self) -> bool {
-        self.fault == Some(crate::fault::Fault::PoisonedCache)
-    }
-}
-
-impl EngineCtx<'_> {
-    /// Runs the requested analysis and reports the longest path.
-    pub(crate) fn analyze(&self, mode: AnalysisMode) -> Result<ModeReport, StaError> {
-        let started = Instant::now();
-        // Diagnostics accumulate per analysis; drop leftovers from an
-        // earlier run that errored out before assembling its report.
-        drop(self.exec.drain_diagnostics());
-        let mut pass_stats: Vec<PassStat> = Vec::new();
-        let final_states = self.compute_states(mode, &mut pass_stats)?;
-        self.assemble_report(mode, final_states, pass_stats, started)
-    }
-
-    /// The fault-injection decision for the stage driven by `_gate`.
-    fn inject_for(&self, _gate: &str) -> Inject {
-        Inject {
-            #[cfg(any(test, feature = "fault-injection"))]
-            fault: self.exec.fault_for(_gate),
-        }
-    }
-
-    fn pass_stat(&self, out: &PassOutput, earliest: bool) -> PassStat {
-        PassStat {
-            delay: self
-                .extreme(&out.states, earliest)
-                .map(|(_, _, d)| d)
-                .unwrap_or(0.0),
-            solver_calls: out.counters.calls,
-            newton_solves: out.counters.solves,
-            cache_hits: out.counters.hits,
-        }
-    }
-
+impl PropagationCore<'_> {
     /// Runs the passes of `mode` and returns the final node states,
     /// recording one [`PassStat`] per propagation pass.
+    ///
+    /// This is the mode dispatch: a single-pass mode resolves to its
+    /// [`policy::CouplingPolicy`] and runs one kernel pass; the iterative
+    /// mode runs the shared §5.2 refinement driver over one-step passes.
     pub(crate) fn compute_states(
         &self,
         mode: AnalysisMode,
         pass_stats: &mut Vec<PassStat>,
     ) -> Result<Vec<NodeState>, StaError> {
-        let final_states = match mode {
-            AnalysisMode::BestCase => {
-                let out = self.run_pass(&Policy::Uniform(CouplingMode::Grounded), None, None)?;
-                pass_stats.push(self.pass_stat(&out, false));
-                out.states
-            }
-            AnalysisMode::StaticDoubled => {
-                let out = self.run_pass(&Policy::Uniform(CouplingMode::Doubled), None, None)?;
-                pass_stats.push(self.pass_stat(&out, false));
-                out.states
-            }
-            AnalysisMode::WorstCase => {
-                let out = self.run_pass(&Policy::Uniform(CouplingMode::Active), None, None)?;
-                pass_stats.push(self.pass_stat(&out, false));
-                out.states
-            }
-            AnalysisMode::OneStep => {
-                let out = self.run_pass(&Policy::QuietAware { prev: None }, None, None)?;
-                pass_stats.push(self.pass_stat(&out, false));
-                out.states
-            }
-            AnalysisMode::MinDelay => {
-                let out = self.run_pass_with(
-                    &Policy::Uniform(CouplingMode::Assisting),
-                    None,
-                    None,
-                    true,
-                )?;
-                pass_stats.push(self.pass_stat(&out, true));
-                out.states
-            }
+        match mode {
             AnalysisMode::Iterative { esperance } => {
-                // Pass 1: the plain one-step analysis.
-                let mut out = self.run_pass(&Policy::QuietAware { prev: None }, None, None)?;
-                let mut delay = self
-                    .longest(&out.states)
-                    .map(|(_, _, d)| d)
-                    .ok_or(StaError::NoArrivals)?;
-                pass_stats.push(self.pass_stat(&out, false));
-                // Refinement passes against the stored quiescent times,
-                // under a divergence watchdog: the pass cap bounds the
-                // loop, and a pass whose delay *rises* beyond the
-                // convergence tolerance (oscillation — §5.2 assumes the
-                // refinement settles, a production run cannot) is
-                // discarded in favour of the previous pass, which is
-                // already a guaranteed-conservative one-step bound.
-                let mut capped = true;
-                for _ in 0..10 {
-                    let quiet = self.quiet_table(&out.states);
-                    let recompute = if esperance {
-                        Some(self.long_path_stages(&out.states, delay))
-                    } else {
-                        None
-                    };
-                    let next = self.run_pass(
-                        &Policy::QuietAware { prev: Some(&quiet) },
-                        Some(&out.states),
-                        recompute.as_deref(),
-                    )?;
-                    let next_delay = self
-                        .longest(&next.states)
-                        .map(|(_, _, d)| d)
-                        .ok_or(StaError::NoArrivals)?;
-                    pass_stats.push(self.pass_stat(&next, false));
-                    let tolerance = 1e-13 + 1e-3 * delay;
-                    if next_delay > delay + tolerance {
-                        if self.exec.config().strict {
-                            return Err(StaError::Unstable { delay: next_delay });
-                        }
-                        self.exec.push_diagnostic(Diagnostic {
-                            severity: Severity::Warning,
-                            node: "(iterative refinement)".to_string(),
-                            fault: FaultClass::FixedPointDivergence,
-                            substituted_bound: Some(delay),
-                            detail: format!(
-                                "pass delay rose from {:.4} ns to {:.4} ns; \
-                                 keeping the previous conservative pass",
-                                delay * 1e9,
-                                next_delay * 1e9
-                            ),
-                        });
-                        capped = false;
-                        break;
-                    }
-                    // Converged when the improvement drops below 0.1% —
-                    // the paper's refinement settles within a few passes.
-                    let improved = next_delay < delay - tolerance;
-                    out = next;
-                    delay = next_delay.min(delay);
-                    if !improved {
-                        capped = false;
-                        break;
-                    }
-                }
-                if capped {
-                    self.exec.push_diagnostic(Diagnostic {
-                        severity: Severity::Warning,
-                        node: "(iterative refinement)".to_string(),
-                        fault: FaultClass::FixedPointDivergence,
-                        substituted_bound: Some(delay),
-                        detail: "pass cap (10) reached before convergence".to_string(),
-                    });
-                }
-                out.states
+                policy::iterative::refine_batch(self, esperance, pass_stats)
             }
-        };
-        Ok(final_states)
-    }
-
-    /// Builds a [`ModeReport`] from completed states.
-    pub(crate) fn assemble_report(
-        &self,
-        mode: AnalysisMode,
-        final_states: Vec<NodeState>,
-        pass_stats: Vec<PassStat>,
-        started: Instant,
-    ) -> Result<ModeReport, StaError> {
-        let earliest = mode == AnalysisMode::MinDelay;
-        let (endpoint, rising, longest_delay) = self
-            .extreme(&final_states, earliest)
-            .ok_or(StaError::NoArrivals)?;
-        let endpoints = self.endpoint_arrivals(&final_states);
-        // Per-net quiescent times (fall, rise) for downstream analyses
-        // (glitch/noise checks, window debugging).
-        let net_quiet = (0..self.netlist.net_count())
-            .map(|ni| {
-                let node = self.graph.net_node[ni];
-                let st = &final_states[node.index()];
-                (
-                    st.get(false).map(|i| i.quiescent),
-                    st.get(true).map(|i| i.quiescent),
-                )
-            })
-            .collect();
-        let critical_path = build_path(
-            self.netlist,
-            self.library,
-            self.graph,
-            &final_states,
-            endpoint,
-            rising,
-        );
-        let diagnostics = self.exec.drain_diagnostics();
-        Ok(ModeReport {
-            mode,
-            longest_delay,
-            endpoints,
-            net_quiet,
-            endpoint_net: match self.graph.nodes[endpoint.index()].kind {
-                TNodeKind::Net(n) => Some(n),
-                TNodeKind::Internal { .. } => None,
-            },
-            endpoint_rising: rising,
-            critical_path,
-            passes: pass_stats.len(),
-            pass_delays: pass_stats.iter().map(|p| p.delay).collect(),
-            stage_solves: pass_stats.iter().map(|p| p.solver_calls).sum(),
-            newton_solves: pass_stats.iter().map(|p| p.newton_solves).sum(),
-            cache_hits: pass_stats.iter().map(|p| p.cache_hits).sum(),
-            pass_stats,
-            diagnostics,
-            runtime: started.elapsed(),
-        })
-    }
-
-    /// The latest endpoint arrival: `(node, rising, delay)`.
-    pub(crate) fn longest(&self, states: &[NodeState]) -> Option<(TNodeId, bool, f64)> {
-        self.extreme(states, false)
-    }
-
-    /// The latest (or, with `earliest`, the earliest) endpoint arrival.
-    pub(crate) fn extreme(
-        &self,
-        states: &[NodeState],
-        earliest: bool,
-    ) -> Option<(TNodeId, bool, f64)> {
-        let mut best: Option<(TNodeId, bool, f64)> = None;
-        for node in self.graph.endpoints() {
-            for rising in [false, true] {
-                if let Some(info) = states[node.index()].get(rising) {
-                    let better = best
-                        .map(|(_, _, d)| {
-                            if earliest {
-                                info.crossing < d
-                            } else {
-                                info.crossing > d
-                            }
-                        })
-                        .unwrap_or(true);
-                    if better {
-                        best = Some((node, rising, info.crossing));
-                    }
-                }
-            }
-        }
-        best
-    }
-
-    /// Per-endpoint arrival summary from a completed pass.
-    fn endpoint_arrivals(&self, states: &[NodeState]) -> Vec<crate::report::EndpointArrival> {
-        self.graph
-            .endpoints()
-            .filter_map(|node| {
-                let net = match self.graph.nodes[node.index()].kind {
-                    TNodeKind::Net(n) => n,
-                    TNodeKind::Internal { .. } => return None,
-                };
-                let st = &states[node.index()];
-                if st.get(false).is_none() && st.get(true).is_none() {
-                    return None;
-                }
-                Some(crate::report::EndpointArrival {
-                    net,
-                    rise: st.get(true).map(|i| i.crossing),
-                    fall: st.get(false).map(|i| i.crossing),
-                })
-            })
-            .collect()
-    }
-
-    /// Quiescent-time table per net and direction, from a completed pass.
-    pub(crate) fn quiet_table(&self, states: &[NodeState]) -> Vec<[Quiet; 2]> {
-        (0..self.netlist.net_count())
-            .map(|ni| {
-                let node = self.graph.net_node[ni];
-                let mut entry = [Quiet::Never; 2];
-                for rising in [false, true] {
-                    if let Some(info) = states[node.index()].get(rising) {
-                        entry[rising as usize] = Quiet::Until(info.quiescent);
-                    }
-                }
-                entry
-            })
-            .collect()
-    }
-
-    /// Esperance: stages whose output can still lie on a long path.
-    fn long_path_stages(&self, states: &[NodeState], longest: f64) -> Vec<bool> {
-        // Remaining downstream delay per node and direction, reverse topo.
-        let n = self.graph.nodes.len();
-        let mut remaining = vec![[0.0f64; 2]; n];
-        for &si in self.graph.topo.iter().rev() {
-            let stage = &self.graph.stages[si];
-            let out = stage.output.index();
-            for (slot, input) in stage.inputs.iter().enumerate() {
-                let _ = slot;
-                for in_rising in [false, true] {
-                    let out_rising = !in_rising;
-                    let (Some(wi), Some(wo)) = (
-                        states[input.node.index()].get(in_rising),
-                        states[out].get(out_rising),
-                    ) else {
-                        continue;
-                    };
-                    let arc_delay = (wo.crossing - wi.crossing).max(0.0);
-                    let cand = arc_delay + remaining[out][out_rising as usize];
-                    let slot_rem = &mut remaining[input.node.index()][in_rising as usize];
-                    if cand > *slot_rem {
-                        *slot_rem = cand;
-                    }
-                }
-            }
-        }
-        // A stage must be recomputed when its output's potential path length
-        // is within 10% of the current longest delay.
-        let margin = 0.9 * longest;
-        self.graph
-            .stages
-            .iter()
-            .map(|stage| {
-                let out = stage.output.index();
-                [false, true].into_iter().any(|rising| {
-                    states[out]
-                        .get(rising)
-                        .map(|wi| wi.crossing + remaining[out][rising as usize] >= margin)
-                        .unwrap_or(false)
-                })
-            })
-            .collect()
-    }
-
-    /// Runs one full propagation pass (latest-arrival merging).
-    pub(crate) fn run_pass(
-        &self,
-        policy: &Policy<'_>,
-        prev: Option<&[NodeState]>,
-        recompute: Option<&[bool]>,
-    ) -> Result<PassOutput, StaError> {
-        self.run_pass_with(policy, prev, recompute, false)
-    }
-
-    /// Runs one full propagation pass; `earliest` selects min-delay
-    /// semantics (earliest merging, fastest sensitization). Dispatches to
-    /// the wavefront scheduler when the configuration allows parallelism
-    /// and the design is big enough; both paths are bit-identical (see the
-    /// scheduler notes in `DESIGN.md`).
-    pub(crate) fn run_pass_with(
-        &self,
-        policy: &Policy<'_>,
-        prev: Option<&[NodeState]>,
-        recompute: Option<&[bool]>,
-        earliest: bool,
-    ) -> Result<PassOutput, StaError> {
-        match self.exec.pool_for(self.graph.stages.len()) {
-            Some(pool) => self.run_pass_wavefront(pool, policy, prev, recompute, earliest),
-            None => self.run_pass_serial(policy, prev, recompute, earliest),
-        }
-    }
-
-    /// The serial (and small-design) pass: the paper's breadth-first level
-    /// loop, one stage at a time.
-    fn run_pass_serial(
-        &self,
-        policy: &Policy<'_>,
-        prev: Option<&[NodeState]>,
-        recompute: Option<&[bool]>,
-        earliest: bool,
-    ) -> Result<PassOutput, StaError> {
-        let solver = StageSolver::new(self.process);
-        let n = self.graph.nodes.len();
-        let mut states: Vec<NodeState> = vec![NodeState::default(); n];
-        let mut counters = SolveCounters::default();
-
-        self.init_start_states(&mut states);
-
-        for level in &self.graph.levels {
-            let results = self.eval_stages(
-                &solver,
-                level,
-                policy,
-                &StateView::Slice(&states),
-                prev,
-                recompute,
-                earliest,
-            )?;
-            for (si, ev) in results {
-                let out_idx = self.graph.stages[si].output.index();
-                counters.absorb(ev.counters);
-                for (out_rising, info) in ev.merges {
-                    merge_with(&mut states[out_idx], out_rising, info, earliest);
-                }
-            }
-        }
-
-        Ok(PassOutput { states, counters })
-    }
-
-    /// The parallel pass: dependency-counter wavefront propagation over the
-    /// persistent worker pool. Every node has a unique producer stage, so
-    /// each task commits exactly its own output cell and the result is
-    /// bit-identical to the serial level loop.
-    fn run_pass_wavefront(
-        &self,
-        pool: &WorkerPool,
-        policy: &Policy<'_>,
-        prev: Option<&[NodeState]>,
-        recompute: Option<&[bool]>,
-        earliest: bool,
-    ) -> Result<PassOutput, StaError> {
-        let solver = StageSolver::new(self.process);
-        let n = self.graph.nodes.len();
-        let cells: Vec<OnceLock<NodeState>> =
-            std::iter::repeat_with(OnceLock::new).take(n).collect();
-        let proto = self.start_node_state();
-        for (i, node) in self.graph.nodes.iter().enumerate() {
-            if node.is_start {
-                let _ = cells[i].set(proto.clone());
-            }
-        }
-        // The one-step policy reads finalized aggressor states, so those
-        // become dependency edges too (acyclic by the static level rule).
-        let aggressor_aware = matches!(policy, Policy::QuietAware { prev: None });
-        let deps = wavefront::DepGraph::build(self.graph, aggressor_aware);
-
-        let calls = AtomicUsize::new(0);
-        let solves = AtomicUsize::new(0);
-        let hits = AtomicUsize::new(0);
-        let failed = AtomicBool::new(false);
-        let first_error: Mutex<Option<(usize, StaError)>> = Mutex::new(None);
-        let view = StateView::Cells(&cells);
-
-        wavefront::execute(pool, &deps, &|si: usize| {
-            // After a failure the pass result is discarded; remaining tasks
-            // only tick the scheduler's counters down.
-            if failed.load(Ordering::Relaxed) {
-                return;
-            }
-            match self.eval_stage_contained(si, &solver, policy, &view, prev, recompute, earliest) {
-                Ok(ev) => {
-                    calls.fetch_add(ev.counters.calls, Ordering::Relaxed);
-                    solves.fetch_add(ev.counters.solves, Ordering::Relaxed);
-                    hits.fetch_add(ev.counters.hits, Ordering::Relaxed);
-                    let mut out = NodeState::default();
-                    for (out_rising, info) in ev.merges {
-                        merge_with(&mut out, out_rising, info, earliest);
-                    }
-                    // Unique producer: this task alone writes this cell.
-                    let _ = cells[self.graph.stages[si].output.index()].set(out);
-                }
-                Err(err) => {
-                    failed.store(true, Ordering::Relaxed);
-                    let mut slot = first_error.lock().unwrap_or_else(PoisonError::into_inner);
-                    // Keep the lowest stage index for a deterministic error.
-                    match &*slot {
-                        Some((prev_si, _)) if *prev_si <= si => {}
-                        _ => *slot = Some((si, err)),
-                    }
-                }
-            }
-        });
-
-        if let Some((_, err)) = first_error
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-        {
-            return Err(err);
-        }
-        let states = cells
-            .into_iter()
-            .map(|c| c.into_inner().unwrap_or_default())
-            .collect();
-        Ok(PassOutput {
-            states,
-            counters: SolveCounters {
-                calls: calls.into_inner(),
-                solves: solves.into_inner(),
-                hits: hits.into_inner(),
-            },
-        })
-    }
-
-    /// The state of every startpoint node: full-swing ramps at `t = 0`.
-    fn start_node_state(&self) -> NodeState {
-        let process = self.process;
-        let vdd = process.vdd;
-        let th = process.delay_threshold();
-        let vth = process.coupling_vth;
-        let slew = process.default_input_slew;
-        let rise = Waveform::ramp(0.0, slew, 0.0, vdd).expect("valid ramp");
-        let fall = Waveform::ramp(0.0, slew, vdd, 0.0).expect("valid ramp");
-        NodeState {
-            dirs: [
-                Some(self.wave_info(fall, th, vth, vdd, None)),
-                Some(self.wave_info(rise, th, vth, vdd, None)),
-            ],
-        }
-    }
-
-    /// Seeds startpoint nodes (primary-input nets) with full-swing ramps at
-    /// `t = 0`.
-    pub(crate) fn init_start_states(&self, states: &mut [NodeState]) {
-        let proto = self.start_node_state();
-        for (i, node) in self.graph.nodes.iter().enumerate() {
-            if node.is_start {
-                states[i] = proto.clone();
+            _ => {
+                let policy = policy::for_single_pass(mode);
+                let out = self.run_pass(policy.as_ref(), None, None)?;
+                pass_stats.push(self.pass_stat(&out, policy.earliest()));
+                Ok(out.states)
             }
         }
     }
-
-    /// The batch propagation step: evaluates an explicit set of stages
-    /// against a read-only snapshot of the pass state and returns their
-    /// output merges, in input order. The caller guarantees every stage in
-    /// the set is ready (its inputs final), so the set fans out over the
-    /// worker pool without internal ordering; the caller applies the merges
-    /// serially. The serial level loop and the incremental engine's dirty
-    /// sweep drive propagation through this function.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn eval_stages(
-        &self,
-        solver: &StageSolver<'_>,
-        stage_ids: &[usize],
-        policy: &Policy<'_>,
-        view: &StateView<'_>,
-        prev: Option<&[NodeState]>,
-        recompute: Option<&[bool]>,
-        earliest: bool,
-    ) -> Result<Vec<(usize, StageEval)>, StaError> {
-        let results: Vec<(usize, Result<StageEval, StaError>)> =
-            match self.exec.pool_for(stage_ids.len()) {
-                None => stage_ids
-                    .iter()
-                    .map(|&si| {
-                        (
-                            si,
-                            self.eval_stage_contained(
-                                si, solver, policy, view, prev, recompute, earliest,
-                            ),
-                        )
-                    })
-                    .collect(),
-                Some(pool) => {
-                    let slots: Vec<OnceLock<(usize, Result<StageEval, StaError>)>> =
-                        std::iter::repeat_with(OnceLock::new)
-                            .take(stage_ids.len())
-                            .collect();
-                    wavefront::execute_flat(pool, stage_ids.len(), &|pos: usize| {
-                        let si = stage_ids[pos];
-                        let result = self.eval_stage_contained(
-                            si, solver, policy, view, prev, recompute, earliest,
-                        );
-                        let _ = slots[pos].set((si, result));
-                    });
-                    slots
-                        .into_iter()
-                        .map(|slot| slot.into_inner().expect("every slot evaluated"))
-                        .collect()
-                }
-            };
-        results
-            .into_iter()
-            .map(|(si, result)| result.map(|ev| (si, ev)))
-            .collect()
-    }
-
-    /// Evaluates one stage against the current (read-only) pass state,
-    /// returning the output merges to apply.
-    #[allow(clippy::too_many_arguments)]
-    fn eval_stage(
-        &self,
-        si: usize,
-        solver: &StageSolver<'_>,
-        policy: &Policy<'_>,
-        view: &StateView<'_>,
-        prev: Option<&[NodeState]>,
-        recompute: Option<&[bool]>,
-        earliest: bool,
-    ) -> Result<StageEval, StageError> {
-        let process = self.process;
-        let vdd = process.vdd;
-        let th = process.delay_threshold();
-        let vth = process.coupling_vth;
-        let stage_inst = &self.graph.stages[si];
-        let out_idx = stage_inst.output.index();
-        let mut ev = StageEval {
-            merges: Vec::new(),
-            counters: SolveCounters::default(),
-        };
-
-        // Esperance: reuse the previous pass's result for off-path stages
-        // (still a safe upper bound).
-        if let (Some(mask), Some(prev_states)) = (recompute, prev) {
-            if !mask[si] {
-                for rising in [false, true] {
-                    if let Some(pi) = prev_states[out_idx].get(rising) {
-                        ev.merges.push((rising, pi.clone()));
-                    }
-                }
-                return Ok(ev);
-            }
-        }
-
-        let gate = self.netlist.gate(stage_inst.gate);
-        let cell = self
-            .library
-            .cell(&gate.cell)
-            .expect("graph construction verified cells");
-        let stage: &Stage = &cell.stages[stage_inst.stage];
-        let inject = self.inject_for(&gate.name);
-
-        for (slot, input) in stage_inst.inputs.iter().enumerate() {
-            let launch = stage_inst.is_launch && matches!(stage.inputs[slot], StageSignal::Launch);
-            for in_rising in [false, true] {
-                // Launch stages fire on the clock's rising edge only; the
-                // falling launch transition is the mirrored clock rise
-                // (Q falls at the same clock edge).
-                let source_rising = if launch { true } else { in_rising };
-                let Some(info) = view.get(input.node.index(), source_rising) else {
-                    continue;
-                };
-                let out_rising = !in_rising;
-                let side_table = if earliest {
-                    &stage_inst.sides_fast
-                } else {
-                    &stage_inst.sides
-                };
-                let Some(side) = side_table[slot][out_rising as usize].as_ref() else {
-                    continue;
-                };
-
-                // Wire-adjusted input waveform at this sink.
-                let mut in_wave = self.wire_adjusted(info, input.node, input.sink, th);
-                if launch && !in_rising {
-                    in_wave = mirror(&in_wave, vdd);
-                }
-
-                // Coupling treatment. A failed solve degrades to the
-                // conservative fallback waveform under a diagnostic unless
-                // strict mode asks for the error itself.
-                let wave = match self.solve_arc(
-                    solver,
-                    &gate.cell,
-                    stage,
-                    slot,
-                    &in_wave,
-                    side,
-                    si,
-                    policy,
-                    view,
-                    in_rising,
-                    earliest,
-                    &mut ev.counters,
-                    &inject,
-                ) {
-                    Ok(wave) => wave,
-                    Err(e) => {
-                        if self.exec.config().strict {
-                            return Err(e);
-                        }
-                        let fb = self.fallback_wave(&in_wave, out_rising, earliest);
-                        let crossing = fb.crossing(th).unwrap_or_else(|| fb.end_time());
-                        self.exec.push_diagnostic(Diagnostic {
-                            severity: Severity::Error,
-                            node: gate.name.clone(),
-                            fault: fault_class_of(&e),
-                            substituted_bound: Some(crossing),
-                            detail: e.to_string(),
-                        });
-                        fb
-                    }
-                };
-                let winfo = self.wave_info(
-                    wave,
-                    th,
-                    vth,
-                    vdd,
-                    Some(Pred {
-                        stage: si,
-                        slot,
-                        input_rising: in_rising,
-                    }),
-                );
-                ev.merges.push((out_rising, winfo));
-            }
-        }
-        Ok(ev)
-    }
-
-    /// A conservative substitute waveform for a degraded arc: a full-swing
-    /// ramp placed so the reported arrival can never be optimistic — for
-    /// max-delay analyses far *later* than any real stage response (the
-    /// input's end plus [`FALLBACK_PENALTY`]), and for min-delay at the
-    /// input's start, *earlier* than any real response.
-    fn fallback_wave(&self, in_wave: &Waveform, out_rising: bool, earliest: bool) -> Waveform {
-        let vdd = self.process.vdd;
-        let (v0, v1) = if out_rising { (0.0, vdd) } else { (vdd, 0.0) };
-        let slew = self.process.default_input_slew;
-        if earliest {
-            Waveform::ramp(in_wave.start_time(), slew, v0, v1).expect("fallback ramp is finite")
-        } else {
-            Waveform::ramp(in_wave.end_time() + FALLBACK_PENALTY, 10.0 * slew, v0, v1)
-                .expect("fallback ramp is finite")
-        }
-    }
-
-    /// The whole-stage conservative substitute used when a stage task
-    /// panics: every arc that would have been solved gets the fallback
-    /// waveform instead. Mirrors `eval_stage`'s arc walk (Esperance reuse,
-    /// launch mirroring, side-table gating) without touching the solver.
-    fn fallback_eval(
-        &self,
-        si: usize,
-        view: &StateView<'_>,
-        prev: Option<&[NodeState]>,
-        recompute: Option<&[bool]>,
-        earliest: bool,
-    ) -> StageEval {
-        let process = self.process;
-        let vdd = process.vdd;
-        let th = process.delay_threshold();
-        let vth = process.coupling_vth;
-        let stage_inst = &self.graph.stages[si];
-        let out_idx = stage_inst.output.index();
-        let mut ev = StageEval {
-            merges: Vec::new(),
-            counters: SolveCounters::default(),
-        };
-        if let (Some(mask), Some(prev_states)) = (recompute, prev) {
-            if !mask[si] {
-                for rising in [false, true] {
-                    if let Some(pi) = prev_states[out_idx].get(rising) {
-                        ev.merges.push((rising, pi.clone()));
-                    }
-                }
-                return ev;
-            }
-        }
-        let gate = self.netlist.gate(stage_inst.gate);
-        let cell = self
-            .library
-            .cell(&gate.cell)
-            .expect("graph construction verified cells");
-        let stage: &Stage = &cell.stages[stage_inst.stage];
-        for (slot, input) in stage_inst.inputs.iter().enumerate() {
-            let launch = stage_inst.is_launch && matches!(stage.inputs[slot], StageSignal::Launch);
-            for in_rising in [false, true] {
-                let source_rising = if launch { true } else { in_rising };
-                let Some(info) = view.get(input.node.index(), source_rising) else {
-                    continue;
-                };
-                let out_rising = !in_rising;
-                let side_table = if earliest {
-                    &stage_inst.sides_fast
-                } else {
-                    &stage_inst.sides
-                };
-                if side_table[slot][out_rising as usize].is_none() {
-                    continue;
-                }
-                let fb = self.fallback_wave(&info.wave, out_rising, earliest);
-                let winfo = self.wave_info(
-                    fb,
-                    th,
-                    vth,
-                    vdd,
-                    Some(Pred {
-                        stage: si,
-                        slot,
-                        input_rising: in_rising,
-                    }),
-                );
-                ev.merges.push((out_rising, winfo));
-            }
-        }
-        ev
-    }
-
-    /// Evaluates one stage with panic containment: a panicking task is
-    /// converted into a conservative fallback evaluation plus a
-    /// [`FaultClass::WorkerPanic`] diagnostic (or, in strict mode, into
-    /// [`StaError::Panic`]) instead of tearing down the pass. Solver errors
-    /// are tagged with the gate name here.
-    #[allow(clippy::too_many_arguments)]
-    fn eval_stage_contained(
-        &self,
-        si: usize,
-        solver: &StageSolver<'_>,
-        policy: &Policy<'_>,
-        view: &StateView<'_>,
-        prev: Option<&[NodeState]>,
-        recompute: Option<&[bool]>,
-        earliest: bool,
-    ) -> Result<StageEval, StaError> {
-        match catch_unwind(AssertUnwindSafe(|| {
-            self.eval_stage(si, solver, policy, view, prev, recompute, earliest)
-        })) {
-            Ok(Ok(ev)) => Ok(ev),
-            Ok(Err(e)) => Err(StaError::Stage {
-                gate: self.netlist.gate(self.graph.stages[si].gate).name.clone(),
-                source: e,
-            }),
-            Err(payload) => {
-                let gate = self.netlist.gate(self.graph.stages[si].gate).name.clone();
-                if self.exec.config().strict {
-                    return Err(StaError::Panic { gate });
-                }
-                let ev = self.fallback_eval(si, view, prev, recompute, earliest);
-                let bound = ev
-                    .merges
-                    .iter()
-                    .map(|(_, info)| info.crossing)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                self.exec.push_diagnostic(Diagnostic {
-                    severity: Severity::Error,
-                    node: gate,
-                    fault: FaultClass::WorkerPanic,
-                    substituted_bound: bound.is_finite().then_some(bound),
-                    detail: panic_message(payload.as_ref()),
-                });
-                Ok(ev)
-            }
-        }
-    }
-
-    /// One stage solve routed through the stage-solve cache. `calls` counts
-    /// the logical invocation either way; only a miss (or a disabled cache)
-    /// pays the Newton integration. The key covers every input the solver
-    /// result depends on — see `exec::cache` — so a hit is bit-identical to
-    /// the solve it replaces.
-    ///
-    /// This is the engine's solver choke point, so it also hosts the fault
-    /// harness (`inject`) and the cache guardrails: a load that refuses a
-    /// key (non-finite capacitance) solves uncached under a diagnostic, and
-    /// a corrupt cache entry is reported, never served.
-    #[allow(clippy::too_many_arguments)]
-    fn solve_cached(
-        &self,
-        solver: &StageSolver<'_>,
-        cell_name: &str,
-        stage_in_cell: usize,
-        stage: &Stage,
-        slot: usize,
-        in_wave: &Waveform,
-        side: &[f64],
-        load: Load,
-        out_rising: bool,
-        earliest: bool,
-        counters: &mut SolveCounters,
-        inject: &Inject,
-    ) -> Result<Waveform, StageError> {
-        counters.calls += 1;
-        if let Some(e) = inject.forced_error(slot) {
-            return Err(e);
-        }
-        let load = inject.doctor_load(load);
-        let cache = self.exec.cache();
-        if !cache.enabled() {
-            counters.solves += 1;
-            return solver
-                .solve(stage, slot, in_wave, side, load)
-                .map(|r| r.wave);
-        }
-        let Some(key) = SolveKey::new(
-            cell_name,
-            stage_in_cell,
-            slot,
-            out_rising,
-            earliest,
-            in_wave,
-            &load,
-        ) else {
-            // A non-finite load has no canonical key; solve uncached and
-            // let the stage solver's own input validation classify it.
-            self.exec.push_diagnostic(Diagnostic {
-                severity: Severity::Warning,
-                node: cell_name.to_string(),
-                fault: FaultClass::NonFiniteValue,
-                substituted_bound: None,
-                detail: "non-finite load capacitance rejected by the solve cache".to_string(),
-            });
-            counters.solves += 1;
-            return solver
-                .solve(stage, slot, in_wave, side, load)
-                .map(|r| r.wave);
-        };
-        match cache.get(&key) {
-            Lookup::Hit(wave) => {
-                counters.hits += 1;
-                return Ok(wave);
-            }
-            Lookup::Corrupt => {
-                self.exec.push_diagnostic(Diagnostic {
-                    severity: Severity::Warning,
-                    node: cell_name.to_string(),
-                    fault: FaultClass::CacheCorruption,
-                    substituted_bound: None,
-                    detail: "cache entry failed its integrity check; evicted and re-solved"
-                        .to_string(),
-                });
-            }
-            Lookup::Miss => {}
-        }
-        counters.solves += 1;
-        let wave = solver.solve(stage, slot, in_wave, side, load)?.wave;
-        #[cfg(any(test, feature = "fault-injection"))]
-        if inject.poisons_cache() {
-            cache.put_poisoned(key, wave.clone());
-            return Ok(wave);
-        }
-        cache.put(key, wave.clone());
-        Ok(wave)
-    }
-
-    /// Solves one arc under the given coupling policy, counting the work
-    /// into `counters`.
-    #[allow(clippy::too_many_arguments)]
-    fn solve_arc(
-        &self,
-        solver: &StageSolver<'_>,
-        cell_name: &str,
-        stage: &Stage,
-        slot: usize,
-        in_wave: &Waveform,
-        side: &[f64],
-        si: usize,
-        policy: &Policy<'_>,
-        view: &StateView<'_>,
-        in_rising: bool,
-        earliest: bool,
-        counters: &mut SolveCounters,
-        inject: &Inject,
-    ) -> Result<Waveform, StageError> {
-        let out_rising = !in_rising;
-        let vdd = self.process.vdd;
-        let vth = self.process.coupling_vth;
-        let stage_inst: &StageInst = &self.graph.stages[si];
-
-        let grounded_load = |mode: CouplingMode| Load {
-            cground: stage_inst.cground,
-            couplings: stage_inst
-                .couplings
-                .iter()
-                .map(|&(_, c)| Coupling::new(c, mode))
-                .collect(),
-        };
-        let solve = |load: Load, counters: &mut SolveCounters| {
-            self.solve_cached(
-                solver,
-                cell_name,
-                stage_inst.stage,
-                stage,
-                slot,
-                in_wave,
-                side,
-                load,
-                out_rising,
-                earliest,
-                counters,
-                inject,
-            )
-        };
-
-        match policy {
-            Policy::Uniform(mode) => solve(grounded_load(*mode), counters),
-            Policy::QuietAware { prev } => {
-                if stage_inst.couplings.is_empty() {
-                    return solve(Load::grounded(stage_inst.cground), counters);
-                }
-                // Best-case waveform: all aggressors quiet.
-                let bcs = solve(grounded_load(CouplingMode::Grounded), counters)?;
-                // Earliest possible victim activity: the best-case waveform
-                // entering the coupling threshold band.
-                let start_th = if out_rising { vth } else { vdd - vth };
-                let t_bcs = bcs.crossing(start_th).unwrap_or_else(|| bcs.start_time());
-
-                // Per-aggressor decision (paper §5.1 pseudo code).
-                let agg_rising = !out_rising;
-                let mut any_active = false;
-                let level = self.graph.stage_level[si];
-                let couplings: Vec<Coupling> = stage_inst
-                    .couplings
-                    .iter()
-                    .map(|&(other, c)| {
-                        let quiet = match prev {
-                            Some(table) => table[other.index()][agg_rising as usize],
-                            None => {
-                                let node = self.graph.net_node[other.index()];
-                                if !self.graph.calculated_at(node, level) {
-                                    // "line i is not calculated": worst case.
-                                    any_active = true;
-                                    return Coupling::new(c, CouplingMode::Active);
-                                }
-                                match view.get(node.index(), agg_rising) {
-                                    Some(info) => Quiet::Until(info.quiescent),
-                                    None => Quiet::Never,
-                                }
-                            }
-                        };
-                        let mode = match quiet {
-                            Quiet::Never => CouplingMode::Grounded,
-                            Quiet::Until(t_a) if t_a > t_bcs => {
-                                any_active = true;
-                                CouplingMode::Active
-                            }
-                            Quiet::Until(_) => CouplingMode::Grounded,
-                        };
-                        Coupling::new(c, mode)
-                    })
-                    .collect();
-
-                if !any_active {
-                    // The best-case solve already used exactly this load.
-                    return Ok(bcs);
-                }
-                let load = Load {
-                    cground: stage_inst.cground,
-                    couplings,
-                };
-                solve(load, counters)
-            }
-        }
-    }
-
-    fn wave_info(
-        &self,
-        wave: Waveform,
-        th: f64,
-        vth: f64,
-        vdd: f64,
-        pred: Option<Pred>,
-    ) -> WaveInfo {
-        let crossing = wave.crossing(th).unwrap_or_else(|| wave.end_time());
-        let quiescent = if wave.is_rising() {
-            wave.crossing(vdd - vth).unwrap_or_else(|| wave.end_time())
-        } else {
-            wave.crossing(vth).unwrap_or_else(|| wave.end_time())
-        };
-        WaveInfo {
-            wave,
-            crossing,
-            quiescent,
-            pred,
-        }
-    }
-
-    /// Applies Elmore delay and PERI slew degradation for the wire between
-    /// a net's driver and the given sink.
-    fn wire_adjusted(
-        &self,
-        info: &WaveInfo,
-        node: TNodeId,
-        sink: Option<usize>,
-        th: f64,
-    ) -> Waveform {
-        let (TNodeKind::Net(net), Some(k)) = (self.graph.nodes[node.index()].kind, sink) else {
-            return info.wave.clone();
-        };
-        let np = &self.parasitics.nets[net.index()];
-        // Downstream pin cap of this sink.
-        let pin_c = self
-            .netlist
-            .net(net)
-            .loads
-            .get(k)
-            .and_then(|&(g, pin)| {
-                self.library
-                    .cell(&self.netlist.gate(g).cell)
-                    .and_then(|c| c.input_cap.get(pin).copied())
-            })
-            .unwrap_or(0.0);
-        let elmore = np.elmore(k, pin_c);
-        if elmore < 1e-15 {
-            return info.wave.clone();
-        }
-        let (lo, hi) = self.process.slew_thresholds();
-        let wave = match info.wave.slew(lo, hi) {
-            Some(s) if s > 1e-15 => {
-                // PERI: slew_out^2 = slew_in^2 + (ln9 * elmore)^2.
-                let ln9 = 9.0f64.ln();
-                let out = (s * s + (ln9 * elmore).powi(2)).sqrt();
-                info.wave.stretched_around(th, out / s)
-            }
-            _ => info.wave.clone(),
-        };
-        wave.shifted(elmore)
-    }
-}
-
-/// Keeps the worst waveform per direction: latest-crossing for max-delay
-/// analysis, earliest-crossing when `earliest` is set (min-delay).
-pub(crate) fn merge_with(state: &mut NodeState, rising: bool, info: WaveInfo, earliest: bool) {
-    let slot = &mut state.dirs[rising as usize];
-    match slot {
-        Some(existing)
-            if (!earliest && existing.crossing >= info.crossing)
-                || (earliest && existing.crossing <= info.crossing) => {}
-        _ => *slot = Some(info),
-    }
-}
-
-/// Mirror a waveform across mid-rail (rising clock edge -> falling launch).
-fn mirror(wave: &Waveform, vdd: f64) -> Waveform {
-    let pts: Vec<(f64, f64)> = wave.points().iter().map(|&(t, v)| (t, vdd - v)).collect();
-    Waveform::new(pts).expect("mirror of a monotone waveform is monotone")
 }
 
 #[cfg(test)]
@@ -1767,7 +499,7 @@ mod tests {
         let sta = f.sta();
         let out = sta
             .ctx()
-            .run_pass(&Policy::Uniform(CouplingMode::Grounded), None, None)
+            .run_pass(&crate::policy::quiet::AllQuiet, None, None)
             .expect("pass");
         let q = f.netlist.net_by_name("G5").expect("ff output");
         let node = sta.graph.net_node[q.index()];

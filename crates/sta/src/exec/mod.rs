@@ -3,11 +3,11 @@
 //! Two cooperating pieces, both built once per analyzer and reused across
 //! every pass, mode and ECO sweep:
 //!
-//! - a **wavefront scheduler** ([`wavefront`]): a long-lived worker pool
-//!   ([`pool::WorkerPool`]) driving dependency-counter wavefront
+//! - a **wavefront scheduler** (`wavefront`): a long-lived worker pool
+//!   (`pool::WorkerPool`) driving dependency-counter wavefront
 //!   propagation with work-stealing deques, replacing the
 //!   spawn-per-level/barrier-per-level scheme;
-//! - a **stage-solve cache** ([`cache::SolveCache`]): a sharded concurrent
+//! - a **stage-solve cache** (`cache::SolveCache`): a sharded concurrent
 //!   memo table over the pure inputs of a transistor-level stage solve,
 //!   letting refinement passes and repeated modes skip Newton integration
 //!   when the inputs are bit-identical.

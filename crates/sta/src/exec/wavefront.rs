@@ -27,7 +27,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use crate::graph::TimingGraph;
+use crate::graph::{Csr, StageId, TimingGraph};
 
 use super::pool::WorkerPool;
 
@@ -35,8 +35,9 @@ use super::pool::WorkerPool;
 pub(crate) struct DepGraph {
     /// Initial unresolved-prerequisite count per stage.
     base: Vec<u32>,
-    /// Stages unblocked by each stage's completion (deduplicated).
-    succs: Vec<Vec<u32>>,
+    /// Stages unblocked by each stage's completion (deduplicated), in the
+    /// same CSR layout as the timing graph's adjacency.
+    succs: Csr<u32>,
 }
 
 impl DepGraph {
@@ -58,23 +59,26 @@ impl DepGraph {
                 }
             };
             for input in &stage.inputs {
-                if let Some(p) = graph.producer[input.node.index()] {
-                    add(p, &mut stamp);
+                if let Some(p) = graph.producer_of(input.node) {
+                    add(p.index(), &mut stamp);
                 }
             }
             if aggressor_aware {
                 let level = graph.stage_level[si];
-                for &(other, _) in &stage.couplings {
+                for &(other, _) in graph.couplings_of(StageId(si as u32)) {
                     let node = graph.net_node[other.index()];
-                    if let Some(p) = graph.producer[node.index()] {
-                        if graph.stage_level[p] < level {
-                            add(p, &mut stamp);
+                    if let Some(p) = graph.producer_of(node) {
+                        if graph.stage_level[p.index()] < level {
+                            add(p.index(), &mut stamp);
                         }
                     }
                 }
             }
         }
-        DepGraph { base, succs }
+        DepGraph {
+            base,
+            succs: Csr::from_rows(succs),
+        }
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -160,7 +164,7 @@ pub(crate) fn execute(pool: &WorkerPool, deps: &DepGraph, task: &(dyn Fn(usize) 
         if let Some(si) = queues.pop(worker) {
             let si = si as usize;
             let outcome = catch_unwind(AssertUnwindSafe(|| task(si)));
-            for &succ in &deps.succs[si] {
+            for &succ in deps.succs.row(si) {
                 if pending[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                     queues.push(worker, succ);
                 }
@@ -225,7 +229,10 @@ mod tests {
             base[i] = 1;
             succs[i - 1].push(i as u32);
         }
-        DepGraph { base, succs }
+        DepGraph {
+            base,
+            succs: Csr::from_rows(succs),
+        }
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! driver stages, so the expanded graph of a legal synchronous circuit is a
 //! DAG (paper §4: "the circuit is translated into a directed acyclic
 //! graph").
-
-use std::collections::BTreeMap;
+//!
+//! Adjacency (fanout, dependency levels, coupling caps) is stored in
+//! compressed-sparse-row form: one flat item array per relation plus an
+//! offset table, so the propagation kernel and the wavefront scheduler walk
+//! contiguous memory instead of chasing one heap allocation per node.
 
 use xtalk_layout::Parasitics;
 use xtalk_netlist::{GateId, NetId, Netlist, NetlistError};
@@ -27,6 +30,63 @@ impl TNodeId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+/// Identifier of a stage instance (an index into [`TimingGraph::stages`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageId(pub u32);
+
+impl StageId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A compressed-sparse-row relation: `row(i)` of the `i`-th source is the
+/// contiguous slice `items[offsets[i]..offsets[i + 1]]`. Rows are stored in
+/// source order, so a full scan is one linear walk over `items`.
+#[derive(Debug, Clone, Default)]
+pub struct Csr<T> {
+    items: Vec<T>,
+    offsets: Vec<u32>,
+}
+
+impl<T> Csr<T> {
+    /// Builds the relation from per-source rows, preserving row order.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Self {
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for row in &rows {
+            total += row.len() as u32;
+            offsets.push(total);
+        }
+        let mut items = Vec::with_capacity(total as usize);
+        for row in rows {
+            items.extend(row);
+        }
+        Csr { items, offsets }
+    }
+
+    /// Number of sources (rows).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The row of source `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.items[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// All items, flattened in row order.
+    #[inline]
+    pub fn items(&self) -> &[T] {
+        &self.items
     }
 }
 
@@ -66,7 +126,19 @@ pub struct TInput {
     pub sink: Option<usize>,
 }
 
+/// One consumer of a timing node: `(stage, input slot)`.
+#[derive(Debug, Clone, Copy)]
+pub struct FanoutArc {
+    /// The consuming stage.
+    pub stage: StageId,
+    /// The input slot within that stage.
+    pub slot: u32,
+}
+
 /// One stage instance of the expanded graph.
+///
+/// Coupling capacitances on the output net live in the graph-level CSR
+/// relation [`TimingGraph::couplings_of`], not on the instance.
 #[derive(Debug, Clone)]
 pub struct StageInst {
     /// The owning gate.
@@ -83,8 +155,6 @@ pub struct StageInst {
     /// Fixed grounded load on the output (diffusion + wire + pins or
     /// internal gate caps), farads.
     pub cground: f64,
-    /// Coupling capacitances on the output net: `(other net, cap)`.
-    pub couplings: Vec<(NetId, f64)>,
     /// Sensitizing side values per `[slot][output-rising as usize]`;
     /// `None` marks a non-sensitizable arc. Chosen for the *slowest*
     /// sensitizing assignment (max-delay analysis).
@@ -101,21 +171,23 @@ pub struct TimingGraph {
     pub nodes: Vec<TNode>,
     /// All stage instances.
     pub stages: Vec<StageInst>,
-    /// Stage indices in topological order.
-    pub topo: Vec<usize>,
-    /// Stage indices grouped into dependency levels: every stage in level
+    /// Stage ids in topological order.
+    pub topo: Vec<StageId>,
+    /// Stage ids grouped into dependency levels (CSR): every stage in level
     /// `k` depends only on outputs of levels `< k`, so stages within one
     /// level can be evaluated in parallel.
-    pub levels: Vec<Vec<usize>>,
-    /// For each timing node, the stages consuming it as
-    /// `(stage index, slot)`.
-    pub fanout: Vec<Vec<(usize, usize)>>,
+    levels: Csr<StageId>,
+    /// For each timing node, the arcs consuming it (CSR).
+    fanout: Csr<FanoutArc>,
     /// Net-id to timing-node mapping.
     pub net_node: Vec<TNodeId>,
     /// For each timing node, the stage producing it (`None` for
     /// startpoints). Every non-start node has exactly one producer.
-    pub producer: Vec<Option<usize>>,
-    /// Dependency level of each stage (its index into `levels`).
+    producer: Vec<Option<StageId>>,
+    /// Coupling capacitances on each stage's output net (CSR by stage):
+    /// `(other net, cap)`.
+    couplings: Csr<(NetId, f64)>,
+    /// Dependency level of each stage (its index into the level relation).
     pub stage_level: Vec<usize>,
     /// First dependency level at which each timing node's state is final:
     /// `0` for startpoints, `stage_level[producer] + 1` for produced nodes,
@@ -129,7 +201,7 @@ pub struct TimingGraph {
 impl TimingGraph {
     /// Adjacency memory layout of this graph build, recorded in bench
     /// output (`BENCH_sta.json`) so layout A/Bs stay attributable.
-    pub const LAYOUT: &'static str = "nested";
+    pub const LAYOUT: &'static str = "csr";
 
     /// Expands `netlist` against `library` into a stage-level timing graph.
     ///
@@ -181,6 +253,7 @@ impl TimingGraph {
         }
 
         let mut stages: Vec<StageInst> = Vec::new();
+        let mut coupling_rows: Vec<Vec<(NetId, f64)>> = Vec::new();
         for (gi, gate) in netlist.gates().iter().enumerate() {
             let gate_id = GateId(gi as u32);
             let cell = library.cell(&gate.cell).expect("checked above");
@@ -305,24 +378,54 @@ impl TimingGraph {
                     output,
                     is_launch,
                     cground,
-                    couplings,
                     sides,
                     sides_fast,
                 });
+                coupling_rows.push(couplings);
             }
         }
+        let couplings = Csr::from_rows(coupling_rows);
 
-        // Fanout lists and topological order (Kahn over stage dependencies).
-        let mut fanout: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()];
+        // Fanout (CSR, two passes: count then fill) and producers.
+        let n = nodes.len();
+        let mut fan_offsets = vec![0u32; n + 1];
+        for stage in &stages {
+            for input in &stage.inputs {
+                fan_offsets[input.node.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            fan_offsets[i + 1] += fan_offsets[i];
+        }
+        let mut fan_items = vec![
+            FanoutArc {
+                stage: StageId(0),
+                slot: 0,
+            };
+            fan_offsets[n] as usize
+        ];
+        let mut cursor = fan_offsets[..n].to_vec();
         for (si, stage) in stages.iter().enumerate() {
             for (slot, input) in stage.inputs.iter().enumerate() {
-                fanout[input.node.index()].push((si, slot));
+                let at = &mut cursor[input.node.index()];
+                fan_items[*at as usize] = FanoutArc {
+                    stage: StageId(si as u32),
+                    slot: slot as u32,
+                };
+                *at += 1;
             }
         }
-        let mut producer: Vec<Option<usize>> = vec![None; nodes.len()];
+        let fanout = Csr {
+            items: fan_items,
+            offsets: fan_offsets,
+        };
+
+        let mut producer: Vec<Option<StageId>> = vec![None; n];
         for (si, stage) in stages.iter().enumerate() {
-            producer[stage.output.index()] = Some(si);
+            producer[stage.output.index()] = Some(StageId(si as u32));
         }
+
+        // Topological order (Kahn over stage dependencies).
         let mut indegree: Vec<usize> = stages
             .iter()
             .map(|s| {
@@ -332,22 +435,19 @@ impl TimingGraph {
                     .count()
             })
             .collect();
-        let mut topo: Vec<usize> = Vec::with_capacity(stages.len());
+        let mut topo: Vec<StageId> = Vec::with_capacity(stages.len());
         let mut queue: Vec<usize> = (0..stages.len()).filter(|&s| indegree[s] == 0).collect();
         let mut head = 0;
-        let mut resolved: Vec<bool> = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, _)| producer[i].is_none())
-            .collect();
+        let mut resolved: Vec<bool> = producer.iter().map(|p| p.is_none()).collect();
         while head < queue.len() {
             let s = queue[head];
             head += 1;
-            topo.push(s);
+            topo.push(StageId(s as u32));
             let out = stages[s].output;
             if !resolved[out.index()] {
                 resolved[out.index()] = true;
-                for &(consumer, _) in &fanout[out.index()] {
+                for arc in fanout.row(out.index()) {
+                    let consumer = arc.stage.index();
                     indegree[consumer] -= 1;
                     if indegree[consumer] == 0 {
                         queue.push(consumer);
@@ -370,25 +470,41 @@ impl TimingGraph {
         }
 
         // Dependency levels for parallel evaluation.
-        let mut node_level: Vec<usize> = vec![0; nodes.len()];
+        let mut node_level: Vec<usize> = vec![0; n];
         let mut stage_level: Vec<usize> = vec![0; stages.len()];
         for &si in &topo {
-            let stage = &stages[si];
+            let stage = &stages[si.index()];
             let lvl = stage
                 .inputs
                 .iter()
                 .map(|i| node_level[i.node.index()])
                 .max()
                 .unwrap_or(0);
-            stage_level[si] = lvl;
+            stage_level[si.index()] = lvl;
             let out = stage.output.index();
             node_level[out] = node_level[out].max(lvl + 1);
         }
         let n_levels = stage_level.iter().copied().max().map_or(0, |m| m + 1);
-        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); n_levels];
-        for &si in &topo {
-            levels[stage_level[si]].push(si);
+        // Levels as CSR (count, then fill in topological order so the order
+        // within each level matches the topological walk).
+        let mut lvl_offsets = vec![0u32; n_levels + 1];
+        for &lvl in &stage_level {
+            lvl_offsets[lvl + 1] += 1;
         }
+        for l in 0..n_levels {
+            lvl_offsets[l + 1] += lvl_offsets[l];
+        }
+        let mut lvl_items = vec![StageId(0); stages.len()];
+        let mut lvl_cursor = lvl_offsets[..n_levels].to_vec();
+        for &si in &topo {
+            let at = &mut lvl_cursor[stage_level[si.index()]];
+            lvl_items[*at as usize] = si;
+            *at += 1;
+        }
+        let levels = Csr {
+            items: lvl_items,
+            offsets: lvl_offsets,
+        };
 
         let node_calc_level: Vec<u32> = nodes
             .iter()
@@ -397,7 +513,7 @@ impl TimingGraph {
                 if node.is_start {
                     0
                 } else if let Some(p) = producer[i] {
-                    stage_level[p] as u32 + 1
+                    stage_level[p.index()] as u32 + 1
                 } else {
                     u32::MAX
                 }
@@ -412,6 +528,7 @@ impl TimingGraph {
             fanout,
             net_node,
             producer,
+            couplings,
             stage_level,
             node_calc_level,
         })
@@ -428,9 +545,40 @@ impl TimingGraph {
         (self.node_calc_level[node.index()] as usize) <= stage_level
     }
 
+    /// Number of dependency levels.
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.levels.rows()
+    }
+
+    /// The stages of dependency level `l`, in topological order.
+    #[inline]
+    pub fn level(&self, l: usize) -> &[StageId] {
+        self.levels.row(l)
+    }
+
+    /// The arcs consuming `node`, in stage order.
+    #[inline]
+    pub fn fanout_of(&self, node: TNodeId) -> &[FanoutArc] {
+        self.fanout.row(node.index())
+    }
+
+    /// Coupling capacitances on the output net of `stage`: `(other, cap)`.
+    #[inline]
+    pub fn couplings_of(&self, stage: StageId) -> &[(NetId, f64)] {
+        self.couplings.row(stage.index())
+    }
+
+    /// The stage producing `node`, or `None` for startpoints and floating
+    /// nodes. Every non-start node has exactly one producer.
+    #[inline]
+    pub fn producer_of(&self, node: TNodeId) -> Option<StageId> {
+        self.producer[node.index()]
+    }
+
     /// Number of timing arcs (stage-input connections).
     pub fn arc_count(&self) -> usize {
-        self.stages.iter().map(|s| s.inputs.len()).sum()
+        self.fanout.items().len()
     }
 
     /// Endpoint timing nodes.
@@ -442,14 +590,14 @@ impl TimingGraph {
             .map(|(i, _)| TNodeId(i as u32))
     }
 
-    /// A map from output timing node to producing stage, ordered by node id
-    /// so iteration (and anything derived from it) is deterministic.
-    pub fn producers(&self) -> BTreeMap<TNodeId, usize> {
-        self.stages
+    /// `(output node, producing stage)` pairs in node-id order — iteration
+    /// (and anything derived from it) is deterministic. Allocation-free:
+    /// reads straight off the producer column.
+    pub fn producers(&self) -> impl Iterator<Item = (TNodeId, StageId)> + '_ {
+        self.producer
             .iter()
             .enumerate()
-            .map(|(si, s)| (s.output, si))
-            .collect()
+            .filter_map(|(i, p)| p.map(|si| (TNodeId(i as u32), si)))
     }
 }
 
@@ -477,7 +625,7 @@ mod tests {
         assert_eq!(g.nodes.len(), nl.net_count());
         assert_eq!(g.topo.len(), 2);
         // Topological order puts w's driver first.
-        let first = &g.stages[g.topo[0]];
+        let first = &g.stages[g.topo[0].index()];
         assert_eq!(nl.gate(first.gate).name, "g_w");
     }
 
@@ -512,12 +660,14 @@ mod tests {
         let routes = xtalk_layout::route::route(&nl, &placement, &p);
         let para = xtalk_layout::extract::extract(&nl, &routes, &p);
         let g = TimingGraph::build(&nl, &l, &p, &para).expect("build");
-        let coupled = g.stages.iter().filter(|s| !s.couplings.is_empty()).count();
+        let coupled = (0..g.stages.len())
+            .filter(|&si| !g.couplings_of(StageId(si as u32)).is_empty())
+            .count();
         assert!(coupled > 0, "extracted couplings must reach the graph");
         // Internal stages never carry couplings.
-        for s in &g.stages {
+        for (si, s) in g.stages.iter().enumerate() {
             if let TNodeKind::Internal { .. } = g.nodes[s.output.index()].kind {
-                assert!(s.couplings.is_empty());
+                assert!(g.couplings_of(StageId(si as u32)).is_empty());
             }
         }
     }
@@ -527,6 +677,38 @@ mod tests {
         let (g, _) = build_for(data::C17_BENCH);
         for s in &g.stages {
             assert!(s.cground > 0.0, "every stage drives some capacitance");
+        }
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let (g, _) = build_for(data::S27_BENCH);
+        // Fanout rows cover exactly the stage-input arcs.
+        let mut arcs = 0;
+        for (i, _) in g.nodes.iter().enumerate() {
+            for arc in g.fanout_of(TNodeId(i as u32)) {
+                let stage = &g.stages[arc.stage.index()];
+                assert_eq!(stage.inputs[arc.slot as usize].node.index(), i);
+                arcs += 1;
+            }
+        }
+        assert_eq!(arcs, g.arc_count());
+        // Levels partition the stages and respect the level map.
+        let mut seen = vec![false; g.stages.len()];
+        for l in 0..g.level_count() {
+            for &si in g.level(l) {
+                assert_eq!(g.stage_level[si.index()], l);
+                assert!(!seen[si.index()], "stage appears in one level only");
+                seen[si.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Producers invert the output map, in node-id order.
+        let mut last = None;
+        for (node, si) in g.producers() {
+            assert_eq!(g.stages[si.index()].output, node);
+            assert!(last < Some(node), "node-id order");
+            last = Some(node);
         }
     }
 

@@ -44,7 +44,6 @@
 //! batch engine uncached: the Esperance mask is a global function of the
 //! previous pass, which defeats local dirtiness reasoning.
 
-mod dirty;
 pub mod edit;
 
 pub use edit::{Edit, EditError, EditOutcome, DEFAULT_BUFFER_CELL};
@@ -56,12 +55,15 @@ use std::time::Instant;
 use xtalk_layout::Parasitics;
 use xtalk_netlist::{GateId, Netlist};
 use xtalk_tech::{Library, Process};
-use xtalk_wave::stage::CouplingMode;
 
-use crate::engine::{EngineCtx, NodeState, Policy, Pred, Quiet, SolveCounters, Sta, StaError};
+use crate::engine::{Sta, StaError};
 use crate::exec::{CacheStats, ExecConfig, Executor};
 use crate::graph::{TNodeKind, TimingGraph};
+use crate::kernel::{NodeState, Pred, PropagationCore, Quiet, SolveCounters};
 use crate::mode::AnalysisMode;
+use crate::policy::iterative::{refine, RefineHost};
+use crate::policy::one_step::OneStep;
+use crate::policy::{self, CouplingPolicy};
 use crate::report::{ModeReport, PassStat};
 
 /// Cached result of one propagation pass of one mode.
@@ -255,8 +257,8 @@ impl<'a> IncrementalSta<'a> {
             .expect("current graph already built from this design")
     }
 
-    fn ctx(&self) -> EngineCtx<'_> {
-        EngineCtx {
+    fn ctx(&self) -> PropagationCore<'_> {
+        PropagationCore {
             netlist: &self.netlist,
             library: self.library,
             process: self.process,
@@ -372,7 +374,10 @@ impl<'a> IncrementalSta<'a> {
     }
 
     /// Runs or replays all passes of `mode` against `cache` and assembles
-    /// the report. Mirrors `EngineCtx::compute_states` pass for pass.
+    /// the report. Mirrors `PropagationCore::compute_states` pass for pass
+    /// — single-pass modes resolve their policy through the same
+    /// [`policy::for_single_pass`], and the iterative mode runs the same
+    /// [`refine`] driver, with each full pass replaced by a cached sweep.
     fn analyze_with_cache(
         &self,
         mode: AnalysisMode,
@@ -398,14 +403,8 @@ impl<'a> IncrementalSta<'a> {
             | AnalysisMode::OneStep
             | AnalysisMode::MinDelay => {
                 let earliest = mode == AnalysisMode::MinDelay;
-                let policy = match mode {
-                    AnalysisMode::BestCase => Policy::Uniform(CouplingMode::Grounded),
-                    AnalysisMode::StaticDoubled => Policy::Uniform(CouplingMode::Doubled),
-                    AnalysisMode::WorstCase => Policy::Uniform(CouplingMode::Active),
-                    AnalysisMode::MinDelay => Policy::Uniform(CouplingMode::Assisting),
-                    _ => Policy::QuietAware { prev: None },
-                };
-                let counters = self.sweep_pass(cache, 0, &policy, None, &seed, earliest, stats)?;
+                let policy = policy::for_single_pass(mode);
+                let counters = self.sweep_pass(cache, 0, policy.as_ref(), None, &seed, stats)?;
                 cache.passes.truncate(1);
                 let delay = ctx
                     .extreme(&cache.passes[0].states, earliest)
@@ -414,91 +413,23 @@ impl<'a> IncrementalSta<'a> {
                 pass_stats.push(pass_stat(counters, delay));
             }
             AnalysisMode::Iterative { esperance: false } => {
-                let counters = self.sweep_pass(
-                    cache,
-                    0,
-                    &Policy::QuietAware { prev: None },
-                    None,
-                    &seed,
-                    false,
-                    stats,
-                )?;
-                let mut pass_idx = 0usize;
-                let mut delay = ctx
-                    .longest(&cache.passes[0].states)
-                    .map(|(_, _, d)| d)
-                    .ok_or(StaError::NoArrivals)?;
-                pass_stats.push(pass_stat(counters, delay));
-                // Same refinement loop, convergence test and divergence
-                // watchdog as the batch engine, with each full pass
-                // replaced by a cached sweep.
-                let mut capped = true;
-                for _ in 0..10 {
-                    let quiet = ctx.quiet_table(&cache.passes[pass_idx].states);
-                    let next = pass_idx + 1;
-                    let quiet_dirty: Option<Vec<bool>> = cache.passes.get(next).map(|pass| {
-                        let old = pass.quiet_used.as_ref();
-                        (0..quiet.len())
-                            .map(|i| old.and_then(|o| o.get(i)) != Some(&quiet[i]))
-                            .collect()
-                    });
-                    let counters = self.sweep_pass(
-                        cache,
-                        next,
-                        &Policy::QuietAware { prev: Some(&quiet) },
-                        quiet_dirty.as_deref(),
-                        &seed,
-                        false,
-                        stats,
-                    )?;
-                    cache.passes[next].quiet_used = Some(quiet);
-                    let next_delay = ctx
-                        .longest(&cache.passes[next].states)
-                        .map(|(_, _, d)| d)
-                        .ok_or(StaError::NoArrivals)?;
-                    pass_stats.push(pass_stat(counters, next_delay));
-                    let tolerance = 1e-13 + 1e-3 * delay;
-                    if next_delay > delay + tolerance {
-                        if self.exec.config().strict {
-                            return Err(StaError::Unstable { delay: next_delay });
-                        }
-                        self.exec.push_diagnostic(crate::diag::Diagnostic {
-                            severity: crate::diag::Severity::Warning,
-                            node: "(iterative refinement)".to_string(),
-                            fault: crate::diag::FaultClass::FixedPointDivergence,
-                            substituted_bound: Some(delay),
-                            detail: format!(
-                                "pass delay rose from {:.4} ns to {:.4} ns; \
-                                 keeping the previous conservative pass",
-                                delay * 1e9,
-                                next_delay * 1e9
-                            ),
-                        });
-                        // `pass_idx` stays on the previous pass; the
-                        // truncate below drops the diverged one.
-                        capped = false;
-                        break;
-                    }
-                    let improved = next_delay < delay - tolerance;
-                    pass_idx = next;
-                    delay = next_delay.min(delay);
-                    if !improved {
-                        capped = false;
-                        break;
-                    }
-                }
-                if capped {
-                    self.exec.push_diagnostic(crate::diag::Diagnostic {
-                        severity: crate::diag::Severity::Warning,
-                        node: "(iterative refinement)".to_string(),
-                        fault: crate::diag::FaultClass::FixedPointDivergence,
-                        substituted_bound: Some(delay),
-                        detail: "pass cap (10) reached before convergence".to_string(),
-                    });
-                }
+                // The shared §5.2 driver — same convergence test and
+                // divergence watchdog as the batch engine — over cached
+                // sweeps. A diverged pass is never accepted, so `pass_idx`
+                // stays on the previous one and the truncate drops it.
+                let mut host = EcoRefine {
+                    sta: self,
+                    cache: &mut *cache,
+                    seed: &seed,
+                    stats: &mut *stats,
+                    pass_idx: 0,
+                    latest: 0,
+                };
+                refine(&ctx, &mut host, false, &mut pass_stats)?;
+                let keep = host.pass_idx + 1;
                 // Convergence may come earlier than in the cached run:
                 // deeper cached passes are stale, drop them.
-                cache.passes.truncate(pass_idx + 1);
+                cache.passes.truncate(keep);
             }
             AnalysisMode::Iterative { esperance: true } => {
                 unreachable!("esperance is delegated to the batch engine")
@@ -516,34 +447,25 @@ impl<'a> IncrementalSta<'a> {
 
     /// Replays cached pass `idx` incrementally, or runs it in full when the
     /// cache has no pass `idx` yet. Returns the solver work consumed.
-    #[allow(clippy::too_many_arguments)]
     fn sweep_pass(
         &self,
         cache: &mut ModeCache,
         idx: usize,
-        policy: &Policy<'_>,
+        policy: &dyn CouplingPolicy,
         quiet_dirty: Option<&[bool]>,
         seed: &[bool],
-        earliest: bool,
         stats: &mut AnalyzeStats,
     ) -> Result<SolveCounters, StaError> {
         let ctx = self.ctx();
         if let Some(pass) = cache.passes.get_mut(idx) {
-            let swept = dirty::repropagate(
-                &ctx,
-                policy,
-                &mut pass.states,
-                seed,
-                quiet_dirty,
-                earliest,
-                self.epsilon,
-            )?;
+            let swept =
+                ctx.repropagate(policy, &mut pass.states, seed, quiet_dirty, self.epsilon)?;
             stats.stages_evaluated += swept.reevaluated;
             stats.stage_solves += swept.counters.calls;
             stats.cache_hits += swept.counters.hits;
             Ok(swept.counters)
         } else {
-            let out = ctx.run_pass_with(policy, None, None, earliest)?;
+            let out = ctx.run_pass(policy, None, None)?;
             stats.stages_evaluated += self.graph.stages.len();
             stats.stage_solves += out.counters.calls;
             stats.cache_hits += out.counters.hits;
@@ -619,6 +541,75 @@ impl<'a> IncrementalSta<'a> {
                 }
             }
         }
+    }
+}
+
+/// The incremental engine's refinement host: each pass of the shared §5.2
+/// driver is a cached dirty sweep ([`PropagationCore::repropagate`]) over
+/// `cache` instead of a full propagation. `pass_idx` is the last accepted
+/// pass, `latest` the most recently swept one; both index `cache.passes`.
+struct EcoRefine<'h, 'a> {
+    sta: &'h IncrementalSta<'a>,
+    cache: &'h mut ModeCache,
+    seed: &'h [bool],
+    stats: &'h mut AnalyzeStats,
+    pass_idx: usize,
+    latest: usize,
+}
+
+impl RefineHost for EcoRefine<'_, '_> {
+    fn run_first(&mut self) -> Result<SolveCounters, StaError> {
+        let counters = self.sta.sweep_pass(
+            self.cache,
+            0,
+            &OneStep { prev: None },
+            None,
+            self.seed,
+            self.stats,
+        )?;
+        self.latest = 0;
+        Ok(counters)
+    }
+
+    fn run_refinement(
+        &mut self,
+        quiet: &[[Quiet; 2]],
+        _esperance_delay: Option<f64>,
+    ) -> Result<SolveCounters, StaError> {
+        // Esperance is delegated to the batch engine (see `analyze`), so
+        // the mask is never requested here.
+        let next = self.pass_idx + 1;
+        // A net is quiet-dirty when the cached pass consumed a different
+        // quiet entry than the one this sweep will.
+        let quiet_dirty: Option<Vec<bool>> = self.cache.passes.get(next).map(|pass| {
+            let old = pass.quiet_used.as_ref();
+            (0..quiet.len())
+                .map(|i| old.and_then(|o| o.get(i)) != Some(&quiet[i]))
+                .collect()
+        });
+        let counters = self.sta.sweep_pass(
+            self.cache,
+            next,
+            &OneStep { prev: Some(quiet) },
+            quiet_dirty.as_deref(),
+            self.seed,
+            self.stats,
+        )?;
+        self.cache.passes[next].quiet_used = Some(quiet.to_vec());
+        self.latest = next;
+        Ok(counters)
+    }
+
+    fn latest(&self) -> &[NodeState] {
+        &self.cache.passes[self.latest].states
+    }
+
+    fn best(&self) -> &[NodeState] {
+        &self.cache.passes[self.pass_idx].states
+    }
+
+    fn accept(&mut self) {
+        self.pass_idx = self.latest;
     }
 }
 

@@ -50,8 +50,10 @@ pub mod exec;
 pub mod fault;
 pub mod graph;
 pub mod incremental;
+pub mod kernel;
 pub mod mode;
 pub mod noise;
+pub mod policy;
 pub mod report;
 pub mod sdf;
 

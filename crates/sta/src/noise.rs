@@ -1,7 +1,7 @@
 //! Functional crosstalk noise (glitch) analysis.
 //!
 //! The paper's introduction points at the *functional* impact of coupling —
-//! "e.g. the generation of glitches" (refs. [1], [2]) — before focusing on
+//! "e.g. the generation of glitches" (refs. \[1\], \[2\]) — before focusing on
 //! the delay impact. This module provides the complementary static glitch
 //! check: for every net it bounds the peak voltage excursion injected by
 //! its aggressors while the victim is quiet, using the same capacitive

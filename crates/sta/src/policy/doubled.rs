@@ -1,0 +1,26 @@
+//! Static-margin policy: coupling capacitance counted twice.
+
+use xtalk_wave::pwl::Waveform;
+use xtalk_wave::stage::{CouplingMode, StageError};
+
+use super::{uniform_load, ArcCtx, ArcSolve, CouplingPolicy};
+
+/// The classic static margin (paper §3): each coupling capacitance is
+/// doubled to ground, approximating an opposed aggressor under the Miller
+/// effect without modelling its waveform. Cheap and usually conservative,
+/// but — as the paper's comparison shows — not a true upper bound.
+pub struct Doubled;
+
+impl CouplingPolicy for Doubled {
+    fn name(&self) -> &'static str {
+        "static-doubled"
+    }
+
+    fn solve_arc(
+        &self,
+        arc: &ArcCtx<'_>,
+        solve: &mut ArcSolve<'_>,
+    ) -> Result<Waveform, StageError> {
+        solve(uniform_load(arc, CouplingMode::Doubled))
+    }
+}

@@ -1,0 +1,31 @@
+//! Min-delay policy: assisting aggressors, earliest arrivals.
+
+use xtalk_wave::pwl::Waveform;
+use xtalk_wave::stage::{CouplingMode, StageError};
+
+use super::{uniform_load, ArcCtx, ArcSolve, CouplingPolicy};
+
+/// The short-path bound: every aggressor switches *with* the victim,
+/// injecting assisting charge that speeds the transition up, and the
+/// kernel keeps the earliest arrival per node (with the fastest
+/// sensitization tables). Together these lower-bound path delay for hold
+/// checks — the mirror image of [`super::worst_case::AlwaysActive`].
+pub struct EarliestAssist;
+
+impl CouplingPolicy for EarliestAssist {
+    fn name(&self) -> &'static str {
+        "min-delay"
+    }
+
+    fn earliest(&self) -> bool {
+        true
+    }
+
+    fn solve_arc(
+        &self,
+        arc: &ArcCtx<'_>,
+        solve: &mut ArcSolve<'_>,
+    ) -> Result<Waveform, StageError> {
+        solve(uniform_load(arc, CouplingMode::Assisting))
+    }
+}

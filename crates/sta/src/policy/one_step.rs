@@ -1,0 +1,130 @@
+//! One-step policy: the paper's §5.1 overlap test.
+
+use xtalk_wave::pwl::Waveform;
+use xtalk_wave::stage::{Coupling, CouplingMode, Load, StageError};
+
+use super::{quiet::grounded_load, ArcCtx, ArcSolve, CouplingPolicy};
+use crate::graph::{StageId, TimingGraph};
+use crate::kernel::Quiet;
+
+/// The §5.1 per-aggressor decision: an aggressor couples actively only if
+/// it can still be switching when the victim starts — its quiescent time
+/// `t_a` overlaps the victim's best-case start `t_bcs` — and quietly
+/// (grounded) otherwise.
+///
+/// With `prev == None` (plain one-step analysis) aggressor activity is read
+/// from the *in-flight* pass: an aggressor whose node is already calculated
+/// at this stage's level contributes its computed quiescent time, an
+/// uncalculated one is assumed active ("line i is not calculated: worst
+/// case"). This makes the policy [aggressor-aware](CouplingPolicy::aggressor_aware),
+/// so the wavefront scheduler orders those reads.
+///
+/// With `prev == Some(table)` (a §5.2 refinement pass) activity is read
+/// from the previous pass's quiet table instead, and the in-flight state is
+/// never consulted.
+pub struct OneStep<'p> {
+    /// Previous pass's quiet table, indexed by net (refinement passes).
+    pub prev: Option<&'p [[Quiet; 2]]>,
+}
+
+impl CouplingPolicy for OneStep<'_> {
+    fn name(&self) -> &'static str {
+        "one-step"
+    }
+
+    fn aggressor_aware(&self) -> bool {
+        self.prev.is_none()
+    }
+
+    fn solve_arc(
+        &self,
+        arc: &ArcCtx<'_>,
+        solve: &mut ArcSolve<'_>,
+    ) -> Result<Waveform, StageError> {
+        let caps = arc.graph.couplings_of(arc.si);
+        if caps.is_empty() {
+            return solve(Load::grounded(arc.graph.stages[arc.si.index()].cground));
+        }
+        // Best-case waveform: all aggressors quiet.
+        let bcs = solve(grounded_load(arc))?;
+        // Earliest possible victim activity: the best-case waveform
+        // entering the coupling threshold band.
+        let start_th = if arc.out_rising {
+            arc.vth
+        } else {
+            arc.vdd - arc.vth
+        };
+        let t_bcs = bcs.crossing(start_th).unwrap_or_else(|| bcs.start_time());
+
+        // Per-aggressor decision (paper §5.1 pseudo code).
+        let agg_rising = !arc.out_rising;
+        let mut any_active = false;
+        let level = arc.graph.stage_level[arc.si.index()];
+        let couplings: Vec<Coupling> = caps
+            .iter()
+            .map(|&(other, c)| {
+                let quiet = match self.prev {
+                    Some(table) => table[other.index()][agg_rising as usize],
+                    None => {
+                        let node = arc.graph.net_node[other.index()];
+                        if !arc.graph.calculated_at(node, level) {
+                            // "line i is not calculated": worst case.
+                            any_active = true;
+                            return Coupling::new(c, CouplingMode::Active);
+                        }
+                        match arc.view.get(node.index(), agg_rising) {
+                            Some(info) => Quiet::Until(info.quiescent),
+                            None => Quiet::Never,
+                        }
+                    }
+                };
+                let mode = match quiet {
+                    Quiet::Never => CouplingMode::Grounded,
+                    Quiet::Until(t_a) if t_a > t_bcs => {
+                        any_active = true;
+                        CouplingMode::Active
+                    }
+                    Quiet::Until(_) => CouplingMode::Grounded,
+                };
+                Coupling::new(c, mode)
+            })
+            .collect();
+
+        if !any_active {
+            // The best-case solve already used exactly this load.
+            return Ok(bcs);
+        }
+        solve(Load {
+            cground: arc.graph.stages[arc.si.index()].cground,
+            couplings,
+        })
+    }
+
+    /// The crosstalk half of the incremental dirty rule. Plain one-step: a
+    /// changed aggressor net dirties the victim's stage whenever the
+    /// in-flight analysis would have read it (it is calculated at this
+    /// level) — no timing arc connects them, only the coupling cap.
+    /// Refinement: the decision depends only on the previous pass's quiet
+    /// table, so the stage is dirty exactly when an aggressor's entry
+    /// changed.
+    fn coupling_dirty(
+        &self,
+        graph: &TimingGraph,
+        si: StageId,
+        level: usize,
+        changed: &[bool],
+        quiet_dirty: Option<&[bool]>,
+    ) -> bool {
+        let caps = graph.couplings_of(si);
+        match self.prev {
+            None => caps.iter().any(|&(other, _)| {
+                let node = graph.net_node[other.index()];
+                graph.calculated_at(node, level) && changed[node.index()]
+            }),
+            Some(_) => {
+                let qd = quiet_dirty.expect("refinement sweep passes quiet dirt");
+                caps.iter().any(|&(other, _)| qd[other.index()])
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Best-case policy: every aggressor quiet.
+
+use xtalk_wave::pwl::Waveform;
+use xtalk_wave::stage::{CouplingMode, Load, StageError};
+
+use super::{uniform_load, ArcCtx, ArcSolve, CouplingPolicy};
+
+/// The paper's §3 lower bound: every coupling capacitance connects to a
+/// quiet (grounded) aggressor, so each contributes its plain value to the
+/// load and never injects charge. The fastest — and only optimistic —
+/// treatment; useful as the floor of the mode spectrum and as the
+/// best-case trial inside the one-step test.
+pub struct AllQuiet;
+
+impl CouplingPolicy for AllQuiet {
+    fn name(&self) -> &'static str {
+        "best-case"
+    }
+
+    fn solve_arc(
+        &self,
+        arc: &ArcCtx<'_>,
+        solve: &mut ArcSolve<'_>,
+    ) -> Result<Waveform, StageError> {
+        solve(uniform_load(arc, CouplingMode::Grounded))
+    }
+}
+
+/// A `Load` with every coupling grounded — shared with the one-step
+/// policy's best-case trial solve.
+pub(super) fn grounded_load(arc: &ArcCtx<'_>) -> Load {
+    uniform_load(arc, CouplingMode::Grounded)
+}

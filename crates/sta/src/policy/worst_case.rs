@@ -1,0 +1,27 @@
+//! Worst-case policy: every aggressor switching opposed.
+
+use xtalk_wave::pwl::Waveform;
+use xtalk_wave::stage::{CouplingMode, StageError};
+
+use super::{uniform_load, ArcCtx, ArcSolve, CouplingPolicy};
+
+/// The paper's §3 upper bound: every coupling capacitance carries an
+/// aggressor actively switching in the opposite direction, injecting the
+/// maximum opposing charge. A guaranteed-safe bound regardless of actual
+/// switching windows, and the conservative starting point the one-step
+/// test refines away from.
+pub struct AlwaysActive;
+
+impl CouplingPolicy for AlwaysActive {
+    fn name(&self) -> &'static str {
+        "worst-case"
+    }
+
+    fn solve_arc(
+        &self,
+        arc: &ArcCtx<'_>,
+        solve: &mut ArcSolve<'_>,
+    ) -> Result<Waveform, StageError> {
+        solve(uniform_load(arc, CouplingMode::Active))
+    }
+}

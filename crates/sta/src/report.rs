@@ -7,8 +7,8 @@ use xtalk_netlist::{GateId, NetId, Netlist};
 use xtalk_tech::cell::{Cell, StageSignal};
 use xtalk_tech::Library;
 
-use crate::engine::NodeState;
 use crate::graph::{TNodeId, TNodeKind, TimingGraph};
+use crate::kernel::NodeState;
 use crate::mode::AnalysisMode;
 
 /// One gate-level step of a reported path.

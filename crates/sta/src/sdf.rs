@@ -9,7 +9,8 @@
 
 use std::fmt::Write as _;
 
-use crate::engine::{NodeState, Sta, StaError};
+use crate::engine::{Sta, StaError};
+use crate::kernel::NodeState;
 use crate::mode::AnalysisMode;
 
 /// Writes the design's delays under `mode` as SDF 3.0 text.

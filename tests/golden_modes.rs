@@ -126,8 +126,12 @@ fn mode_reports_match_golden_snapshot() {
         eprintln!("blessed {}", path.display());
         return;
     }
-    let golden = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with XTALK_BLESS=1", path.display()));
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with XTALK_BLESS=1",
+            path.display()
+        )
+    });
     if golden != current {
         // Locate the first diverging line for a readable failure.
         for (i, (g, c)) in golden.lines().zip(current.lines()).enumerate() {
