@@ -14,6 +14,12 @@
 //! analysis and one warm re-analysis on the same analyzer — asserts all
 //! three produce bit-identical delays, and appends the numbers to
 //! `BENCH_sta.json` at the workspace root.
+//!
+//! A third section (`solver_layer`) micro-benchmarks the stage solver
+//! itself on a fixed menu of solves through three engine variants —
+//! cold-start Newton, warm-started Newton, and warm-started Newton over a
+//! reused scratch — asserting the warm seed strictly cuts total Newton
+//! iterations and that scratch reuse changes nothing but allocations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::fmt::Write as _;
@@ -140,6 +146,20 @@ fn report_exec_layer(d: &Design, label: &str) {
         cached.newton_solves,
         baseline.newton_solves
     );
+    // Cost-aware admission exists so the reuse layers never make a cold run
+    // slower than the uncached engine, at any scale. CPU time is the
+    // noise-resistant number; wall gets the same bound with headroom for
+    // single-shot scheduling scatter on shared hosts.
+    assert!(
+        cached_cpu <= baseline_cpu * 1.05,
+        "cold cached run regressed vs the uncached baseline \
+         ({cached_cpu:.3} s cpu vs {baseline_cpu:.3} s cpu)"
+    );
+    assert!(
+        cached_wall <= baseline_wall * 1.10,
+        "cold cached run regressed vs the uncached baseline \
+         ({cached_wall:.3} s wall vs {baseline_wall:.3} s wall)"
+    );
     let stats = cached_sta.cache_stats();
     if stats.evictions == 0 {
         assert_eq!(warm.newton_solves, 0, "warm re-analysis re-integrated");
@@ -164,19 +184,23 @@ fn report_exec_layer(d: &Design, label: &str) {
         );
     }
     println!(
-        "sta_exec/{label}: cache {} hits, {} misses, {} evictions",
-        stats.hits, stats.misses, stats.evictions
+        "sta_exec/{label}: cache {} hits, {} misses, {} evictions \
+         (admission {} admitted, {} skipped)",
+        stats.hits, stats.misses, stats.evictions, stats.admitted, stats.skipped
     );
     for (i, p) in cached.pass_stats.iter().enumerate() {
         println!(
-            "sta_exec/{label}: pass {} delay {:.3} ns, {} calls, {} newton, \
-             {} hits ({:.0}%)",
+            "sta_exec/{label}: pass {} delay {:.3} ns, {} calls, {} newton \
+             ({} iters), {} hits ({:.0}%, {} warm), hist {:?}",
             i + 1,
             p.delay * 1e9,
             p.solver_calls,
             p.newton_solves,
+            p.newton_iters,
             p.cache_hits,
             100.0 * p.hit_ratio(),
+            p.warm_hits,
+            p.iter_hist,
         );
     }
 
@@ -194,17 +218,21 @@ fn report_exec_layer(d: &Design, label: &str) {
              \"mode\": \"{mode}\", \"scale\": \"{label}\", \
              \"gates\": {}, \"threads\": {}, \"wall_s\": {wall:.6}, \
              \"cpu_s\": {cpu:.6}, \"passes\": {}, \"stage_solves\": {}, \
-             \"newton_solves\": {}, \"cache_hits\": {}}}",
+             \"newton_solves\": {}, \"newton_iters\": {}, \
+             \"cache_hits\": {}, \"warm_hits\": {}}}",
             d.netlist.gate_count(),
             if *engine == "baseline" { 1 } else { threads },
             report.passes,
             report.stage_solves,
             report.newton_solves,
+            report.newton_iters,
             report.cache_hits,
+            report.warm_hits,
         );
         rows_json.push(row);
     }
     rows_json.extend(report_graph_layer(d, label));
+    rows_json.extend(report_solver_layer(d, label));
     write_bench_json(rows_json, label);
 }
 
@@ -263,6 +291,149 @@ fn report_graph_layer(d: &Design, label: &str) -> Vec<String> {
         report.stage_solves,
     );
     vec![row]
+}
+
+/// One-shot A/B/C of the stage-solver layer on a fixed menu of solves —
+/// two cells, three input slews, three loads, both directions, plus an
+/// active-coupling variant per (cell, slew, load) — through three engines:
+///
+/// - `baseline`: cold-start Newton, fresh scratch every solve (the
+///   pre-warm-start integrator);
+/// - `warm_start`: trajectory-extrapolated Newton seed, fresh scratch;
+/// - `warm_start_scratch`: warm seed plus one reused [`StageScratch`]
+///   (zero steady-state allocations — the production kernel path).
+///
+/// Asserts the warm seed strictly cuts total Newton iterations and that
+/// scratch reuse leaves iteration counts and waveform bits untouched.
+fn report_solver_layer(d: &Design, label: &str) -> Vec<String> {
+    use xtalk::wave::stage::{Coupling, Load, StageScratch, StageSolver};
+
+    let p = &d.process;
+    let reps: usize = match label {
+        "small" => 20,
+        "medium" => 60,
+        _ => 200,
+    };
+
+    struct Item<'a> {
+        stage: &'a xtalk::tech::cell::Stage,
+        side: &'a [f64],
+        input: Waveform,
+        load: Load,
+    }
+    let nand_side = [0.0, p.vdd];
+    let mut menu: Vec<Item<'_>> = Vec::new();
+    for name in ["INVX1", "NAND2X1"] {
+        let cell = d.library.cell(name).expect("library cell");
+        let stage = &cell.stages[0];
+        let side: &[f64] = if stage.inputs.len() > 1 {
+            &nand_side
+        } else {
+            &[]
+        };
+        for slew in [0.05e-9, 0.2e-9, 0.8e-9] {
+            for cl in [10e-15, 40e-15, 160e-15] {
+                for rising in [false, true] {
+                    let (v0, v1) = if rising { (0.0, p.vdd) } else { (p.vdd, 0.0) };
+                    menu.push(Item {
+                        stage,
+                        side,
+                        input: Waveform::ramp(0.0, slew, v0, v1).expect("ramp"),
+                        load: Load::grounded(cl),
+                    });
+                }
+                // Active coupling exercises the snap restart, which the warm
+                // seed must not extrapolate across.
+                menu.push(Item {
+                    stage,
+                    side,
+                    input: Waveform::ramp(0.0, slew, p.vdd, 0.0).expect("ramp"),
+                    load: Load {
+                        cground: cl,
+                        couplings: vec![Coupling::new(0.25 * cl, CouplingMode::Active)],
+                    },
+                });
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut iters_by_engine = Vec::new();
+    for (engine, warm, reuse_scratch) in [
+        ("baseline", false, false),
+        ("warm_start", true, false),
+        ("warm_start_scratch", true, true),
+    ] {
+        let solver = StageSolver::new(p).with_warm_newton(warm);
+        let mut scratch = StageScratch::new();
+        let mut solves = 0usize;
+        let mut iters = 0usize;
+        let mut steps = 0usize;
+        let ((), wall, cpu) = timed(|| {
+            for _ in 0..reps {
+                for s in &menu {
+                    let (i, st) = if reuse_scratch {
+                        let r = solver
+                            .solve_with(&mut scratch, s.stage, 0, &s.input, s.side, &s.load)
+                            .expect("stage solve");
+                        black_box(r.wave.final_value());
+                        (r.newton_iters, r.steps)
+                    } else {
+                        let r = solver
+                            .solve(s.stage, 0, &s.input, s.side, s.load.clone())
+                            .expect("stage solve");
+                        black_box(r.wave.final_value());
+                        (r.newton_iters, r.steps)
+                    };
+                    solves += 1;
+                    iters += i;
+                    steps += st;
+                }
+            }
+        });
+        println!(
+            "solver_layer/{label}: {engine} {solves} solves, {iters} newton iters, \
+             {steps} steps, {wall:.3} s wall / {cpu:.3} s cpu"
+        );
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{{\"bench\": \"sta_modes\", \"section\": \"solver_layer\", \
+             \"engine\": \"{engine}\", \"scale\": \"{label}\", \
+             \"solves\": {solves}, \"newton_iters\": {iters}, \"steps\": {steps}, \
+             \"wall_s\": {wall:.6}, \"cpu_s\": {cpu:.6}}}"
+        );
+        rows.push(row);
+        iters_by_engine.push(iters);
+    }
+
+    assert!(
+        iters_by_engine[1] < iters_by_engine[0],
+        "warm-started Newton must strictly cut total iterations \
+         ({} vs baseline {})",
+        iters_by_engine[1],
+        iters_by_engine[0]
+    );
+    assert_eq!(
+        iters_by_engine[2], iters_by_engine[1],
+        "scratch reuse changed the Newton iteration count"
+    );
+    // Bit-identity of the production path: one unmeasured verification
+    // sweep comparing solve() against solve_with() on a dirty scratch.
+    let solver = StageSolver::new(p);
+    let mut scratch = StageScratch::new();
+    for s in &menu {
+        let fresh = solver
+            .solve(s.stage, 0, &s.input, s.side, s.load.clone())
+            .expect("fresh solve");
+        let lean = solver
+            .solve_with(&mut scratch, s.stage, 0, &s.input, s.side, &s.load)
+            .expect("scratch solve");
+        assert_eq!(fresh.wave, lean.wave, "scratch reuse changed waveform bits");
+        assert_eq!(fresh.newton_iters, lean.newton_iters);
+    }
+
+    rows
 }
 
 /// Writes `BENCH_sta.json`: the rows measured by this run plus every

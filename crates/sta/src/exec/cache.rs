@@ -22,7 +22,7 @@
 //! (counted as evictions) — simple, and harmless because the cache is only
 //! an accelerator.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -32,6 +32,27 @@ use xtalk_wave::Waveform;
 
 /// Shard count; a power of two keeps the index a mask.
 const SHARDS: usize = 16;
+
+/// Which stage solves the cache stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheAdmission {
+    /// Every solve is stored (the PR2 behaviour). Maximizes warm-run hit
+    /// rates but pays key-construction + insert overhead on every cold
+    /// miss — measurably slower than no cache at s38417 scale, where the
+    /// hits land on cheap shallow stages (DESIGN D7).
+    All,
+    /// Cost-aware admission (the default): a solve is stored only once its
+    /// signature has proven expensive — Newton-iteration cost at or above
+    /// twice the running mean (after a 100-solve warm-up that admits
+    /// everything to seed the estimate). The bulk of cold-run solves never
+    /// pay the key construction, checksum and insert (on a cold single-shot
+    /// run the keyed table gets no lookups at all — the per-stage memo
+    /// answers intra-run reuse first — so every insert is speculative),
+    /// while the expensive deep solves whose re-solve cost dwarfs the
+    /// bookkeeping stay cached for ECO rebuilds and warm re-analysis.
+    #[default]
+    Cost,
+}
 
 /// Hit/miss/evict counters of the stage-solve cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,6 +66,10 @@ pub struct CacheStats {
     /// Entries evicted because they failed the integrity check on lookup
     /// (stored checksum no longer matched the stored waveform).
     pub integrity_evictions: u64,
+    /// Solves admitted for storage by the admission policy.
+    pub admitted: u64,
+    /// Solves the cost-aware policy declined to store.
+    pub skipped: u64,
 }
 
 impl CacheStats {
@@ -81,7 +106,7 @@ pub(crate) struct SolveKey {
     couplings: Vec<(u64, u8)>,
 }
 
-fn mode_byte(mode: CouplingMode) -> u8 {
+pub(crate) fn mode_byte(mode: CouplingMode) -> u8 {
     match mode {
         CouplingMode::Grounded => 0,
         CouplingMode::Doubled => 1,
@@ -138,6 +163,44 @@ impl SolveKey {
     }
 }
 
+/// Streaming FNV-1a signature of a solve's identity, hashed directly over
+/// the borrowed inputs — no allocation, unlike [`SolveKey::new`] which
+/// clones the cell name and waveform points. The cost-aware admission
+/// gatekeeper runs on *every* solve, so it must be this cheap; the exact
+/// [`SolveKey`] is only built for solves that pass the gate.
+///
+/// `None` mirrors [`SolveKey::new`]: a non-finite load has no canonical
+/// encoding and is never cached. A 64-bit collision merely lets an
+/// unproven solve through the gate early — the exact-match key still
+/// guards the actual table, so results are unaffected.
+pub(crate) fn admission_sig(
+    cell: &str,
+    stage: usize,
+    slot: usize,
+    out_rising: bool,
+    earliest: bool,
+    in_wave: &Waveform,
+    load: &Load,
+) -> Option<u64> {
+    if !load.cground.is_finite() || load.couplings.iter().any(|c| !c.c.is_finite()) {
+        return None;
+    }
+    let mut h = StableHasher::new();
+    h.write_bytes(cell.as_bytes());
+    h.write_u64((stage as u64) << 32 | slot as u64);
+    h.write_u64(u64::from(u8::from(out_rising) | (u8::from(earliest) << 1)));
+    for &(t, v) in in_wave.points() {
+        h.write_u64(canon_bits(t));
+        h.write_u64(canon_bits(v));
+    }
+    h.write_u64(canon_bits(load.cground));
+    for c in &load.couplings {
+        h.write_u64(canon_bits(c.c));
+        h.write_u64(u64::from(mode_byte(c.mode)));
+    }
+    Some(h.finish())
+}
+
 /// Outcome of a cache lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Lookup {
@@ -159,16 +222,29 @@ pub(crate) struct SolveCache {
     shards: Vec<Mutex<HashMap<SolveKey, (u64, Waveform)>>>,
     /// Entry cap per shard; 0 disables the cache entirely.
     shard_capacity: usize,
+    admission: CacheAdmission,
+    /// Signatures proven worth caching (cost-aware mode only), sharded by
+    /// the low signature bits to keep worker contention negligible.
+    admitted: Vec<Mutex<HashSet<u64>>>,
+    /// Running Newton-iteration cost statistics driving the adaptive
+    /// admission threshold.
+    cost_sum: AtomicU64,
+    cost_count: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     integrity_evictions: AtomicU64,
+    admitted_count: AtomicU64,
+    skipped: AtomicU64,
 }
+
+/// Solves admitted unconditionally while the running cost mean warms up.
+const ADMISSION_WARMUP: u64 = 100;
 
 impl SolveCache {
     /// Builds the cache. `enabled = false` or `capacity = 0` yields a
     /// disabled cache: every lookup misses without touching a shard.
-    pub(crate) fn new(enabled: bool, capacity: usize) -> Self {
+    pub(crate) fn new(enabled: bool, capacity: usize, admission: CacheAdmission) -> Self {
         SolveCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             shard_capacity: if enabled {
@@ -176,15 +252,74 @@ impl SolveCache {
             } else {
                 0
             },
+            admission,
+            admitted: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            cost_sum: AtomicU64::new(0),
+            cost_count: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             integrity_evictions: AtomicU64::new(0),
+            admitted_count: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
         }
     }
 
     pub(crate) fn enabled(&self) -> bool {
         self.shard_capacity > 0
+    }
+
+    /// Whether a lookup for this signature could possibly hit — i.e.
+    /// whether building the exact [`SolveKey`] is worth it. Under
+    /// [`CacheAdmission::All`] every solve is stored so every lookup is
+    /// worth it; under cost-aware admission only signatures that earned
+    /// admission can have entries.
+    pub(crate) fn wants(&self, sig: u64) -> bool {
+        match self.admission {
+            CacheAdmission::All => true,
+            CacheAdmission::Cost => {
+                lock(&self.admitted[(sig as usize) & (SHARDS - 1)]).contains(&sig)
+            }
+        }
+    }
+
+    /// Records the cost of a fresh solve and decides whether to store it.
+    /// `cost` is the solve's Newton-iteration count (its dominant work
+    /// term). Under cost-aware admission a solve is stored when its cost
+    /// reaches twice the running mean — only the expensive tail earns an
+    /// entry, because the typical solve's hit saves less than the key
+    /// construction, checksum and insert/evict churn it costs (DESIGN D7,
+    /// D10). Admission decisions depend only on *which* solves ran, not on
+    /// thread timing of results, but the running mean can drift with
+    /// arrival order under the wavefront scheduler — that is fine:
+    /// admission affects cache contents and counters, never results (the
+    /// table is exact-match).
+    pub(crate) fn admit_cost(&self, sig: u64, cost: u64) -> bool {
+        let sum = self.cost_sum.fetch_add(cost, Ordering::Relaxed);
+        let count = self.cost_count.fetch_add(1, Ordering::Relaxed);
+        let admit = match self.admission {
+            CacheAdmission::All => true,
+            CacheAdmission::Cost => {
+                count < ADMISSION_WARMUP || cost.saturating_mul(count) >= sum.saturating_mul(2)
+            }
+        };
+        if admit {
+            if self.admission == CacheAdmission::Cost {
+                lock(&self.admitted[(sig as usize) & (SHARDS - 1)]).insert(sig);
+            }
+            self.admitted_count.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.skipped.fetch_add(1, Ordering::Relaxed);
+        }
+        admit
+    }
+
+    /// Fault injection: marks a signature admitted regardless of cost, so a
+    /// poisoned entry stored via [`SolveCache::put_poisoned`] is actually
+    /// looked up (and caught) on the next solve.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub(crate) fn force_admit(&self, sig: u64) {
+        lock(&self.admitted[(sig as usize) & (SHARDS - 1)]).insert(sig);
     }
 
     /// Looks the key up, counting a hit or miss. An entry that fails its
@@ -241,11 +376,17 @@ impl SolveCache {
         shard.insert(key, (checksum, wave));
     }
 
-    /// Drops every entry (counters keep accumulating).
+    /// Drops every entry and the admission state (counters keep
+    /// accumulating).
     pub(crate) fn clear(&self) {
         for shard in &self.shards {
             lock(shard).clear();
         }
+        for shard in &self.admitted {
+            lock(shard).clear();
+        }
+        self.cost_sum.store(0, Ordering::Relaxed);
+        self.cost_count.store(0, Ordering::Relaxed);
     }
 
     /// Entries currently resident.
@@ -260,6 +401,8 @@ impl SolveCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             integrity_evictions: self.integrity_evictions.load(Ordering::Relaxed),
+            admitted: self.admitted_count.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -286,7 +429,7 @@ mod tests {
 
     #[test]
     fn hit_miss_and_counters() {
-        let cache = SolveCache::new(true, 1024);
+        let cache = SolveCache::new(true, 1024, CacheAdmission::All);
         let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
         assert_eq!(cache.get(&key(0, 1e-15)), Lookup::Miss);
         cache.put(key(0, 1e-15), w.clone());
@@ -304,7 +447,7 @@ mod tests {
 
     #[test]
     fn disabled_cache_never_stores() {
-        let cache = SolveCache::new(false, 1024);
+        let cache = SolveCache::new(false, 1024, CacheAdmission::All);
         let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
         cache.put(key(0, 1e-15), w);
         assert_eq!(cache.get(&key(0, 1e-15)), Lookup::Miss);
@@ -334,7 +477,7 @@ mod tests {
 
     #[test]
     fn poisoned_entry_is_evicted_not_served() {
-        let cache = SolveCache::new(true, 1024);
+        let cache = SolveCache::new(true, 1024, CacheAdmission::All);
         let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
         cache.put_poisoned(key(0, 1e-15), w.clone());
         assert_eq!(cache.len(), 1);
@@ -351,8 +494,72 @@ mod tests {
     }
 
     #[test]
+    fn admission_sig_matches_key_domain() {
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let load = Load {
+            cground: 2e-15,
+            couplings: vec![Coupling::new(1e-15, CouplingMode::Active)],
+        };
+        let sig = admission_sig("INVX1", 0, 0, true, false, &w, &load).expect("finite");
+        // Deterministic and sensitive to every keyed dimension.
+        assert_eq!(
+            sig,
+            admission_sig("INVX1", 0, 0, true, false, &w, &load).expect("finite")
+        );
+        assert_ne!(
+            sig,
+            admission_sig("INVX1", 0, 1, true, false, &w, &load).expect("slot")
+        );
+        assert_ne!(
+            sig,
+            admission_sig("INVX1", 0, 0, false, false, &w, &load).expect("direction")
+        );
+        assert_ne!(
+            sig,
+            admission_sig("NAND2X1", 0, 0, true, false, &w, &load).expect("cell")
+        );
+        // Non-finite loads are rejected exactly like SolveKey::new.
+        let bad = Load {
+            cground: f64::NAN,
+            couplings: vec![],
+        };
+        assert!(admission_sig("INVX1", 0, 0, true, false, &w, &bad).is_none());
+    }
+
+    #[test]
+    fn cost_admission_learns_an_adaptive_floor() {
+        let cache = SolveCache::new(true, 1024, CacheAdmission::Cost);
+        // Warm-up: everything is admitted while the mean is unreliable.
+        for sig in 0..ADMISSION_WARMUP {
+            assert!(cache.admit_cost(sig, 100), "warm-up admits all");
+            assert!(cache.wants(sig), "admitted sigs are wanted");
+        }
+        // Post warm-up, mean cost is 100: a solve below twice the mean
+        // (cost 10, and even a mean-cost 100 one) must be skipped, an
+        // expensive one (cost 400 >= 2x mean) admitted.
+        assert!(!cache.admit_cost(9999, 10), "cheap solve skipped");
+        assert!(!cache.wants(9999), "skipped sig stays unwanted");
+        assert!(cache.admit_cost(7777, 400), "expensive solve admitted");
+        assert!(cache.wants(7777));
+        let s = cache.stats();
+        assert_eq!(s.admitted, ADMISSION_WARMUP + 1);
+        assert_eq!(s.skipped, 1);
+        // clear() resets the admission state along with the entries.
+        cache.clear();
+        assert!(!cache.wants(7777), "cleared admission state");
+    }
+
+    #[test]
+    fn admit_all_wants_everything() {
+        let cache = SolveCache::new(true, 1024, CacheAdmission::All);
+        assert!(cache.wants(42), "All-mode lookups never need admission");
+        assert!(cache.admit_cost(42, 0), "All-mode stores everything");
+        assert_eq!(cache.stats().skipped, 0);
+    }
+
+    #[test]
     fn capacity_eviction_clears_full_shards() {
-        let cache = SolveCache::new(true, SHARDS); // one entry per shard
+        let cache = SolveCache::new(true, SHARDS, CacheAdmission::All); // one entry per shard
         let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
         for i in 0..64 {
             cache.put(key(i, 1e-15), w.clone());

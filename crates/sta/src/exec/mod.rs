@@ -17,12 +17,13 @@
 //! the small-batch serial cutoff, and the cache switch/capacity.
 
 pub(crate) mod cache;
+pub(crate) mod memo;
 pub(crate) mod pool;
 pub(crate) mod wavefront;
 
 use std::sync::OnceLock;
 
-pub use cache::CacheStats;
+pub use cache::{CacheAdmission, CacheStats};
 
 /// Execution configuration of an analyzer: parallelism and caching.
 #[derive(Debug, Clone)]
@@ -39,6 +40,9 @@ pub struct ExecConfig {
     pub cache: bool,
     /// Total stage-solve cache capacity, in entries.
     pub cache_capacity: usize,
+    /// Which solves the stage-solve cache stores (cost-aware by default —
+    /// see [`CacheAdmission`]).
+    pub cache_admission: CacheAdmission,
     /// Fail fast on the first recoverable fault instead of degrading to a
     /// conservative bound with a [`crate::diag::Diagnostic`].
     pub strict: bool,
@@ -53,6 +57,7 @@ impl Default for ExecConfig {
             serial_cutoff: 32,
             cache: true,
             cache_capacity: 1 << 20,
+            cache_admission: CacheAdmission::default(),
             strict: false,
         }
     }
@@ -61,8 +66,9 @@ impl Default for ExecConfig {
 impl ExecConfig {
     /// The default configuration with environment overrides applied:
     /// `XTALK_THREADS` (integer; `1` = serial, `0`/unset = auto),
-    /// `XTALK_CACHE` (`0`/`off` disables the stage-solve cache) and
-    /// `XTALK_CACHE_CAPACITY` (entry count).
+    /// `XTALK_CACHE` (`0`/`off` disables the stage-solve cache),
+    /// `XTALK_CACHE_CAPACITY` (entry count) and `XTALK_CACHE_ADMISSION`
+    /// (`all` | `cost`).
     #[must_use]
     pub fn from_env() -> Self {
         let mut config = ExecConfig::default();
@@ -84,6 +90,11 @@ impl ExecConfig {
             .and_then(|v| v.parse::<usize>().ok())
         {
             config.cache_capacity = capacity;
+        }
+        match std::env::var("XTALK_CACHE_ADMISSION").as_deref() {
+            Ok("all") => config.cache_admission = CacheAdmission::All,
+            Ok("cost") => config.cache_admission = CacheAdmission::Cost,
+            _ => {}
         }
         if matches!(
             std::env::var("XTALK_STRICT").as_deref(),
@@ -124,6 +135,13 @@ impl ExecConfig {
         self
     }
 
+    /// Overrides the cache admission policy.
+    #[must_use]
+    pub fn with_cache_admission(mut self, admission: CacheAdmission) -> Self {
+        self.cache_admission = admission;
+        self
+    }
+
     /// Enables or disables strict (fail-fast) mode.
     #[must_use]
     pub fn with_strict(mut self, strict: bool) -> Self {
@@ -139,6 +157,7 @@ pub(crate) struct Executor {
     config: ExecConfig,
     pool: OnceLock<pool::WorkerPool>,
     cache: cache::SolveCache,
+    memo: memo::ArcMemo,
     diagnostics: std::sync::Mutex<Vec<crate::diag::Diagnostic>>,
     #[cfg(any(test, feature = "fault-injection"))]
     fault_plan: std::sync::Mutex<Option<crate::fault::FaultPlan>>,
@@ -146,11 +165,14 @@ pub(crate) struct Executor {
 
 impl Executor {
     pub(crate) fn new(config: ExecConfig) -> Self {
-        let cache = cache::SolveCache::new(config.cache, config.cache_capacity);
+        let cache =
+            cache::SolveCache::new(config.cache, config.cache_capacity, config.cache_admission);
+        let memo = memo::ArcMemo::new(config.cache);
         Executor {
             config,
             pool: OnceLock::new(),
             cache,
+            memo,
             diagnostics: std::sync::Mutex::new(Vec::new()),
             #[cfg(any(test, feature = "fault-injection"))]
             fault_plan: std::sync::Mutex::new(None),
@@ -222,12 +244,17 @@ impl Executor {
         &self.cache
     }
 
+    pub(crate) fn memo(&self) -> &memo::ArcMemo {
+        &self.memo
+    }
+
     pub(crate) fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
     pub(crate) fn clear_cache(&self) {
         self.cache.clear();
+        self.memo.clear();
     }
 }
 

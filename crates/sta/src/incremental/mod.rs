@@ -288,6 +288,10 @@ impl<'a> IncrementalSta<'a> {
         self.parasitics = parasitics;
         let old_graph = mem::replace(&mut self.graph, graph);
         self.remap_caches(&old_graph);
+        // The per-stage solve memo keys entries by stage *index*, which the
+        // rebuild just reassigned — stale entries would be wrong, not merely
+        // useless. The keyed solve cache keys stable identities and survives.
+        self.exec.memo().clear();
         // Compact the dirt log whenever every cache has consumed it.
         if self
             .caches
@@ -394,6 +398,9 @@ impl<'a> IncrementalSta<'a> {
             solver_calls: counters.calls,
             newton_solves: counters.solves,
             cache_hits: counters.hits,
+            warm_hits: counters.memo_hits,
+            newton_iters: counters.iters,
+            iter_hist: counters.hist,
         };
 
         match mode {

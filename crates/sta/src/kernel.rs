@@ -40,11 +40,11 @@ use xtalk_netlist::Netlist;
 use xtalk_tech::cell::{Stage, StageSignal};
 use xtalk_tech::{Library, Process};
 use xtalk_wave::pwl::Waveform;
-use xtalk_wave::stage::{Load, StageError, StageSolver};
+use xtalk_wave::stage::{Load, SolvedWave, StageError, StageScratch, StageSolver};
 
 use crate::diag::{Diagnostic, FaultClass, Severity};
 use crate::engine::StaError;
-use crate::exec::cache::{Lookup, SolveKey};
+use crate::exec::cache::{admission_sig, Lookup, SolveKey};
 use crate::exec::pool::WorkerPool;
 use crate::exec::{wavefront, Executor};
 use crate::graph::{StageId, TNodeId, TNodeKind, TimingGraph};
@@ -139,8 +139,18 @@ pub struct SolveCounters {
     pub calls: usize,
     /// Newton integrations actually performed (cache misses or cache off).
     pub solves: usize,
-    /// Calls answered by the stage-solve cache.
+    /// Calls answered by a reuse layer (per-stage memo or global cache).
     pub hits: usize,
+    /// Subset of `hits` answered by the per-stage warm-start memo (borrowed
+    /// bitwise compare, no key allocation) rather than the keyed cache.
+    pub memo_hits: usize,
+    /// Total Newton iterations consumed by the `solves` integrations — the
+    /// cost metric driving cache admission.
+    pub iters: usize,
+    /// Per-solve Newton-iteration histogram: bucket 0 holds solves that
+    /// took `< 64` iterations, then doubling bands (`< 128`, `< 256`, ...)
+    /// to the `>= 4096` tail in bucket 7.
+    pub hist: [usize; 8],
 }
 
 impl SolveCounters {
@@ -149,7 +159,54 @@ impl SolveCounters {
         self.calls += other.calls;
         self.solves += other.solves;
         self.hits += other.hits;
+        self.memo_hits += other.memo_hits;
+        self.iters += other.iters;
+        for (mine, theirs) in self.hist.iter_mut().zip(other.hist) {
+            *mine += theirs;
+        }
     }
+
+    /// Accounts one performed Newton integration of `newton_iters` total
+    /// iterations.
+    fn record_solve(&mut self, newton_iters: usize) {
+        self.solves += 1;
+        self.iters += newton_iters;
+        self.hist[iter_bucket(newton_iters)] += 1;
+    }
+}
+
+/// Histogram bucket of one solve's Newton-iteration count (see
+/// [`SolveCounters::hist`]).
+fn iter_bucket(iters: usize) -> usize {
+    let mut bucket = 0;
+    let mut t = iters / 64;
+    while t > 0 && bucket < 7 {
+        t >>= 1;
+        bucket += 1;
+    }
+    bucket
+}
+
+std::thread_local! {
+    /// Reusable per-worker solve scratch: one buffer set per thread for the
+    /// whole analysis instead of five heap allocations per stage solve
+    /// (DESIGN.md D10). Thread-local rather than per-pass because the
+    /// wavefront scheduler runs stage tasks on a persistent pool.
+    static SCRATCH: std::cell::RefCell<StageScratch> =
+        std::cell::RefCell::new(StageScratch::new());
+}
+
+/// One stage solve through the thread-local scratch — the zero-allocation
+/// integration path every cache miss takes.
+fn solve_lean(
+    solver: &StageSolver<'_>,
+    stage: &Stage,
+    slot: usize,
+    in_wave: &Waveform,
+    side: &[f64],
+    load: &Load,
+) -> Result<SolvedWave, StageError> {
+    SCRATCH.with(|s| solver.solve_with(&mut s.borrow_mut(), stage, slot, in_wave, side, load))
 }
 
 /// Result of one full propagation pass.
@@ -231,6 +288,20 @@ impl Inject {
     fn poisons_cache(&self) -> bool {
         self.fault == Some(crate::fault::Fault::PoisonedCache)
     }
+
+    /// Whether this stage's solves must bypass the per-stage memo. Any
+    /// injected fault does: the robustness tests observe the keyed cache
+    /// layer directly, and a memoized answer would mask the injected path.
+    fn skips_memo(&self) -> bool {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            self.fault.is_some()
+        }
+        #[cfg(not(any(test, feature = "fault-injection")))]
+        {
+            false
+        }
+    }
 }
 
 /// Outcome of one incremental sweep (`PropagationCore::repropagate`).
@@ -291,6 +362,9 @@ impl PropagationCore<'_> {
             solver_calls: out.counters.calls,
             newton_solves: out.counters.solves,
             cache_hits: out.counters.hits,
+            warm_hits: out.counters.memo_hits,
+            newton_iters: out.counters.iters,
+            iter_hist: out.counters.hist,
         }
     }
 
@@ -344,6 +418,8 @@ impl PropagationCore<'_> {
             stage_solves: pass_stats.iter().map(|p| p.solver_calls).sum(),
             newton_solves: pass_stats.iter().map(|p| p.newton_solves).sum(),
             cache_hits: pass_stats.iter().map(|p| p.cache_hits).sum(),
+            warm_hits: pass_stats.iter().map(|p| p.warm_hits).sum(),
+            newton_iters: pass_stats.iter().map(|p| p.newton_iters).sum(),
             pass_stats,
             diagnostics,
             runtime: started.elapsed(),
@@ -478,6 +554,7 @@ impl PropagationCore<'_> {
         prev: Option<&[NodeState]>,
         recompute: Option<&[bool]>,
     ) -> Result<PassOutput, StaError> {
+        self.exec.memo().ensure(self.graph.stages.len());
         match self.exec.pool_for(self.graph.stages.len()) {
             Some(pool) => self.run_pass_wavefront(pool, policy, prev, recompute),
             None => self.run_pass_serial(policy, prev, recompute),
@@ -551,6 +628,9 @@ impl PropagationCore<'_> {
         let calls = AtomicUsize::new(0);
         let solves = AtomicUsize::new(0);
         let hits = AtomicUsize::new(0);
+        let memo_hits = AtomicUsize::new(0);
+        let newton_iters = AtomicUsize::new(0);
+        let hist: [AtomicUsize; 8] = Default::default();
         let failed = AtomicBool::new(false);
         let first_error: Mutex<Option<(usize, StaError)>> = Mutex::new(None);
         let view = StateView::Cells(&cells);
@@ -567,6 +647,13 @@ impl PropagationCore<'_> {
                     calls.fetch_add(ev.counters.calls, Ordering::Relaxed);
                     solves.fetch_add(ev.counters.solves, Ordering::Relaxed);
                     hits.fetch_add(ev.counters.hits, Ordering::Relaxed);
+                    memo_hits.fetch_add(ev.counters.memo_hits, Ordering::Relaxed);
+                    newton_iters.fetch_add(ev.counters.iters, Ordering::Relaxed);
+                    for (bucket, n) in ev.counters.hist.iter().enumerate() {
+                        if *n > 0 {
+                            hist[bucket].fetch_add(*n, Ordering::Relaxed);
+                        }
+                    }
                     let mut out = NodeState::default();
                     for (out_rising, info) in ev.merges {
                         merge_with(&mut out, out_rising, info, earliest);
@@ -602,6 +689,9 @@ impl PropagationCore<'_> {
                 calls: calls.into_inner(),
                 solves: solves.into_inner(),
                 hits: hits.into_inner(),
+                memo_hits: memo_hits.into_inner(),
+                iters: newton_iters.into_inner(),
+                hist: hist.map(AtomicUsize::into_inner),
             },
         })
     }
@@ -769,9 +859,17 @@ impl PropagationCore<'_> {
                 };
                 let solved = {
                     let counters = &mut ev.counters;
+                    // Position of each solve within this arc evaluation
+                    // (one-step policies solve an arc twice: grounded trial
+                    // then active), part of the memo identity.
+                    let mut arc_ordinal: u8 = 0;
                     let mut solve = |load: Load| {
+                        let ordinal = arc_ordinal;
+                        arc_ordinal = arc_ordinal.wrapping_add(1);
                         self.solve_cached(
                             solver,
+                            si,
+                            ordinal,
                             &gate.cell,
                             stage_inst.stage,
                             stage,
@@ -965,20 +1063,35 @@ impl PropagationCore<'_> {
         }
     }
 
-    /// One stage solve routed through the stage-solve cache. `calls` counts
-    /// the logical invocation either way; only a miss (or a disabled cache)
-    /// pays the Newton integration. The key covers every input the solver
-    /// result depends on — see `exec::cache` — so a hit is bit-identical to
-    /// the solve it replaces.
+    /// One stage solve routed through the reuse layers. `calls` counts the
+    /// logical invocation either way; only a full miss (or a disabled
+    /// cache) pays the Newton integration, through the thread-local scratch
+    /// ([`solve_lean`]). Reuse is layered cheapest-first (DESIGN.md D10):
+    ///
+    /// 1. the per-stage memo (`exec::memo`) — a borrowed bitwise compare
+    ///    with no key allocation, which is what makes refinement re-solves
+    ///    of unchanged arcs nearly free;
+    /// 2. the keyed stage-solve cache (`exec::cache`) — probed only when
+    ///    the admission policy admitted this signature, so cheap shallow
+    ///    solves skip the allocating probe entirely;
+    /// 3. the solve itself, whose measured Newton-iteration cost then
+    ///    feeds the adaptive admission threshold.
+    ///
+    /// Every layer matches exact inputs bitwise, so a hit at any depth is
+    /// bit-identical to the solve it replaces.
     ///
     /// This is the engine's solver choke point, so it also hosts the fault
     /// harness (`inject`) and the cache guardrails: a load that refuses a
-    /// key (non-finite capacitance) solves uncached under a diagnostic, and
-    /// a corrupt cache entry is reported, never served.
+    /// signature (non-finite capacitance) solves uncached under a
+    /// diagnostic, a corrupt cache entry is reported, never served, and a
+    /// fault-injected stage bypasses the memo so the injected path stays
+    /// observable at the cache layer.
     #[allow(clippy::too_many_arguments)]
     fn solve_cached(
         &self,
         solver: &StageSolver<'_>,
+        si: StageId,
+        ordinal: u8,
         cell_name: &str,
         stage_in_cell: usize,
         stage: &Stage,
@@ -998,12 +1111,25 @@ impl PropagationCore<'_> {
         let load = inject.doctor_load(load);
         let cache = self.exec.cache();
         if !cache.enabled() {
-            counters.solves += 1;
-            return solver
-                .solve(stage, slot, in_wave, side, load)
-                .map(|r| r.wave);
+            let solved = solve_lean(solver, stage, slot, in_wave, side, &load)?;
+            counters.record_solve(solved.newton_iters);
+            return Ok(solved.wave);
         }
-        let Some(key) = SolveKey::new(
+        // Probe the memo before hashing the admission signature: a memo hit
+        // answers from the per-stage table alone, so the (waveform-length)
+        // FNV hash would be pure overhead on the hit path. A non-finite load
+        // can never hit (the memo only stores finite loads, and no finite
+        // bit pattern equals a NaN/Inf pattern), so the diagnostic below is
+        // reached exactly as before.
+        let memo = self.exec.memo();
+        if !inject.skips_memo() {
+            if let Some(wave) = memo.get(si, slot, ordinal, out_rising, earliest, in_wave, &load) {
+                counters.hits += 1;
+                counters.memo_hits += 1;
+                return Ok(wave);
+            }
+        }
+        let Some(sig) = admission_sig(
             cell_name,
             stage_in_cell,
             slot,
@@ -1012,8 +1138,8 @@ impl PropagationCore<'_> {
             in_wave,
             &load,
         ) else {
-            // A non-finite load has no canonical key; solve uncached and
-            // let the stage solver's own input validation classify it.
+            // A non-finite load has no canonical signature; solve uncached
+            // and let the stage solver's own input validation classify it.
             self.exec.push_diagnostic(Diagnostic {
                 severity: Severity::Warning,
                 node: cell_name.to_string(),
@@ -1021,36 +1147,93 @@ impl PropagationCore<'_> {
                 substituted_bound: None,
                 detail: "non-finite load capacitance rejected by the solve cache".to_string(),
             });
-            counters.solves += 1;
-            return solver
-                .solve(stage, slot, in_wave, side, load)
-                .map(|r| r.wave);
+            let solved = solve_lean(solver, stage, slot, in_wave, side, &load)?;
+            counters.record_solve(solved.newton_iters);
+            return Ok(solved.wave);
         };
-        match cache.get(&key) {
-            Lookup::Hit(wave) => {
-                counters.hits += 1;
-                return Ok(wave);
+        let mut key = None;
+        if cache.wants(sig) {
+            key = SolveKey::new(
+                cell_name,
+                stage_in_cell,
+                slot,
+                out_rising,
+                earliest,
+                in_wave,
+                &load,
+            );
+            if let Some(k) = &key {
+                match cache.get(k) {
+                    Lookup::Hit(wave) => {
+                        counters.hits += 1;
+                        return Ok(wave);
+                    }
+                    Lookup::Corrupt => {
+                        self.exec.push_diagnostic(Diagnostic {
+                            severity: Severity::Warning,
+                            node: cell_name.to_string(),
+                            fault: FaultClass::CacheCorruption,
+                            substituted_bound: None,
+                            detail: "cache entry failed its integrity check; evicted and re-solved"
+                                .to_string(),
+                        });
+                    }
+                    Lookup::Miss => {}
+                }
             }
-            Lookup::Corrupt => {
-                self.exec.push_diagnostic(Diagnostic {
-                    severity: Severity::Warning,
-                    node: cell_name.to_string(),
-                    fault: FaultClass::CacheCorruption,
-                    substituted_bound: None,
-                    detail: "cache entry failed its integrity check; evicted and re-solved"
-                        .to_string(),
-                });
-            }
-            Lookup::Miss => {}
         }
-        counters.solves += 1;
-        let wave = solver.solve(stage, slot, in_wave, side, load)?.wave;
+        let solved = solve_lean(solver, stage, slot, in_wave, side, &load)?;
+        counters.record_solve(solved.newton_iters);
+        let wave = solved.wave;
         #[cfg(any(test, feature = "fault-injection"))]
         if inject.poisons_cache() {
-            cache.put_poisoned(key, wave.clone());
+            // The poisoned entry must land in the keyed cache regardless of
+            // the admission policy — the robustness tests corrupt it there.
+            cache.force_admit(sig);
+            let key = key.or_else(|| {
+                SolveKey::new(
+                    cell_name,
+                    stage_in_cell,
+                    slot,
+                    out_rising,
+                    earliest,
+                    in_wave,
+                    &load,
+                )
+            });
+            if let Some(k) = key {
+                cache.put_poisoned(k, wave.clone());
+            }
             return Ok(wave);
         }
-        cache.put(key, wave.clone());
+        if !inject.skips_memo() {
+            memo.put(
+                si,
+                slot,
+                ordinal,
+                out_rising,
+                earliest,
+                in_wave,
+                &load,
+                wave.clone(),
+            );
+        }
+        if cache.admit_cost(sig, solved.newton_iters as u64) {
+            let key = key.or_else(|| {
+                SolveKey::new(
+                    cell_name,
+                    stage_in_cell,
+                    slot,
+                    out_rising,
+                    earliest,
+                    in_wave,
+                    &load,
+                )
+            });
+            if let Some(k) = key {
+                cache.put(k, wave.clone());
+            }
+        }
         Ok(wave)
     }
 
@@ -1153,6 +1336,7 @@ impl PropagationCore<'_> {
         quiet_dirty: Option<&[bool]>,
         epsilon: f64,
     ) -> Result<SweepOutput, StaError> {
+        self.exec.memo().ensure(self.graph.stages.len());
         let solver = StageSolver::new(self.process);
         let earliest = policy.earliest();
         let n = self.graph.nodes.len();

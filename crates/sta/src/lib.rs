@@ -59,7 +59,7 @@ pub mod sdf;
 
 pub use diag::{worst_severity, Diagnostic, FaultClass, Severity};
 pub use engine::{Sta, StaError};
-pub use exec::{CacheStats, ExecConfig};
+pub use exec::{CacheAdmission, CacheStats, ExecConfig};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{Fault, FaultPlan};
 pub use incremental::{AnalyzeStats, Edit, EditError, EditOutcome, IncrementalSta};

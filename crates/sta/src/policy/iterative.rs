@@ -74,6 +74,9 @@ pub(crate) fn refine(
         solver_calls: counters.calls,
         newton_solves: counters.solves,
         cache_hits: counters.hits,
+        warm_hits: counters.memo_hits,
+        newton_iters: counters.iters,
+        iter_hist: counters.hist,
     };
 
     // Pass 1: the plain one-step analysis.

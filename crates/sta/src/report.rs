@@ -70,8 +70,18 @@ pub struct PassStat {
     pub solver_calls: usize,
     /// Newton integrations actually performed during the pass.
     pub newton_solves: usize,
-    /// Solver calls answered by the stage-solve cache.
+    /// Solver calls answered by a reuse layer (per-stage warm-start memo or
+    /// the keyed stage-solve cache).
     pub cache_hits: usize,
+    /// Subset of `cache_hits` answered by the per-stage warm-start memo
+    /// (the allocation-free layer).
+    pub warm_hits: usize,
+    /// Total Newton iterations consumed by the pass's integrations — the
+    /// cost metric behind cache admission.
+    pub newton_iters: usize,
+    /// Per-solve Newton-iteration histogram: bucket 0 holds solves under 64
+    /// iterations, then doubling bands to the `>= 4096` tail in bucket 7.
+    pub iter_hist: [usize; 8],
 }
 
 impl PassStat {
@@ -117,10 +127,15 @@ pub struct ModeReport {
     /// Newton integrations actually performed across all passes
     /// (`stage_solves - cache_hits`).
     pub newton_solves: usize,
-    /// Solver calls answered by the stage-solve cache across all passes.
+    /// Solver calls answered by a reuse layer across all passes.
     pub cache_hits: usize,
+    /// Subset of `cache_hits` answered by the per-stage warm-start memo
+    /// across all passes.
+    pub warm_hits: usize,
+    /// Total Newton iterations consumed across all passes.
+    pub newton_iters: usize,
     /// Per-pass work breakdown (delay, solver calls, Newton solves, cache
-    /// hits), in pass order.
+    /// hits, warm hits, iteration histogram), in pass order.
     pub pass_stats: Vec<PassStat>,
     /// Faults contained during the analysis (empty on a clean run). Each
     /// records the degraded node and the conservative bound substituted for
@@ -161,9 +176,10 @@ impl fmt::Display for ModeReport {
             let ratio = self.cache_hits as f64 / self.stage_solves.max(1) as f64;
             write!(
                 f,
-                "   [{} newton, {} cached, {:.0}% hit]",
+                "   [{} newton, {} cached ({} warm), {:.0}% hit]",
                 self.newton_solves,
                 self.cache_hits,
+                self.warm_hits,
                 ratio * 100.0
             )?;
         }
@@ -418,11 +434,16 @@ mod tests {
             stage_solves: 123,
             newton_solves: 100,
             cache_hits: 23,
+            warm_hits: 7,
+            newton_iters: 4200,
             pass_stats: vec![PassStat {
                 delay: 10.5e-9,
                 solver_calls: 123,
                 newton_solves: 100,
                 cache_hits: 23,
+                warm_hits: 7,
+                newton_iters: 4200,
+                iter_hist: [100, 0, 0, 0, 0, 0, 0, 0],
             }],
             diagnostics: Vec::new(),
             runtime: Duration::from_millis(12),
@@ -434,7 +455,7 @@ mod tests {
         // The Display form surfaces the cache breakdown when hits occurred.
         let shown = r.to_string();
         assert!(shown.contains("123 solves"));
-        assert!(shown.contains("23 cached"));
+        assert!(shown.contains("23 cached (7 warm)"));
         let ps = r.pass_stats[0];
         assert!((ps.hit_ratio() - 23.0 / 123.0).abs() < 1e-12);
     }

@@ -47,6 +47,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The stage solver's hot loop must stay allocation-free: a redundant clone
+// of a waveform or buffer in there silently reintroduces per-solve churn.
+#![deny(clippy::redundant_clone)]
 
 pub mod characterize;
 pub mod liberty;
@@ -59,4 +62,6 @@ pub mod stage;
 
 pub use pwl::{Waveform, WaveformError};
 pub use signature::{canon_bits, StableHasher};
-pub use stage::{Coupling, CouplingMode, Load, Snap, StageResult, StageSolver};
+pub use stage::{
+    Coupling, CouplingMode, Load, Snap, SolvedWave, StageResult, StageScratch, StageSolver,
+};

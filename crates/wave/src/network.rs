@@ -60,6 +60,15 @@ impl WarmStart {
         WarmStart::default()
     }
 
+    /// Forgets every stored solution while keeping the allocation, making a
+    /// reused store indistinguishable from a fresh one. Called at the start
+    /// of each stage solve when the store lives in a long-lived
+    /// [`crate::stage::StageScratch`].
+    pub fn reset(&mut self) {
+        self.mids.clear();
+        self.cursor = 0;
+    }
+
     fn begin(&mut self) {
         self.cursor = 0;
     }
@@ -190,9 +199,12 @@ impl<'a> NetworkEval<'a> {
                         (h.i - t.i, h.di_db - t.di_da)
                     };
                     let r = solve_bracketed_from(&mut f, lo, hi, Some(start), 1e-7, 1e-12, 80);
-                    // Final evaluation at the solution refreshes the partials
-                    // stored in `last_head` / `last_tail`.
-                    let _ = f(r.x);
+                    if !r.fresh {
+                        // Refresh the partials stored in `last_head` /
+                        // `last_tail` — only needed when the solver's final
+                        // evaluation was not at the returned root.
+                        let _ = f(r.x);
+                    }
                     solution = r.x;
                 }
                 warm.mids[slot_idx] = solution;

@@ -4,6 +4,12 @@
 //! a sign-changing bracket — robust on the piecewise-linear table models
 //! (whose derivative is discontinuous at cell boundaries) yet quadratically
 //! fast where Newton behaves. This is the iteration the paper adopts in §3.
+//!
+//! [`solve_bracketed`] is the cold-start entry point;
+//! [`solve_bracketed_from`] is the warm-start entry point taking an optional
+//! seed `x0` — both share one implementation (the cold path delegates with
+//! `x0 = None`), so bracket maintenance, damping and the iteration counter
+//! behave identically.
 
 /// Outcome of a [`solve_bracketed`] call.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -12,10 +18,20 @@ pub struct NewtonResult {
     pub x: f64,
     /// Residual `f(x)` at the estimate.
     pub residual: f64,
-    /// Iterations consumed.
+    /// Newton/bisection steps consumed. Endpoint probes are not steps, so
+    /// an endpoint root reports `iterations == 0`; a seeded solve that fell
+    /// back from the fast path to the guarded path reports the steps of
+    /// both.
     pub iterations: usize,
+    /// Total `f` evaluations, endpoint probes included — the true work
+    /// metric for cost accounting.
+    pub evals: usize,
     /// Whether the tolerance was met.
     pub converged: bool,
+    /// Whether the *last* `f` evaluation the solver performed was at `x`.
+    /// Callers whose closure captures side state from each evaluation
+    /// (e.g. partial derivatives) can skip a refresh evaluation when set.
+    pub fresh: bool,
 }
 
 /// Solves `f(x) = 0` for `x` in `[lo, hi]`.
@@ -42,9 +58,30 @@ pub fn solve_bracketed(
     solve_bracketed_from(&mut f, lo, hi, None, x_tol, f_tol, max_iter)
 }
 
+/// Newton steps the seed-trusting fast path may take before handing over
+/// to the guarded path. Warm seeds from an adjacent timestep converge in
+/// one to three steps; anything needing more deserves the safeguards.
+const FAST_MAX: usize = 8;
+
 /// Like [`solve_bracketed`] but starting the iteration at `x0` (when given
-/// and inside the bracket) — used to warm-start from a previous timestep's
-/// solution.
+/// and strictly inside the bracket) — THE warm-start entry point, used to
+/// seed from a previous timestep's solution.
+///
+/// A strictly interior seed first gets a *seed-trusting fast path*: pure
+/// Newton from `x0` with no endpoint probes, which on the smooth
+/// near-converged solves of adjacent timesteps saves the two probe
+/// evaluations entirely. The moment anything looks off — a flat or
+/// non-finite derivative, a step leaving `(lo, hi)`, or no convergence
+/// within a few steps — the solver falls back to the guarded endpoint-probed
+/// bracket path below, reusing the evaluation it already paid for, so the
+/// fallback costs nothing over a cold start.
+///
+/// A stale or poisoned seed is harmless by construction: `x0` outside
+/// `(lo, hi)` (including NaN — every comparison with NaN is false) skips
+/// the fast path and is ignored in favour of the bracket midpoint, and once
+/// on the guarded path the same damped-Newton→bisection safeguards apply as
+/// on the cold path, so a bad seed can cost iterations but never
+/// correctness.
 ///
 /// # Panics
 ///
@@ -61,31 +98,96 @@ pub fn solve_bracketed_from(
     assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
     assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
 
+    let mut evals = 0usize;
+    let mut f = |x: f64| {
+        evals += 1;
+        f(x)
+    };
+
+    // Seed-trusting fast path. On bail-out, `seed` carries the best iterate
+    // into the guarded path and `known` its evaluation (when still valid),
+    // so no work is repeated.
+    let mut seed = x0;
+    let mut known: Option<(f64, f64, f64)> = None;
+    let mut spent = 0usize;
+    if let Some(start) = x0 {
+        if start > lo && start < hi {
+            let mut x = start;
+            for it in 0..FAST_MAX {
+                spent = it + 1;
+                let (fx, dfx) = f(x);
+                if fx.abs() <= f_tol {
+                    return NewtonResult {
+                        x,
+                        residual: fx,
+                        iterations: spent,
+                        evals,
+                        converged: true,
+                        fresh: true,
+                    };
+                }
+                let next = if dfx.abs() > 1e-300 {
+                    x - fx / dfx
+                } else {
+                    f64::NAN
+                };
+                if !next.is_finite() || next <= lo || next >= hi {
+                    known = Some((x, fx, dfx));
+                    break;
+                }
+                if (next - x).abs() <= x_tol {
+                    let (fnext, _) = f(next);
+                    let (rx, rres, fresh) = if fnext.abs() < fx.abs() {
+                        (next, fnext, true)
+                    } else {
+                        (x, fx, false)
+                    };
+                    return NewtonResult {
+                        x: rx,
+                        residual: rres,
+                        iterations: spent,
+                        evals,
+                        converged: true,
+                        fresh,
+                    };
+                }
+                x = next;
+            }
+            seed = Some(x);
+        }
+    }
+
+    // Guarded path: probe the endpoints, establish the bracket, then damped
+    // Newton with bisection fallback.
     let (mut a, mut b) = (lo, hi);
     let (fa, _) = f(a);
-    let (fb, _) = f(b);
     if fa.abs() <= f_tol {
         return NewtonResult {
             x: a,
             residual: fa,
-            iterations: 0,
+            iterations: spent,
+            evals,
             converged: true,
+            fresh: true,
         };
     }
+    let (fb, _) = f(b);
     if fb.abs() <= f_tol {
         return NewtonResult {
             x: b,
             residual: fb,
-            iterations: 0,
+            iterations: spent,
+            evals,
             converged: true,
+            fresh: true,
         };
     }
     let bracketed = (fa > 0.0) != (fb > 0.0);
     let sign_a = fa > 0.0;
     // Without a sign change: fall back to damped Newton from the start
     // point, reporting the best point seen.
-    let mut x = match x0 {
-        Some(x0) if x0 > a && x0 < b => x0,
+    let mut x = match seed {
+        Some(s) if s > a && s < b => s,
         _ => 0.5 * (a + b),
     };
     let mut best = if fa.abs() < fb.abs() {
@@ -93,9 +195,17 @@ pub fn solve_bracketed_from(
     } else {
         (b, fb)
     };
+    // Evaluation carried over from the fast path, valid iff at this `x`.
+    let mut carry = match known {
+        Some((kx, kfx, kdfx)) if kx == x => Some((kfx, kdfx)),
+        _ => None,
+    };
 
     for it in 0..max_iter {
-        let (fx, dfx) = f(x);
+        let (fx, dfx) = match carry.take() {
+            Some(v) => v,
+            None => f(x),
+        };
         if fx.abs() < best.1.abs() {
             best = (x, fx);
         }
@@ -103,8 +213,10 @@ pub fn solve_bracketed_from(
             return NewtonResult {
                 x,
                 residual: fx,
-                iterations: it + 1,
+                iterations: spent + it + 1,
+                evals,
                 converged: true,
+                fresh: true,
             };
         }
         if bracketed {
@@ -126,16 +238,18 @@ pub fn solve_bracketed_from(
         }
         if (next - x).abs() <= x_tol {
             let (fnext, _) = f(next);
-            let (rx, rres) = if fnext.abs() < fx.abs() {
-                (next, fnext)
+            let (rx, rres, fresh) = if fnext.abs() < fx.abs() {
+                (next, fnext, true)
             } else {
-                (x, fx)
+                (x, fx, false)
             };
             return NewtonResult {
                 x: rx,
                 residual: rres,
-                iterations: it + 1,
+                iterations: spent + it + 1,
+                evals,
                 converged: rres.abs() <= f_tol || (next - x).abs() <= x_tol,
+                fresh,
             };
         }
         x = next;
@@ -144,16 +258,20 @@ pub fn solve_bracketed_from(
             return NewtonResult {
                 x,
                 residual: fx,
-                iterations: it + 1,
+                iterations: spent + it + 1,
+                evals,
                 converged: true,
+                fresh: true,
             };
         }
     }
     NewtonResult {
         x: best.0,
         residual: best.1,
-        iterations: max_iter,
+        iterations: spent + max_iter,
+        evals,
         converged: best.1.abs() <= f_tol,
+        fresh: false,
     }
 }
 
@@ -170,6 +288,7 @@ mod tests {
         let r = solve_bracketed(quadratic, 0.0, 2.0, 1e-12, 1e-12, 100);
         assert!(r.converged);
         assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-9, "{}", r.x);
+        assert!(r.evals >= r.iterations + 2, "endpoint probes counted");
     }
 
     #[test]
@@ -210,6 +329,8 @@ mod tests {
         assert!(r.converged);
         assert_eq!(r.x, 0.0);
         assert_eq!(r.iterations, 0);
+        assert_eq!(r.evals, 1, "a root at `lo` needs only the first probe");
+        assert!(r.fresh, "the probe at `lo` is the final evaluation");
     }
 
     #[test]
@@ -233,5 +354,41 @@ mod tests {
         let r = solve_bracketed(f, 0.0, 1.0, 1e-12, 1e-9, 100);
         assert!(r.converged);
         assert!((r.x - 100.0f64.ln() / 20.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn good_seed_cuts_iterations() {
+        let cold = solve_bracketed(quadratic, 0.0, 2.0, 1e-12, 1e-12, 100);
+        let warm = solve_bracketed_from(
+            &mut quadratic,
+            0.0,
+            2.0,
+            Some(std::f64::consts::SQRT_2 + 1e-4),
+            1e-12,
+            1e-12,
+            100,
+        );
+        assert!(warm.converged);
+        assert!((warm.x - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn stale_seed_outside_bracket_falls_back_to_guarded_path() {
+        // A poisoned warm-start seed beyond the bracket must be discarded
+        // (midpoint start) and still converge through the damped-Newton →
+        // bisection guardrail — identical to the cold-start result.
+        let cold = solve_bracketed(quadratic, 0.0, 2.0, 1e-12, 1e-12, 100);
+        for seed in [5.0, -3.0, f64::NAN, f64::INFINITY] {
+            let r = solve_bracketed_from(&mut quadratic, 0.0, 2.0, Some(seed), 1e-12, 1e-12, 100);
+            assert!(r.converged, "seed {seed} must still converge");
+            assert_eq!(r.x.to_bits(), cold.x.to_bits(), "seed {seed}");
+            assert_eq!(r.iterations, cold.iterations, "seed {seed}");
+        }
     }
 }

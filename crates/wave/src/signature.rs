@@ -114,6 +114,8 @@ mod tests {
     }
 
     #[test]
+    // The clone is the point: a clone must hash identically to its source.
+    #[allow(clippy::redundant_clone)]
     fn signature_is_stable_and_discriminating() {
         let a = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
         let b = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");

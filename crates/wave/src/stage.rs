@@ -119,6 +119,48 @@ pub struct StageResult {
     pub raw: Vec<(f64, f64)>,
     /// Timesteps taken.
     pub steps: usize,
+    /// Newton iterations consumed, summed over all timesteps.
+    pub newton_iters: usize,
+}
+
+/// Lean result of [`StageSolver::solve_with`]: the propagated waveform plus
+/// work counters, without the raw trace and snap clones of [`StageResult`]
+/// (those stay in the [`StageScratch`] until the next solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvedWave {
+    /// The propagated output waveform.
+    pub wave: Waveform,
+    /// Timesteps taken.
+    pub steps: usize,
+    /// Newton iterations consumed, summed over all timesteps.
+    pub newton_iters: usize,
+}
+
+/// Reusable workspace for stage solves.
+///
+/// The integrator's hot loop needs several growable buffers (PWL trace,
+/// pending coupling events, node-voltage side values, series-stack
+/// warm-start storage). Allocating them per solve dominates short solves,
+/// so long-lived owners — a wavefront worker, the serial pass driver, a
+/// bench harness — hold one `StageScratch` and pass it to
+/// [`StageSolver::solve_with`]. Every buffer is fully reset at the start of
+/// each solve, so results are bit-identical to a fresh scratch; only the
+/// allocations persist.
+#[derive(Debug, Clone, Default)]
+pub struct StageScratch {
+    gates: Vec<f64>,
+    pending: Vec<(f64, f64)>,
+    points: Vec<(f64, f64)>,
+    snaps: Vec<Snap>,
+    warm_p: WarmStart,
+    warm_n: WarmStart,
+}
+
+impl StageScratch {
+    /// Creates an empty scratch workspace.
+    pub fn new() -> Self {
+        StageScratch::default()
+    }
 }
 
 impl StageResult {
@@ -187,12 +229,34 @@ impl From<WaveformError> for StageError {
 #[derive(Debug, Clone, Copy)]
 pub struct StageSolver<'a> {
     process: &'a Process,
+    warm_newton: bool,
 }
 
 impl<'a> StageSolver<'a> {
     /// Creates a solver bound to a process (device tables, Vdd, thresholds).
+    ///
+    /// Warm-started Newton (trajectory extrapolation of the initial guess,
+    /// see [`StageSolver::with_warm_newton`]) is on by default.
     pub fn new(process: &'a Process) -> Self {
-        StageSolver { process }
+        StageSolver {
+            process,
+            warm_newton: true,
+        }
+    }
+
+    /// Enables or disables the warm-started Newton initial guess.
+    ///
+    /// When on, each backward-Euler step seeds its Newton iteration by
+    /// linearly extrapolating the last two *accepted* trajectory points
+    /// instead of starting from the previous node voltage. The guess is a
+    /// pure function of the solve inputs — results stay deterministic and
+    /// independent of scheduling — but it does change the converged bits
+    /// (fewer, different Newton steps), so A/B comparisons against the
+    /// cold-start integrator must toggle this explicitly.
+    #[must_use]
+    pub fn with_warm_newton(mut self, warm: bool) -> Self {
+        self.warm_newton = warm;
+        self
     }
 
     /// The process this solver evaluates against.
@@ -207,6 +271,9 @@ impl<'a> StageSolver<'a> {
     /// The output direction is the complement of the input direction (all
     /// stages are inverting complementary CMOS).
     ///
+    /// Allocates a fresh [`StageScratch`] per call; hot loops should hold a
+    /// scratch and call [`StageSolver::solve_with`] instead.
+    ///
     /// # Errors
     ///
     /// See [`StageError`].
@@ -218,11 +285,73 @@ impl<'a> StageSolver<'a> {
         side: &[f64],
         load: Load,
     ) -> Result<StageResult, StageError> {
+        let mut scratch = StageScratch::new();
+        let (wave, steps, newton_iters) =
+            self.run(&mut scratch, stage, switching, input, side, &load)?;
+        Ok(StageResult {
+            wave,
+            snaps: std::mem::take(&mut scratch.snaps),
+            raw: std::mem::take(&mut scratch.points),
+            steps,
+            newton_iters,
+        })
+    }
+
+    /// Like [`StageSolver::solve`] but reuses `scratch`'s buffers, borrows
+    /// the load (the caller keeps ownership for caching layers) and skips
+    /// materialising the raw trace and snap list, returning the lean
+    /// [`SolvedWave`]. Results are bit-identical to [`StageSolver::solve`]
+    /// for the same inputs regardless of what the scratch previously held.
+    ///
+    /// # Errors
+    ///
+    /// See [`StageError`].
+    pub fn solve_with(
+        &self,
+        scratch: &mut StageScratch,
+        stage: &Stage,
+        switching: usize,
+        input: &Waveform,
+        side: &[f64],
+        load: &Load,
+    ) -> Result<SolvedWave, StageError> {
+        let (wave, steps, newton_iters) = self.run(scratch, stage, switching, input, side, load)?;
+        Ok(SolvedWave {
+            wave,
+            steps,
+            newton_iters,
+        })
+    }
+
+    /// The shared integrator behind [`StageSolver::solve`] and
+    /// [`StageSolver::solve_with`]. Returns `(wave, steps, newton_iters)`;
+    /// the raw trace and fired snaps are left in `scratch`.
+    fn run(
+        &self,
+        scratch: &mut StageScratch,
+        stage: &Stage,
+        switching: usize,
+        input: &Waveform,
+        side: &[f64],
+        load: &Load,
+    ) -> Result<(Waveform, usize, usize), StageError> {
+        // Disjoint borrows of every buffer; each is fully reset below, so a
+        // reused scratch is indistinguishable from a fresh one.
+        let StageScratch {
+            gates,
+            pending,
+            points,
+            snaps,
+            warm_p,
+            warm_n,
+        } = scratch;
+
         let n_slots = stage.inputs.len();
         if switching >= n_slots {
             return Err(StageError::BadSlot { slot: switching });
         }
-        let mut gates = vec![0.0f64; n_slots];
+        gates.clear();
+        gates.resize(n_slots, 0.0);
         for (slot, gate) in gates.iter_mut().enumerate() {
             if slot == switching {
                 continue;
@@ -245,20 +374,21 @@ impl<'a> StageSolver<'a> {
         let ctot = load.total_cap().max(1e-18);
 
         // Active couplings: trigger voltages and divider steps (§2).
-        let mut pending: Vec<(f64, f64)> = load
-            .couplings
-            .iter()
-            .filter(|c| c.mode == CouplingMode::Active)
-            .map(|c| {
-                let dv = vdd * c.c / ctot;
-                let trig = if rising {
-                    (vth + dv).min(0.98 * vdd)
-                } else {
-                    (vdd - vth - dv).max(0.02 * vdd)
-                };
-                (trig, dv)
-            })
-            .collect();
+        pending.clear();
+        pending.extend(
+            load.couplings
+                .iter()
+                .filter(|c| c.mode == CouplingMode::Active)
+                .map(|c| {
+                    let dv = vdd * c.c / ctot;
+                    let trig = if rising {
+                        (vth + dv).min(0.98 * vdd)
+                    } else {
+                        (vdd - vth - dv).max(0.02 * vdd)
+                    };
+                    (trig, dv)
+                }),
+        );
         if rising {
             pending.sort_by(|a, b| a.0.total_cmp(&b.0));
         } else {
@@ -268,16 +398,20 @@ impl<'a> StageSolver<'a> {
 
         let ev_p = NetworkEval::new(self.process, DeviceType::Pmos);
         let ev_n = NetworkEval::new(self.process, DeviceType::Nmos);
-        let mut warm_p = WarmStart::new();
-        let mut warm_n = WarmStart::new();
+        warm_p.reset();
+        warm_n.reset();
 
         let t0 = input.start_time();
         let input_end = input.end_time();
         let input_dur = (input_end - t0).max(1e-14);
         let mut t = t0;
         let mut v = if rising { 0.0 } else { vdd };
-        let mut points: Vec<(f64, f64)> = vec![(t, v)];
-        let mut snaps: Vec<Snap> = Vec::new();
+        points.clear();
+        points.push((t, v));
+        snaps.clear();
+        // Previous *accepted* trajectory point, for the warm-started Newton
+        // initial guess. None across discontinuities (start, snap restarts).
+        let mut last_accepted: Option<(f64, f64)> = None;
 
         let h_min = 1e-15;
         let h_max = 2e-10;
@@ -287,6 +421,7 @@ impl<'a> StageSolver<'a> {
 
         let max_steps = 200_000usize;
         let mut steps = 0usize;
+        let mut newton_iters = 0usize;
         loop {
             steps += 1;
             if steps > max_steps {
@@ -303,10 +438,25 @@ impl<'a> StageSolver<'a> {
             gates[switching] = vin;
 
             // Backward Euler: ctot*(v1 - v)/h = i_net(t1, v1), Newton on v1.
+            // Warm start: extrapolate the last two accepted points to t1 —
+            // on the smooth segments between snaps the trajectory is locally
+            // linear, so the seed lands within one Newton step of the root.
             let mut v1 = v;
+            if self.warm_newton {
+                if let Some((tp, vp)) = last_accepted {
+                    let dt = t - tp;
+                    if dt > 0.0 {
+                        let guess = v + (v - vp) / dt * h_eff;
+                        if guess.is_finite() {
+                            v1 = guess.clamp(-0.5, vdd + 0.5);
+                        }
+                    }
+                }
+            }
             for _ in 0..14 {
-                let pu = ev_p.current(&stage.pullup, v1, vdd, &gates, &mut warm_p);
-                let pd = ev_n.current(&stage.pulldown, v1, 0.0, &gates, &mut warm_n);
+                newton_iters += 1;
+                let pu = ev_p.current(&stage.pullup, v1, vdd, gates, &mut *warm_p);
+                let pd = ev_n.current(&stage.pulldown, v1, 0.0, gates, &mut *warm_n);
                 let i_net = -(pu.i + pd.i); // current *into* the output node
                 let di_dv = -(pu.di_da + pd.di_da);
                 let g = ctot * (v1 - v) / h_eff - i_net;
@@ -339,6 +489,7 @@ impl<'a> StageSolver<'a> {
                 h = (h_eff * 0.5).max(h_min);
                 continue;
             }
+            last_accepted = Some((t, v));
             t = t1;
             v = v1;
             points.push((t, v));
@@ -370,6 +521,9 @@ impl<'a> StageSolver<'a> {
                 pending.remove(0);
                 t = t_after;
                 v = reset_v;
+                // The snap is a discontinuity — extrapolating across it
+                // would seed Newton far from the restarted trajectory.
+                last_accepted = None;
             }
 
             // Grow the step when the node barely moves.
@@ -415,12 +569,7 @@ impl<'a> StageSolver<'a> {
             final_pts = vec![(last.0 - 1e-15, reset_v), last];
         }
         let wave = Waveform::new(final_pts)?.simplify(2e-3);
-        Ok(StageResult {
-            wave,
-            snaps,
-            raw: points,
-            steps,
-        })
+        Ok((wave, steps, newton_iters))
     }
 }
 
@@ -806,6 +955,76 @@ mod tests {
         assert!(
             extra > 0.3 * est && extra < 3.0 * est,
             "extra {extra} vs estimate {est}"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // solve_with over one reused scratch must reproduce solve() exactly
+        // — same waveform bits, same step and iteration counts — no matter
+        // what the previous solve left in the buffers.
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let nand = l.cell("NAND2X1").expect("nand");
+        let solver = StageSolver::new(&p);
+        let mut scratch = StageScratch::new();
+        let inputs = [falling_input(&p), rising_input(&p)];
+        let loads = [
+            Load::grounded(12e-15),
+            Load {
+                cground: 25e-15,
+                couplings: vec![Coupling::new(10e-15, CouplingMode::Active)],
+            },
+        ];
+        let nand_side = [p.vdd, p.vdd];
+        let arcs: [(&Stage, &[f64]); 2] = [(&inv.stages[0], &[]), (&nand.stages[0], &nand_side)];
+        for input in &inputs {
+            for load in &loads {
+                for &(stage, side) in &arcs {
+                    let fresh = solver
+                        .solve(stage, 0, input, side, load.clone())
+                        .expect("fresh solve");
+                    let lean = solver
+                        .solve_with(&mut scratch, stage, 0, input, side, load)
+                        .expect("scratch solve");
+                    assert_eq!(fresh.wave, lean.wave, "waveform bits differ");
+                    assert_eq!(fresh.steps, lean.steps);
+                    assert_eq!(fresh.newton_iters, lean.newton_iters);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_newton_cuts_iterations() {
+        // The extrapolated initial guess must strictly reduce Newton work on
+        // a plain smooth transition while landing on (numerically) the same
+        // delay — both integrators converge to the 1e-6 V step tolerance.
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let warm = StageSolver::new(&p);
+        let cold = StageSolver::new(&p).with_warm_newton(false);
+        let input = falling_input(&p);
+        let load = Load::grounded(40e-15);
+        let rw = warm
+            .solve(&inv.stages[0], 0, &input, &[], load.clone())
+            .expect("warm");
+        let rc = cold
+            .solve(&inv.stages[0], 0, &input, &[], load)
+            .expect("cold");
+        assert!(
+            rw.newton_iters < rc.newton_iters,
+            "warm {} must beat cold {}",
+            rw.newton_iters,
+            rc.newton_iters
+        );
+        assert!(rw.newton_iters > 0 && rc.newton_iters >= rc.steps);
+        let th = p.delay_threshold();
+        let dw = rw.delay_from(&input, th).expect("warm delay");
+        let dc = rc.delay_from(&input, th).expect("cold delay");
+        assert!(
+            (dw - dc).abs() < 0.02 * dc,
+            "warm delay {dw} vs cold delay {dc}"
         );
     }
 }

@@ -18,7 +18,10 @@
 //!
 //! `--threads N` sizes the wavefront scheduler's worker pool (`1` forces
 //! the serial engine); it overrides the `XTALK_THREADS` environment
-//! variable. `XTALK_CACHE=0` disables the stage-solve cache.
+//! variable. `XTALK_CACHE=0` disables the stage-solve cache;
+//! `--cache-admission=all|cost` (or `XTALK_CACHE_ADMISSION`) picks the
+//! cache admission policy (default `cost`: only solves whose measured
+//! Newton-iteration cost clears the adaptive floor are inserted).
 //!
 //! Recoverable analysis faults degrade to conservative bounds and are
 //! listed as diagnostics; [`run_with_code`] keys the exit code to the worst
@@ -35,7 +38,9 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use xtalk_netlist::{GeneratorConfig, Netlist};
-use xtalk_sta::{AnalysisMode, ExecConfig, IncrementalSta, ModeReport, Severity, Sta};
+use xtalk_sta::{
+    AnalysisMode, CacheAdmission, ExecConfig, IncrementalSta, ModeReport, Severity, Sta,
+};
 use xtalk_tech::{Library, Process};
 
 /// A CLI failure, printed to stderr by the binary.
@@ -77,6 +82,13 @@ MODES: best | doubled | worst | onestep | iterative (default) | esperance | min
 
 PARALLELISM: --threads N sizes the wavefront worker pool (1 = serial engine);
 overrides XTALK_THREADS. XTALK_CACHE=0 disables the stage-solve cache.
+
+CACHING: --cache-admission=all|cost (or XTALK_CACHE_ADMISSION) picks the
+stage-solve cache admission policy. The default `cost` caches only solves
+whose measured Newton-iteration cost clears an adaptive floor, keeping the
+cache out of the way of cheap shallow stages; `all` caches every solve.
+Either way, results are bit-identical — admission changes what is reused,
+never what is computed.
 
 ROBUSTNESS: recoverable solver faults degrade the affected node to a
 conservative bound and are listed as diagnostics; the exit code is 0 for a
@@ -203,14 +215,19 @@ fn split_flags(args: &[String]) -> (Vec<&str>, Vec<(&str, Option<&str>)>) {
     while i < args.len() {
         let a = args[i].as_str();
         if let Some(name) = a.strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .map(String::as_str)
-                .filter(|v| !v.starts_with("--"));
-            if value.is_some() {
-                i += 1;
+            // `--flag=value` and `--flag value` are equivalent.
+            if let Some((n, v)) = name.split_once('=') {
+                flags.push((n, Some(v)));
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .map(String::as_str)
+                    .filter(|v| !v.starts_with("--"));
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name, value));
             }
-            flags.push((name, value));
         } else {
             pos.push(a);
         }
@@ -233,6 +250,14 @@ fn exec_config(flags: &[(&str, Option<&str>)]) -> Result<ExecConfig, CliError> {
             .filter(|&t| t >= 1)
             .ok_or_else(|| err("--threads expects an integer >= 1"))?;
         config = config.with_threads(threads);
+    }
+    if let Some(admission) = flag(flags, "cache-admission") {
+        let admission = match admission {
+            Some("all") => CacheAdmission::All,
+            Some("cost") => CacheAdmission::Cost,
+            _ => return Err(err("--cache-admission expects `all` or `cost`")),
+        };
+        config = config.with_cache_admission(admission);
     }
     if flag(flags, "strict").is_some() {
         config = config.with_strict(true);
@@ -290,15 +315,20 @@ fn diagnostics_block(report: &ModeReport) -> String {
 }
 
 /// One-line solver-work summary: logical calls, Newton integrations
-/// actually run, and stage-solve cache hits.
+/// actually run (with their total iteration count), and reuse-layer hits
+/// (warm = the per-stage memo subset).
 fn solver_summary(report: &ModeReport) -> String {
     let mut line = format!(
-        "solver: {} calls, {} newton solves",
-        report.stage_solves, report.newton_solves
+        "solver: {} calls, {} newton solves, {} newton iters",
+        report.stage_solves, report.newton_solves, report.newton_iters
     );
     if report.cache_hits > 0 {
         let ratio = 100.0 * report.cache_hits as f64 / report.stage_solves.max(1) as f64;
-        let _ = write!(line, ", {} cache hits ({ratio:.0}%)", report.cache_hits);
+        let _ = write!(
+            line,
+            ", {} cache hits ({ratio:.0}%, {} warm)",
+            report.cache_hits, report.warm_hits
+        );
     }
     line
 }
@@ -597,11 +627,14 @@ fn cmd_eco(args: &[String]) -> Result<(String, Option<Severity>), CliError> {
     let cache = eco.cache_stats();
     let _ = writeln!(
         out,
-        "cache: {} hits, {} misses, {} evictions ({:.0}% hit)",
+        "cache: {} hits, {} misses, {} evictions ({:.0}% hit; \
+         admission {} admitted, {} skipped)",
         cache.hits,
         cache.misses,
         cache.evictions,
-        100.0 * cache.hit_ratio()
+        100.0 * cache.hit_ratio(),
+        cache.admitted,
+        cache.skipped
     );
     let _ = write!(out, "{}", diagnostics_block(&report));
 
@@ -795,6 +828,46 @@ mod tests {
         assert_eq!(delay(&serial), delay(&par));
         assert!(run(&argv(&["report", &bench, "--threads", "0"])).is_err());
         assert!(run(&argv(&["report", &bench, "--threads"])).is_err());
+    }
+
+    #[test]
+    fn cache_admission_flag_parses_and_never_changes_results() {
+        let bench = tmp("t9.bench");
+        run(&argv(&[
+            "generate", "--preset", "small", "--seed", "13", &bench,
+        ]))
+        .expect("generate");
+        let cost = run(&argv(&[
+            "report",
+            &bench,
+            "--mode",
+            "iterative",
+            "--cache-admission",
+            "cost",
+        ]))
+        .expect("cost admission");
+        // `--flag=value` spelling must parse identically.
+        let all = run(&argv(&[
+            "report",
+            &bench,
+            "--mode",
+            "iterative",
+            "--cache-admission=all",
+        ]))
+        .expect("admit-all");
+        let delay = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("path delay"))
+                .and_then(|l| l.split('(').next())
+                .map(str::to_string)
+        };
+        assert_eq!(
+            delay(&cost),
+            delay(&all),
+            "admission changes reuse, never results"
+        );
+        assert!(cost.contains("newton iters"), "{cost}");
+        assert!(run(&argv(&["report", &bench, "--cache-admission", "sometimes"])).is_err());
     }
 
     #[test]

@@ -162,6 +162,55 @@ proptest! {
         prop_assert!(cold.passes == 1 || cold.cache_hits > 0);
     }
 
+    /// Warm-started solving is invisible in the results: an analyzer whose
+    /// reuse layers (per-stage warm-start memo, cost-admitted solve cache)
+    /// are fully populated by earlier runs produces bit-identical reports
+    /// to a fully cold uncached engine — serial and threaded, every mode.
+    #[test]
+    fn warm_start_matches_cold_start_bitwise(seed in 0u64..1000, gates in 24usize..48) {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        let netlist = xtalk::netlist::generator::generate(
+            &tiny_config(seed, gates, 5), &library).expect("generate");
+        let placement = xtalk::layout::place::place(&netlist, &library, &process);
+        let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+        let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+        for mode in [
+            AnalysisMode::BestCase,
+            AnalysisMode::StaticDoubled,
+            AnalysisMode::WorstCase,
+            AnalysisMode::OneStep,
+            AnalysisMode::Iterative { esperance: false },
+            AnalysisMode::MinDelay,
+        ] {
+            let reference = Sta::with_config(&netlist, &library, &process, &parasitics,
+                ExecConfig::serial().with_cache(false)).expect("sta")
+                .analyze(mode).expect("cold uncached");
+            for threaded in [false, true] {
+                let config = if threaded {
+                    ExecConfig::serial().with_threads(4).with_serial_cutoff(0)
+                } else {
+                    ExecConfig::serial()
+                };
+                let sta = Sta::with_config(&netlist, &library, &process, &parasitics,
+                    config).expect("sta");
+                let cold = sta.analyze(mode).expect("cold cached");
+                let warm = sta.analyze(mode).expect("warm rerun");
+                for r in [&cold, &warm] {
+                    prop_assert_eq!(r.longest_delay.to_bits(), reference.longest_delay.to_bits(),
+                        "{} threaded={}: warm/cold divergence", mode, threaded);
+                    prop_assert_eq!(r.endpoint_net, reference.endpoint_net);
+                    prop_assert_eq!(r.pass_delays.len(), reference.pass_delays.len());
+                    for (x, y) in r.pass_delays.iter().zip(&reference.pass_delays) {
+                        prop_assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                // The warm rerun never re-integrates anything.
+                prop_assert_eq!(warm.newton_solves, 0, "{} threaded={}", mode, threaded);
+            }
+        }
+    }
+
     /// SPEF roundtrip is lossless for any generated layout.
     #[test]
     fn spef_roundtrip_lossless(seed in 0u64..10_000) {
