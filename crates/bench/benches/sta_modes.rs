@@ -20,6 +20,12 @@
 //! cold-start Newton, warm-started Newton, and warm-started Newton over a
 //! reused scratch — asserting the warm seed strictly cuts total Newton
 //! iterations and that scratch reuse changes nothing but allocations.
+//!
+//! A fourth section (`serve_layer`) runs the same analysis through the
+//! timing-service daemon three ways — first-client cold, disk-warm after
+//! a daemon restart on the populated solve store, and resident-warm —
+//! asserting bit-identity throughout and that the disk-warm restart
+//! strictly cuts Newton iterations versus the cold start.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::fmt::Write as _;
@@ -105,7 +111,7 @@ fn cpu_seconds() -> Option<f64> {
 /// record per measurement to `BENCH_sta.json`.
 fn report_exec_layer(d: &Design, label: &str) {
     let mode = AnalysisMode::Iterative { esperance: false };
-    let threads = ExecConfig::from_env().threads;
+    let threads = ExecConfig::from_env().expect("exec config").threads;
 
     let baseline_sta = Sta::with_config(
         &d.netlist,
@@ -123,7 +129,7 @@ fn report_exec_layer(d: &Design, label: &str) {
         &d.library,
         &d.process,
         &d.parasitics,
-        ExecConfig::from_env(),
+        ExecConfig::from_env().expect("exec config"),
     )
     .expect("sta");
     let (cached, cached_wall, cached_cpu) = timed(|| cached_sta.analyze(mode).expect("cached"));
@@ -233,6 +239,7 @@ fn report_exec_layer(d: &Design, label: &str) {
     }
     rows_json.extend(report_graph_layer(d, label));
     rows_json.extend(report_solver_layer(d, label));
+    rows_json.extend(report_serve_layer(d, label));
     write_bench_json(rows_json, label);
 }
 
@@ -433,6 +440,123 @@ fn report_solver_layer(d: &Design, label: &str) -> Vec<String> {
         assert_eq!(fresh.newton_iters, lean.newton_iters);
     }
 
+    rows
+}
+
+/// One-shot measurement of the timing-service layer: the refinement-mode
+/// analysis served three ways over a Unix socket in-process —
+///
+/// - `serve_cold`: the first client analysis against a fresh daemon with
+///   an empty solve store (pays the full Newton bill, populates the store
+///   through the write-behind journal);
+/// - `serve_disk_warm`: a fresh daemon restarted on that populated store,
+///   first client analysis (replayed entries answer solves from disk);
+/// - `serve_resident_warm`: a repeat analysis against the still-resident
+///   session (the per-session arrival memo answers everything).
+///
+/// Asserts all three delays are bit-identical and that the disk-warm
+/// restart solves strictly fewer Newton iterations than the cold start.
+fn report_serve_layer(d: &Design, label: &str) -> Vec<String> {
+    use std::time::Duration;
+    use xtalk::sta::serve::{Client, Daemon, Json, ServeConfig};
+
+    let dir = std::env::temp_dir().join(format!("xtalk_bench_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let netlist_path = dir.join(format!("{label}.bench"));
+    let text = xtalk::netlist::bench::write(&d.netlist, &d.library).expect("bench text");
+    std::fs::write(&netlist_path, text).expect("write netlist");
+    let store = dir.join(format!("{label}.store"));
+    let _ = std::fs::remove_file(&store);
+    let socket = dir.join(format!("{label}.sock"));
+
+    let start = |socket: &std::path::Path, store: &std::path::Path| {
+        let daemon = Daemon::bind(ServeConfig {
+            socket: socket.to_path_buf(),
+            store: Some(store.to_path_buf()),
+            exec: ExecConfig::from_env().expect("exec config"),
+        })
+        .expect("bind daemon");
+        std::thread::spawn(move || daemon.run().expect("daemon run"))
+    };
+    let load = |client: &mut Client| {
+        let resp = client
+            .load("bench", &netlist_path.to_string_lossy(), None)
+            .expect("load");
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        resp.get("store_replayed")
+            .and_then(Json::as_u64)
+            .expect("store_replayed")
+    };
+    // (delay bits, newton iters, cache hits, wall s, cpu s) of one served
+    // analysis. CPU covers the daemon too: it runs as threads of this
+    // process, so `/proc/self/stat` sees its solver work.
+    let analyze = |client: &mut Client| {
+        let (resp, wall, cpu) =
+            timed(|| client.analyze("bench", Some("iterative")).expect("analyze"));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        let field = |name: &str| resp.get(name).and_then(Json::as_u64).expect("report field");
+        let bits = resp
+            .str_field("delay_bits")
+            .expect("delay_bits")
+            .to_string();
+        (bits, field("newton_iters"), field("cache_hits"), wall, cpu)
+    };
+
+    // Generation 1: cold daemon, empty store.
+    let daemon = start(&socket, &store);
+    let mut client = Client::connect_retry(&socket, Duration::from_secs(10)).expect("connect");
+    assert_eq!(load(&mut client), 0, "the store starts empty");
+    let cold = analyze(&mut client);
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    // Generation 2: fresh daemon on the store the cold run populated.
+    let daemon = start(&socket, &store);
+    let mut client = Client::connect_retry(&socket, Duration::from_secs(10)).expect("connect");
+    let replayed = load(&mut client);
+    assert!(replayed > 0, "the cold run populated the store");
+    let disk_warm = analyze(&mut client);
+    let resident_warm = analyze(&mut client);
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    assert_eq!(cold.0, disk_warm.0, "disk-warm delay diverged from cold");
+    assert_eq!(cold.0, resident_warm.0, "resident-warm delay diverged");
+    assert!(
+        disk_warm.1 < cold.1,
+        "a disk-warm daemon restart must solve strictly fewer Newton \
+         iterations than a cold start ({} vs {})",
+        disk_warm.1,
+        cold.1
+    );
+
+    let mut rows = Vec::new();
+    for (engine, m, gen_replayed) in [
+        ("serve_cold", &cold, 0),
+        ("serve_disk_warm", &disk_warm, replayed),
+        ("serve_resident_warm", &resident_warm, replayed),
+    ] {
+        println!(
+            "serve_layer/{label}: {engine} {:.3} s wall / {:.3} s cpu \
+             ({} newton iters, {} hits, {gen_replayed} replayed)",
+            m.3, m.4, m.1, m.2
+        );
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{{\"bench\": \"sta_modes\", \"section\": \"serve_layer\", \
+             \"engine\": \"{engine}\", \"scale\": \"{label}\", \
+             \"gates\": {}, \"wall_s\": {:.6}, \"cpu_s\": {:.6}, \
+             \"newton_iters\": {}, \"cache_hits\": {}, \
+             \"store_replayed\": {gen_replayed}}}",
+            d.netlist.gate_count(),
+            m.3,
+            m.4,
+            m.1,
+            m.2,
+        );
+        rows.push(row);
+    }
     rows
 }
 

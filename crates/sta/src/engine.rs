@@ -59,6 +59,9 @@ pub enum StaError {
         /// Longest-path delay of the diverging pass, seconds.
         delay: f64,
     },
+    /// An execution-configuration environment variable held a malformed
+    /// value (see [`crate::exec::ConfigError`]).
+    Config(crate::exec::ConfigError),
 }
 
 impl std::fmt::Display for StaError {
@@ -77,6 +80,7 @@ impl std::fmt::Display for StaError {
                 "iterative refinement diverged (pass delay rose to {:.4} ns)",
                 delay * 1e9
             ),
+            StaError::Config(e) => write!(f, "execution configuration rejected: {e}"),
         }
     }
 }
@@ -86,6 +90,7 @@ impl std::error::Error for StaError {
         match self {
             StaError::Netlist(e) => Some(e),
             StaError::Stage { source, .. } => Some(source),
+            StaError::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -94,6 +99,12 @@ impl std::error::Error for StaError {
 impl From<NetlistError> for StaError {
     fn from(e: NetlistError) -> Self {
         StaError::Netlist(e)
+    }
+}
+
+impl From<crate::exec::ConfigError> for StaError {
+    fn from(e: crate::exec::ConfigError) -> Self {
+        StaError::Config(e)
     }
 }
 
@@ -114,7 +125,8 @@ impl<'a> Sta<'a> {
     /// # Errors
     ///
     /// [`StaError::Netlist`] when the netlist does not expand to a DAG or
-    /// references unknown cells.
+    /// references unknown cells; [`StaError::Config`] when an `XTALK_*`
+    /// environment override holds a malformed value.
     pub fn new(
         netlist: &'a Netlist,
         library: &'a Library,
@@ -126,7 +138,7 @@ impl<'a> Sta<'a> {
             library,
             process,
             parasitics,
-            ExecConfig::from_env(),
+            ExecConfig::from_env()?,
         )
     }
 

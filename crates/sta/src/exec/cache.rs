@@ -86,24 +86,27 @@ impl CacheStats {
 }
 
 /// Exact-match identity of one stage solve.
+///
+/// Fields are `pub(crate)` so the on-disk solve store (`crate::serve`)
+/// can serialize and rebuild keys without widening the public API.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct SolveKey {
     /// Library cell name: the stable identity of the stage definition
     /// (stage index within the cell below). Survives ECO graph rebuilds.
-    cell: String,
+    pub(crate) cell: String,
     /// Stage index within the cell.
-    stage: u32,
+    pub(crate) stage: u32,
     /// Switching input slot.
-    slot: u32,
+    pub(crate) slot: u32,
     /// Bit 0: output rising; bit 1: earliest (min-delay side values).
-    flags: u8,
+    pub(crate) flags: u8,
     /// Canonical bit pairs of the input waveform's points.
-    wave: Vec<(u64, u64)>,
+    pub(crate) wave: Vec<(u64, u64)>,
     /// Canonical bits of the grounded load capacitance.
-    cground: u64,
+    pub(crate) cground: u64,
     /// Canonical bits + treatment of each coupling cap, in load order
     /// (order matters: the solver breaks snap-time ties by position).
-    couplings: Vec<(u64, u8)>,
+    pub(crate) couplings: Vec<(u64, u8)>,
 }
 
 pub(crate) fn mode_byte(mode: CouplingMode) -> u8 {
@@ -146,6 +149,52 @@ impl SolveKey {
                 .map(|c| (canon_bits(c.c), mode_byte(c.mode)))
                 .collect(),
         })
+    }
+
+    /// Rebuilds a key from its serialized parts (the on-disk solve store's
+    /// deserialization path). The parts are trusted to be canonical — they
+    /// were produced by [`SolveKey::new`] before being written, and the
+    /// store's checksum guards the bytes in between.
+    pub(crate) fn from_parts(
+        cell: String,
+        stage: u32,
+        slot: u32,
+        flags: u8,
+        wave: Vec<(u64, u64)>,
+        cground: u64,
+        couplings: Vec<(u64, u8)>,
+    ) -> Self {
+        SolveKey {
+            cell,
+            stage,
+            slot,
+            flags,
+            wave,
+            cground,
+            couplings,
+        }
+    }
+
+    /// The admission signature of this key — bit-identical to what
+    /// [`admission_sig`] produces for the original solver inputs, so a key
+    /// replayed from the on-disk store can re-earn its admission-set entry
+    /// (under cost-aware admission, lookups only happen for admitted
+    /// signatures).
+    pub(crate) fn admission_sig(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_bytes(self.cell.as_bytes());
+        h.write_u64(u64::from(self.stage) << 32 | u64::from(self.slot));
+        h.write_u64(u64::from(self.flags));
+        for &(t, v) in &self.wave {
+            h.write_u64(t);
+            h.write_u64(v);
+        }
+        h.write_u64(self.cground);
+        for &(c, mode) in &self.couplings {
+            h.write_u64(c);
+            h.write_u64(u64::from(mode));
+        }
+        h.finish()
     }
 
     /// Stable shard hash (FNV-1a; independent of the std `HashMap` seed).
@@ -236,6 +285,12 @@ pub(crate) struct SolveCache {
     integrity_evictions: AtomicU64,
     admitted_count: AtomicU64,
     skipped: AtomicU64,
+    /// Write-behind journal for the on-disk solve store: when enabled,
+    /// every [`SolveCache::put`] also appends a clone here, and the serve
+    /// daemon drains the journal to the store after each request. The
+    /// atomic flag keeps the disabled (batch CLI) hot path lock-free.
+    journal_on: std::sync::atomic::AtomicBool,
+    journal: Mutex<Vec<(SolveKey, Waveform)>>,
 }
 
 /// Solves admitted unconditionally while the running cost mean warms up.
@@ -262,7 +317,43 @@ impl SolveCache {
             integrity_evictions: AtomicU64::new(0),
             admitted_count: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
+            journal_on: std::sync::atomic::AtomicBool::new(false),
+            journal: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Turns on the write-behind journal: every subsequent insert is also
+    /// recorded for [`SolveCache::drain_journal`]. Idempotent.
+    pub(crate) fn enable_journal(&self) {
+        self.journal_on.store(true, Ordering::Release);
+    }
+
+    /// Takes every journaled insert since the last drain, in insert order.
+    pub(crate) fn drain_journal(&self) -> Vec<(SolveKey, Waveform)> {
+        std::mem::take(&mut *lock(&self.journal))
+    }
+
+    /// Seeds an entry replayed from the on-disk store: marks its signature
+    /// admitted (so cost-aware lookups actually probe it) and inserts it
+    /// without touching the journal or the admission counters. The entry
+    /// is exact-match-keyed and checksummed like any live insert, so a
+    /// corrupt or stale preload can never change a reported arrival.
+    pub(crate) fn preload(&self, key: SolveKey, wave: Waveform) {
+        if !self.enabled() {
+            return;
+        }
+        let sig = key.admission_sig();
+        if self.admission == CacheAdmission::Cost {
+            lock(&self.admitted[(sig as usize) & (SHARDS - 1)]).insert(sig);
+        }
+        let mut shard = lock(&self.shards[key.shard()]);
+        if shard.len() >= self.shard_capacity {
+            self.evictions
+                .fetch_add(shard.len() as u64, Ordering::Relaxed);
+            shard.clear();
+        }
+        let checksum = wave.signature();
+        shard.insert(key, (checksum, wave));
     }
 
     pub(crate) fn enabled(&self) -> bool {
@@ -353,6 +444,9 @@ impl SolveCache {
     pub(crate) fn put(&self, key: SolveKey, wave: Waveform) {
         if !self.enabled() {
             return;
+        }
+        if self.journal_on.load(Ordering::Acquire) {
+            lock(&self.journal).push((key.clone(), wave.clone()));
         }
         let mut shard = lock(&self.shards[key.shard()]);
         if shard.len() >= self.shard_capacity {
@@ -555,6 +649,72 @@ mod tests {
         assert!(cache.wants(42), "All-mode lookups never need admission");
         assert!(cache.admit_cost(42, 0), "All-mode stores everything");
         assert_eq!(cache.stats().skipped, 0);
+    }
+
+    #[test]
+    fn key_admission_sig_matches_the_streaming_signature() {
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let load = Load {
+            cground: 2e-15,
+            couplings: vec![Coupling::new(1e-15, CouplingMode::Active)],
+        };
+        let streamed = admission_sig("NAND2X1", 1, 0, false, true, &w, &load).expect("finite");
+        let key = SolveKey::new("NAND2X1", 1, 0, false, true, &w, &load).expect("finite");
+        assert_eq!(
+            key.admission_sig(),
+            streamed,
+            "a replayed key must re-earn the identical admission signature"
+        );
+        // And from_parts round-trips the key bit-exactly.
+        let rebuilt = SolveKey::from_parts(
+            key.cell.clone(),
+            key.stage,
+            key.slot,
+            key.flags,
+            key.wave.clone(),
+            key.cground,
+            key.couplings.clone(),
+        );
+        assert_eq!(rebuilt, key);
+        assert_eq!(rebuilt.admission_sig(), streamed);
+    }
+
+    #[test]
+    fn journal_records_inserts_only_when_enabled() {
+        let cache = SolveCache::new(true, 1024, CacheAdmission::All);
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        cache.put(key(0, 1e-15), w.clone());
+        assert!(cache.drain_journal().is_empty(), "journal off by default");
+        cache.enable_journal();
+        cache.put(key(1, 1e-15), w.clone());
+        cache.put(key(2, 1e-15), w.clone());
+        let drained = cache.drain_journal();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, key(1, 1e-15));
+        assert!(
+            cache.drain_journal().is_empty(),
+            "drain empties the journal"
+        );
+        // Preloads are not journaled — they came from disk to begin with.
+        cache.preload(key(3, 1e-15), w);
+        assert!(cache.drain_journal().is_empty());
+    }
+
+    #[test]
+    fn preload_is_looked_up_even_under_cost_admission() {
+        let cache = SolveCache::new(true, 1024, CacheAdmission::Cost);
+        let w = Waveform::ramp(0.0, 1e-9, 0.0, 3.3).expect("ramp");
+        let k = key(0, 1e-15);
+        assert!(
+            !cache.wants(k.admission_sig()),
+            "nothing admitted on a fresh cache"
+        );
+        cache.preload(k.clone(), w.clone());
+        assert!(
+            cache.wants(k.admission_sig()),
+            "preload must re-admit the signature or the entry is dead weight"
+        );
+        assert_eq!(cache.get(&k), Lookup::Hit(w));
     }
 
     #[test]

@@ -21,9 +21,70 @@ pub(crate) mod memo;
 pub(crate) mod pool;
 pub(crate) mod wavefront;
 
+use std::fmt;
 use std::sync::OnceLock;
 
 pub use cache::{CacheAdmission, CacheStats};
+
+/// A rejected execution-configuration value.
+///
+/// Environment overrides used to fall back to defaults silently when a
+/// variable held junk (`XTALK_THREADS=banana` quietly ran with auto
+/// threads). A long-lived service cannot afford that: a typo in a deploy
+/// manifest must fail loudly at startup, not degrade performance for weeks.
+/// [`ExecConfig::from_env`] therefore rejects malformed values with this
+/// typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// An environment variable held a value that does not parse.
+    InvalidEnv {
+        /// The variable name (e.g. `XTALK_THREADS`).
+        var: &'static str,
+        /// The rejected value, verbatim.
+        value: String,
+        /// What the variable accepts.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidEnv {
+                var,
+                value,
+                expected,
+            } => {
+                write!(f, "{var}: invalid value `{value}` (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn env_err(var: &'static str, value: &str, expected: &'static str) -> ConfigError {
+    ConfigError::InvalidEnv {
+        var,
+        value: value.to_string(),
+        expected,
+    }
+}
+
+/// Parses an on/off switch value (`1`/`on`/`true`/`yes` vs
+/// `0`/`off`/`false`/`no`).
+fn parse_switch(var: &'static str, value: &str) -> Result<bool, ConfigError> {
+    match value {
+        "1" | "on" | "true" | "yes" => Ok(true),
+        "0" | "off" | "false" | "no" => Ok(false),
+        other => Err(env_err(
+            var,
+            other,
+            "one of 1/on/true/yes or 0/off/false/no",
+        )),
+    }
+}
 
 /// Execution configuration of an analyzer: parallelism and caching.
 #[derive(Debug, Clone)]
@@ -66,43 +127,65 @@ impl Default for ExecConfig {
 impl ExecConfig {
     /// The default configuration with environment overrides applied:
     /// `XTALK_THREADS` (integer; `1` = serial, `0`/unset = auto),
-    /// `XTALK_CACHE` (`0`/`off` disables the stage-solve cache),
-    /// `XTALK_CACHE_CAPACITY` (entry count) and `XTALK_CACHE_ADMISSION`
-    /// (`all` | `cost`).
-    #[must_use]
-    pub fn from_env() -> Self {
+    /// `XTALK_CACHE` (on/off switch for the stage-solve cache),
+    /// `XTALK_CACHE_CAPACITY` (entry count), `XTALK_CACHE_ADMISSION`
+    /// (`all` | `cost`) and `XTALK_STRICT` (on/off switch).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when a variable is set to a value that does not
+    /// parse — malformed overrides are rejected, never silently replaced
+    /// by defaults. (A variable holding non-Unicode bytes is treated as
+    /// unset.)
+    pub fn from_env() -> Result<Self, ConfigError> {
+        Self::from_lookup(|var| std::env::var(var).ok())
+    }
+
+    /// [`ExecConfig::from_env`] over an explicit variable lookup — the
+    /// testable core, so unit tests never mutate the process environment.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when a looked-up value does not parse.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Result<Self, ConfigError> {
         let mut config = ExecConfig::default();
-        if let Some(threads) = std::env::var("XTALK_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-        {
-            config.threads = threads;
+        if let Some(threads) = get("XTALK_THREADS") {
+            match threads.trim().parse::<usize>() {
+                // 0 keeps the auto (available-parallelism) default.
+                Ok(0) => {}
+                Ok(n) => config.threads = n,
+                Err(_) => {
+                    return Err(env_err(
+                        "XTALK_THREADS",
+                        &threads,
+                        "a non-negative integer (0 = auto)",
+                    ))
+                }
+            }
         }
-        if matches!(
-            std::env::var("XTALK_CACHE").as_deref(),
-            Ok("0") | Ok("off") | Ok("false")
-        ) {
-            config.cache = false;
+        if let Some(cache) = get("XTALK_CACHE") {
+            config.cache = parse_switch("XTALK_CACHE", cache.trim())?;
         }
-        if let Some(capacity) = std::env::var("XTALK_CACHE_CAPACITY")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            config.cache_capacity = capacity;
+        if let Some(capacity) = get("XTALK_CACHE_CAPACITY") {
+            config.cache_capacity = capacity.trim().parse::<usize>().map_err(|_| {
+                env_err(
+                    "XTALK_CACHE_CAPACITY",
+                    &capacity,
+                    "a non-negative entry count (0 disables the cache)",
+                )
+            })?;
         }
-        match std::env::var("XTALK_CACHE_ADMISSION").as_deref() {
-            Ok("all") => config.cache_admission = CacheAdmission::All,
-            Ok("cost") => config.cache_admission = CacheAdmission::Cost,
-            _ => {}
+        if let Some(admission) = get("XTALK_CACHE_ADMISSION") {
+            config.cache_admission = match admission.trim() {
+                "all" => CacheAdmission::All,
+                "cost" => CacheAdmission::Cost,
+                other => return Err(env_err("XTALK_CACHE_ADMISSION", other, "`all` or `cost`")),
+            };
         }
-        if matches!(
-            std::env::var("XTALK_STRICT").as_deref(),
-            Ok("1") | Ok("on") | Ok("true")
-        ) {
-            config.strict = true;
+        if let Some(strict) = get("XTALK_STRICT") {
+            config.strict = parse_switch("XTALK_STRICT", strict.trim())?;
         }
-        config
+        Ok(config)
     }
 
     /// A fully serial configuration (single thread, cache on).
@@ -273,6 +356,71 @@ mod tests {
         assert!(!c.cache);
         assert_eq!(ExecConfig::serial().threads, 1);
         assert_eq!(ExecConfig::default().with_threads(0).threads, 1);
+    }
+
+    fn lookup<'a>(vars: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            vars.iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| (*v).to_string())
+        }
+    }
+
+    #[test]
+    fn env_overrides_parse_valid_values() {
+        let c = ExecConfig::from_lookup(lookup(&[
+            ("XTALK_THREADS", "3"),
+            ("XTALK_CACHE", "off"),
+            ("XTALK_CACHE_CAPACITY", "4096"),
+            ("XTALK_CACHE_ADMISSION", "all"),
+            ("XTALK_STRICT", "1"),
+        ]))
+        .expect("valid overrides");
+        assert_eq!(c.threads, 3);
+        assert!(!c.cache);
+        assert_eq!(c.cache_capacity, 4096);
+        assert_eq!(c.cache_admission, CacheAdmission::All);
+        assert!(c.strict);
+        // 0 threads keeps the auto default; unset vars keep every default.
+        let auto = ExecConfig::from_lookup(lookup(&[("XTALK_THREADS", "0")])).expect("auto");
+        assert_eq!(auto.threads, ExecConfig::default().threads);
+        let plain = ExecConfig::from_lookup(lookup(&[])).expect("no overrides");
+        assert_eq!(plain.cache_capacity, ExecConfig::default().cache_capacity);
+    }
+
+    #[test]
+    fn junk_threads_is_a_typed_error_not_a_silent_default() {
+        for bad in ["banana", "-2", "1.5", ""] {
+            let e = ExecConfig::from_lookup(lookup(&[("XTALK_THREADS", bad)]))
+                .expect_err("junk must be rejected");
+            let ConfigError::InvalidEnv { var, value, .. } = &e;
+            assert_eq!(*var, "XTALK_THREADS");
+            assert_eq!(value, bad);
+            assert!(e.to_string().contains("XTALK_THREADS"), "{e}");
+        }
+    }
+
+    #[test]
+    fn junk_cache_capacity_is_a_typed_error_not_a_silent_default() {
+        for bad in ["lots", "-1", "1e6", "0x100"] {
+            let e = ExecConfig::from_lookup(lookup(&[("XTALK_CACHE_CAPACITY", bad)]))
+                .expect_err("junk must be rejected");
+            let ConfigError::InvalidEnv { var, value, .. } = &e;
+            assert_eq!(*var, "XTALK_CACHE_CAPACITY");
+            assert_eq!(value, bad);
+        }
+        // 0 is a valid capacity: it disables the cache rather than erroring.
+        let c = ExecConfig::from_lookup(lookup(&[("XTALK_CACHE_CAPACITY", "0")])).expect("zero");
+        assert_eq!(c.cache_capacity, 0);
+    }
+
+    #[test]
+    fn junk_switches_and_admission_are_rejected() {
+        assert!(ExecConfig::from_lookup(lookup(&[("XTALK_CACHE", "maybe")])).is_err());
+        assert!(ExecConfig::from_lookup(lookup(&[("XTALK_STRICT", "2")])).is_err());
+        assert!(ExecConfig::from_lookup(lookup(&[("XTALK_CACHE_ADMISSION", "some")])).is_err());
+        let on = ExecConfig::from_lookup(lookup(&[("XTALK_CACHE", "yes")])).expect("switch");
+        assert!(on.cache);
     }
 
     #[test]

@@ -84,6 +84,16 @@ struct ModeCache {
     passes: Vec<PassCache>,
 }
 
+/// A design-state snapshot taken by [`IncrementalSta::checkpoint`],
+/// restorable with [`IncrementalSta::rollback`]. Holds the netlist and
+/// parasitics by value: restoring is a wholesale swap, so rollback is exact
+/// regardless of which (or how many) edits were applied in between.
+pub struct Checkpoint {
+    netlist: Netlist,
+    parasitics: Parasitics,
+    edits: usize,
+}
+
 /// Work counters of the most recent [`IncrementalSta::analyze`] call.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AnalyzeStats {
@@ -139,7 +149,8 @@ impl<'a> IncrementalSta<'a> {
     /// # Errors
     ///
     /// [`StaError::Netlist`] when the netlist does not expand to a timing
-    /// graph.
+    /// graph; [`StaError::Config`] when an `XTALK_*` environment override
+    /// holds a malformed value.
     pub fn new(
         netlist: Netlist,
         library: &'a Library,
@@ -151,7 +162,7 @@ impl<'a> IncrementalSta<'a> {
             library,
             process,
             parasitics,
-            ExecConfig::from_env(),
+            ExecConfig::from_env()?,
         )
     }
 
@@ -321,6 +332,59 @@ impl<'a> IncrementalSta<'a> {
             .iter()
             .map(|e| self.apply(e))
             .collect()
+    }
+
+    /// Snapshots the mutable design state for a later
+    /// [`rollback`](Self::rollback) — the primitive behind what-if
+    /// evaluation (apply candidate edits, re-time, roll back).
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            netlist: self.netlist.clone(),
+            parasitics: self.parasitics.clone(),
+            edits: self.edits,
+        }
+    }
+
+    /// Restores the design to a [`checkpoint`](Self::checkpoint), undoing
+    /// every edit applied since it was taken.
+    ///
+    /// The per-mode arrival caches and the per-stage memo are dropped (they
+    /// describe the abandoned edited design), but the keyed stage-solve
+    /// cache survives: its entries are exact-match on solver inputs, so the
+    /// re-analysis after a rollback is bit-identical to one that never saw
+    /// the what-if edits — it just re-solves far less. A later
+    /// [`analyze`](Self::analyze) therefore reproduces the pre-checkpoint
+    /// report exactly (modulo runtime and work counters).
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::Netlist`] when the snapshot no longer expands to a
+    /// timing graph (impossible unless the library changed under us); the
+    /// analyzer is left unchanged in that case.
+    pub fn rollback(&mut self, checkpoint: Checkpoint) -> Result<(), StaError> {
+        let graph = TimingGraph::build(
+            &checkpoint.netlist,
+            self.library,
+            self.process,
+            &checkpoint.parasitics,
+        )?;
+        self.netlist = checkpoint.netlist;
+        self.parasitics = checkpoint.parasitics;
+        self.graph = graph;
+        self.caches.clear();
+        self.dirt_log.clear();
+        // Stage indices were reassigned by the rebuild; stale memo entries
+        // would be wrong, not merely useless (same rule as `apply`).
+        self.exec.memo().clear();
+        self.edits = checkpoint.edits;
+        self.last_stats = AnalyzeStats::default();
+        Ok(())
+    }
+
+    /// The execution state, for the serve daemon's cache-persistence hooks.
+    pub(crate) fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// Analyzes the design under `mode`, reusing cached passes where the

@@ -56,13 +56,14 @@ pub mod noise;
 pub mod policy;
 pub mod report;
 pub mod sdf;
+pub mod serve;
 
 pub use diag::{worst_severity, Diagnostic, FaultClass, Severity};
 pub use engine::{Sta, StaError};
-pub use exec::{CacheAdmission, CacheStats, ExecConfig};
+pub use exec::{CacheAdmission, CacheStats, ConfigError, ExecConfig};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::{Fault, FaultPlan};
-pub use incremental::{AnalyzeStats, Edit, EditError, EditOutcome, IncrementalSta};
+pub use incremental::{AnalyzeStats, Checkpoint, Edit, EditError, EditOutcome, IncrementalSta};
 pub use mode::AnalysisMode;
 pub use noise::{glitch_report, GlitchRecord, GlitchReport};
 pub use report::{ModeReport, PassStat, PathStep};

@@ -339,6 +339,64 @@ pub fn slack_table(netlist: &Netlist, report: &ModeReport, period: f64, n: usize
     out
 }
 
+/// Labels of the per-solve Newton-iteration histogram buckets, matching
+/// [`PassStat::iter_hist`]: doubling bands from `<64` to the `>=4096` tail.
+pub const ITER_HIST_LABELS: [&str; 8] =
+    ["<64", "<128", "<256", "<512", "<1k", "<2k", "<4k", ">=4k"];
+
+/// Formats the solver/cache work of a report as one aligned table across
+/// passes: per pass the logical calls, Newton integrations and iterations,
+/// the reuse hit rate as a percentage (warm-memo subset called out), and
+/// the labeled iteration histogram. A `total` row sums the run.
+///
+/// This replaces the earlier ad-hoc per-pass lines whose columns drifted
+/// between passes (hit counts vs ratios, unlabeled histogram buckets).
+pub fn solver_table(report: &ModeReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{:>5} {:>8} {:>8} {:>9} {:>5} {:>6}",
+        "pass", "calls", "newton", "iters", "hit%", "warm"
+    );
+    for label in ITER_HIST_LABELS {
+        let _ = write!(out, " {label:>5}");
+    }
+    let _ = writeln!(out);
+    let mut row = |tag: &str, s: &PassStat| {
+        let _ = write!(
+            out,
+            "{:>5} {:>8} {:>8} {:>9} {:>4.0}% {:>6}",
+            tag,
+            s.solver_calls,
+            s.newton_solves,
+            s.newton_iters,
+            100.0 * s.hit_ratio(),
+            s.warm_hits
+        );
+        for count in s.iter_hist {
+            let _ = write!(out, " {count:>5}");
+        }
+        let _ = writeln!(out);
+    };
+    let mut total = PassStat::default();
+    for (i, s) in report.pass_stats.iter().enumerate() {
+        row(&(i + 1).to_string(), s);
+        total.solver_calls += s.solver_calls;
+        total.newton_solves += s.newton_solves;
+        total.cache_hits += s.cache_hits;
+        total.warm_hits += s.warm_hits;
+        total.newton_iters += s.newton_iters;
+        for (t, c) in total.iter_hist.iter_mut().zip(s.iter_hist) {
+            *t += c;
+        }
+    }
+    if report.pass_stats.len() > 1 {
+        row("total", &total);
+    }
+    out
+}
+
 /// Formats the paper-style comparison table for a set of reports.
 pub fn comparison_table(circuit: &str, cells: usize, reports: &[ModeReport]) -> String {
     use std::fmt::Write as _;
@@ -417,6 +475,59 @@ mod tests {
         assert!(cell_side_values(inv, 4, 3.3).is_none());
         let dff = l.cell("DFFX1").expect("dff");
         assert!(cell_side_values(dff, 0, 3.3).is_none());
+    }
+
+    #[test]
+    fn solver_table_aligns_passes_with_labeled_buckets() {
+        let pass = |calls: usize, hits: usize, iters: usize| PassStat {
+            delay: 1e-9,
+            solver_calls: calls,
+            newton_solves: calls - hits,
+            cache_hits: hits,
+            warm_hits: hits / 2,
+            newton_iters: iters,
+            iter_hist: [calls - hits, 0, 0, 0, 0, 0, 0, 1],
+        };
+        let report = ModeReport {
+            mode: AnalysisMode::Iterative { esperance: false },
+            longest_delay: 1e-9,
+            endpoints: Vec::new(),
+            net_quiet: Vec::new(),
+            endpoint_net: None,
+            endpoint_rising: true,
+            critical_path: Vec::new(),
+            passes: 2,
+            pass_delays: vec![1e-9, 1e-9],
+            stage_solves: 300,
+            newton_solves: 230,
+            cache_hits: 70,
+            warm_hits: 35,
+            newton_iters: 9000,
+            pass_stats: vec![pass(200, 20, 6000), pass(100, 50, 3000)],
+            diagnostics: Vec::new(),
+            runtime: Duration::from_millis(5),
+        };
+        let t = solver_table(&report);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 passes + total:\n{t}");
+        // One aligned table: every row has the same width.
+        assert!(
+            lines.iter().all(|l| l.len() == lines[0].len()),
+            "rows drifted out of alignment:\n{t}"
+        );
+        assert!(lines[0].contains("hit%"), "{t}");
+        for label in ITER_HIST_LABELS {
+            assert!(lines[0].contains(label), "missing bucket label {label}");
+        }
+        assert!(lines[1].trim_start().starts_with('1'), "{t}");
+        assert!(lines[2].contains("50%"), "hit rate rendered as %:\n{t}");
+        assert!(lines[3].trim_start().starts_with("total"), "{t}");
+        // A single-pass report needs no total row.
+        let single = ModeReport {
+            pass_stats: vec![pass(10, 0, 100)],
+            ..report
+        };
+        assert_eq!(solver_table(&single).lines().count(), 2);
     }
 
     #[test]

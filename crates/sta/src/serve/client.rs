@@ -1,0 +1,186 @@
+//! A blocking client for the timing-service daemon.
+//!
+//! Wraps one Unix-domain connection and the request/response framing;
+//! callers build requests as [`Json`] documents (or use the typed
+//! convenience methods) and get the daemon's response document back.
+
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::serve::json::Json;
+use crate::serve::proto;
+
+/// One connection to a running daemon.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon socket at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Standard connection errors (`NotFound` before the daemon has bound,
+    /// `ConnectionRefused` against a stale socket file).
+    pub fn connect(path: &Path) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for callers that just
+    /// started the daemon and race its bind.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the timeout is exhausted.
+    pub fn connect_retry(path: &Path, timeout: Duration) -> std::io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(path) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one request document and reads the response document.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, including `UnexpectedEof` when the daemon closed the
+    /// connection without answering.
+    pub fn request(&mut self, request: &Json) -> std::io::Result<Json> {
+        proto::write_frame(&mut self.stream, request)?;
+        proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection without a response",
+            )
+        })
+    }
+
+    /// `load`: installs `netlist` (with optional SPEF parasitics) as the
+    /// session named `design`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; a rejected load is an `ok: false` response.
+    pub fn load(
+        &mut self,
+        design: &str,
+        netlist: &str,
+        spef: Option<&str>,
+    ) -> std::io::Result<Json> {
+        let mut fields = vec![
+            ("cmd", Json::str("load")),
+            ("design", Json::str(design)),
+            ("netlist", Json::str(netlist)),
+        ];
+        if let Some(spef) = spef {
+            fields.push(("spef", Json::str(spef)));
+        }
+        self.request(&Json::obj(fields))
+    }
+
+    /// `analyze`: runs (or replays) the session's analysis under `mode`
+    /// (a protocol mode token; `None` = iterative).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn analyze(&mut self, design: &str, mode: Option<&str>) -> std::io::Result<Json> {
+        let mut fields = vec![("cmd", Json::str("analyze")), ("design", Json::str(design))];
+        if let Some(mode) = mode {
+            fields.push(("mode", Json::str(mode)));
+        }
+        self.request(&Json::obj(fields))
+    }
+
+    /// `eco`: applies edit-script lines to the session.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn eco(&mut self, design: &str, edits: &[&str]) -> std::io::Result<Json> {
+        self.request(&Json::obj(vec![
+            ("cmd", Json::str("eco")),
+            ("design", Json::str(design)),
+            (
+                "edits",
+                Json::Arr(edits.iter().map(|e| Json::str(*e)).collect()),
+            ),
+        ]))
+    }
+
+    /// `what-if`: applies edits, analyzes, and rolls the session back.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn what_if(
+        &mut self,
+        design: &str,
+        edits: &[&str],
+        mode: Option<&str>,
+    ) -> std::io::Result<Json> {
+        let mut fields = vec![
+            ("cmd", Json::str("what-if")),
+            ("design", Json::str(design)),
+            (
+                "edits",
+                Json::Arr(edits.iter().map(|e| Json::str(*e)).collect()),
+            ),
+        ];
+        if let Some(mode) = mode {
+            fields.push(("mode", Json::str(mode)));
+        }
+        self.request(&Json::obj(fields))
+    }
+
+    /// `query`: one endpoint's arrivals (and slack against `period_ns`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn query(
+        &mut self,
+        design: &str,
+        net: &str,
+        mode: Option<&str>,
+        period_ns: Option<f64>,
+    ) -> std::io::Result<Json> {
+        let mut fields = vec![
+            ("cmd", Json::str("query")),
+            ("design", Json::str(design)),
+            ("net", Json::str(net)),
+        ];
+        if let Some(mode) = mode {
+            fields.push(("mode", Json::str(mode)));
+        }
+        if let Some(p) = period_ns {
+            fields.push(("period_ns", Json::num(p)));
+        }
+        self.request(&Json::obj(fields))
+    }
+
+    /// `stats`: daemon, session, cache and store counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj(vec![("cmd", Json::str("stats"))]))
+    }
+
+    /// `shutdown`: asks the daemon to stop after answering.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn shutdown(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj(vec![("cmd", Json::str("shutdown"))]))
+    }
+}

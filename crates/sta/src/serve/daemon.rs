@@ -1,0 +1,714 @@
+//! The resident timing-service daemon.
+//!
+//! `xtalk serve` binds a Unix-domain socket and keeps everything that is
+//! expensive to build **resident across requests**: parsed netlists,
+//! extracted parasitics, CSR timing graphs, per-mode arrival caches and
+//! the keyed stage-solve cache — the state a batch CLI run rebuilds from
+//! scratch every invocation. Clients speak the length-prefixed JSON
+//! protocol of [`crate::serve::proto`]; concurrent connections each get a
+//! handler thread, and per-design sessions serialize on their own mutex,
+//! so two clients can analyze two designs in parallel but never race one
+//! design's incremental state.
+//!
+//! # Sessions
+//!
+//! A `load` request parses a design and installs an [`IncrementalSta`]
+//! session under a client-chosen name. Subsequent `analyze` / `eco` /
+//! `what-if` / `query` requests address the session by that name and hit
+//! its warm caches: a repeated analysis replays cached passes (zero stage
+//! evaluations), an ECO re-times only its dirty cone, and a what-if runs
+//! against a [`IncrementalSta::checkpoint`] and rolls back, leaving the
+//! session's timing state exactly as before.
+//!
+//! # The persistent solve store
+//!
+//! With a store directory configured, every solved stage result is
+//! journaled by the session's stage-solve cache and appended — checksummed
+//! and deduplicated — to an on-disk log ([`crate::serve::store`]) after
+//! the request that produced it (write-behind: the client's response is
+//! not delayed by disk I/O for entries it already has). On `load`, the log
+//! is replayed into the fresh session's cache with corrupt entries
+//! skipped, so a daemon restarted on a populated store answers its first
+//! analysis with strictly fewer Newton integrations than a cold batch run
+//! — and, because the cache is exact-match on bit-canonical solver inputs,
+//! with bit-identical arrivals.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use xtalk_layout::Parasitics;
+use xtalk_netlist::Netlist;
+use xtalk_tech::{Library, Process};
+
+use crate::diag::Severity;
+use crate::exec::ExecConfig;
+use crate::incremental::{Edit, IncrementalSta};
+use crate::mode::AnalysisMode;
+use crate::report::ModeReport;
+use crate::serve::json::Json;
+use crate::serve::proto::{
+    self, error_response, exit_code_for, f64_bits_hex, mode_token, severity_token,
+};
+use crate::serve::store::SolveStore;
+
+/// The technology singletons backing every session. Sessions are
+/// `'static` (they outlive any one request), so the library and process
+/// they borrow must be too; both are immutable after construction.
+fn tech() -> &'static (Process, Library) {
+    static TECH: OnceLock<(Process, Library)> = OnceLock::new();
+    TECH.get_or_init(|| {
+        let process = Process::c05um();
+        let library = Library::c05um(&process);
+        (process, library)
+    })
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Path of the Unix-domain socket to bind. A stale file at this path
+    /// (from a crashed daemon) is removed before binding.
+    pub socket: PathBuf,
+    /// Path of the on-disk solve store; `None` runs memory-only.
+    pub store: Option<PathBuf>,
+    /// Execution configuration inherited by every session.
+    pub exec: ExecConfig,
+}
+
+/// What a finished daemon run served.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSummary {
+    /// Requests answered over the daemon's lifetime.
+    pub requests: u64,
+    /// Sessions resident at shutdown.
+    pub sessions: usize,
+}
+
+/// One resident design session.
+struct Session {
+    sta: IncrementalSta<'static>,
+    netlist_path: String,
+}
+
+/// State shared between the accept loop and every connection thread.
+struct Shared {
+    exec: ExecConfig,
+    store: Option<SolveStore>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running daemon. [`Daemon::bind`] then [`Daemon::run`];
+/// the socket file is removed again on clean shutdown.
+pub struct Daemon {
+    listener: UnixListener,
+    socket: PathBuf,
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Binds the service socket and opens the solve store (if configured).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from socket binding or store opening (including a store
+    /// file with bad magic — refusing to serve off garbage).
+    pub fn bind(config: ServeConfig) -> std::io::Result<Daemon> {
+        // A leftover socket file from a crashed daemon would fail the bind
+        // with AddrInUse; connecting clients would have failed against it
+        // anyway, so replacing it is safe.
+        if config.socket.exists() {
+            std::fs::remove_file(&config.socket)?;
+        }
+        if let Some(parent) = config.socket.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let store = match &config.store {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                Some(SolveStore::open(path)?)
+            }
+            None => None,
+        };
+        let listener = UnixListener::bind(&config.socket)?;
+        listener.set_nonblocking(true)?;
+        Ok(Daemon {
+            listener,
+            socket: config.socket,
+            shared: Arc::new(Shared {
+                exec: config.exec,
+                store,
+                sessions: Mutex::new(HashMap::new()),
+                requests: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// Serves requests until a `shutdown` request arrives, then joins the
+    /// connection threads and removes the socket file.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop I/O errors only; per-connection and per-request
+    /// failures are answered as protocol error responses instead.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    handlers.push(std::thread::spawn(move || {
+                        serve_connection(stream, &shared)
+                    }));
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    if self.shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        // Flush any journal entries the last requests produced.
+        flush_journals(&self.shared);
+        let _ = std::fs::remove_file(&self.socket);
+        Ok(ServeSummary {
+            requests: self.shared.requests.load(Ordering::Acquire),
+            sessions: lock_sessions(&self.shared).len(),
+        })
+    }
+}
+
+/// Poison-tolerant session-map lock.
+fn lock_sessions(
+    shared: &Shared,
+) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Mutex<Session>>>> {
+    shared
+        .sessions
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One connection: read frames, answer them, until EOF or shutdown.
+fn serve_connection(stream: UnixStream, shared: &Shared) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let request = match proto::read_frame(&mut reader) {
+            Ok(Some(doc)) => doc,
+            Ok(None) => break, // client hung up cleanly
+            Err(e) => {
+                // Framing is unrecoverable mid-stream: answer and drop.
+                let resp = error_response(&format!("bad frame: {e}"), None);
+                let _ = proto::write_frame(&mut writer, &resp);
+                break;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::AcqRel);
+        let response = handle_request(shared, &request);
+        let stop = request.str_field("cmd") == Some("shutdown")
+            && response.get("ok").and_then(Json::as_bool) == Some(true);
+        if proto::write_frame(&mut writer, &response).is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        // Persist what this request solved before accepting the next one.
+        flush_journals(shared);
+        if stop {
+            shared.shutdown.store(true, Ordering::Release);
+            break;
+        }
+    }
+}
+
+/// Write-behind: drains every session's solve journal into the store.
+/// Sessions busy under another request are skipped — their entries flush
+/// after that request completes.
+fn flush_journals(shared: &Shared) {
+    let Some(store) = &shared.store else {
+        return;
+    };
+    let sessions: Vec<Arc<Mutex<Session>>> = lock_sessions(shared).values().cloned().collect();
+    for session in sessions {
+        if let Ok(guard) = session.try_lock() {
+            let entries = guard.sta.executor().cache().drain_journal();
+            if !entries.is_empty() {
+                // A full disk costs persistence, not service: the daemon
+                // keeps answering from memory.
+                let _ = store.append(&entries);
+            }
+        }
+    }
+}
+
+/// Dispatches one request to its command handler. Never panics a
+/// connection thread: every failure becomes an `ok: false` response.
+fn handle_request(shared: &Shared, request: &Json) -> Json {
+    let Some(cmd) = request.str_field("cmd") else {
+        return error_response("request has no `cmd` field", None);
+    };
+    match cmd {
+        "load" => cmd_load(shared, request),
+        "analyze" => cmd_analyze(shared, request),
+        "eco" => cmd_eco(shared, request),
+        "what-if" => cmd_what_if(shared, request),
+        "query" => cmd_query(shared, request),
+        "stats" => cmd_stats(shared),
+        "shutdown" => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("bye", Json::Bool(true)),
+            ("exit_code", Json::num(0.0)),
+        ]),
+        other => error_response(&format!("unknown command `{other}`"), None),
+    }
+}
+
+/// Parses a netlist file plus parasitics (SPEF or place/route/extract),
+/// exactly like the batch CLI's design loading.
+fn load_design(netlist_path: &str, spef: Option<&str>) -> Result<(Netlist, Parasitics), String> {
+    let (process, library) = {
+        let t = tech();
+        (&t.0, &t.1)
+    };
+    let text = std::fs::read_to_string(netlist_path).map_err(|e| format!("{netlist_path}: {e}"))?;
+    let ext = std::path::Path::new(netlist_path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let netlist = match ext {
+        "bench" => xtalk_netlist::bench::parse(&text, library)
+            .map_err(|e| format!("{netlist_path}: {e}"))?,
+        "v" => xtalk_netlist::verilog::parse(&text, library)
+            .map_err(|e| format!("{netlist_path}: {e}"))?,
+        other => {
+            return Err(format!(
+                "unsupported netlist extension `.{other}` (use .bench or .v)"
+            ))
+        }
+    };
+    netlist
+        .validate(library)
+        .map_err(|e| format!("{netlist_path}: {e}"))?;
+    let parasitics = match spef {
+        Some(spef_path) => {
+            let text =
+                std::fs::read_to_string(spef_path).map_err(|e| format!("{spef_path}: {e}"))?;
+            // SPEF carries no per-sink resistances; recover them from a
+            // fresh routing of the same netlist (same rule as the CLI).
+            let mut para = xtalk_layout::spef::parse(&text, &netlist)
+                .map_err(|e| format!("{spef_path}: {e}"))?;
+            let placement = xtalk_layout::place::place(&netlist, library, process);
+            let routes = xtalk_layout::route::route(&netlist, &placement, process);
+            let routed = xtalk_layout::extract::extract(&netlist, &routes, process);
+            for (a, b) in para.nets.iter_mut().zip(&routed.nets) {
+                a.sinks = b.sinks.clone();
+            }
+            para
+        }
+        None => {
+            let placement = xtalk_layout::place::place(&netlist, library, process);
+            let routes = xtalk_layout::route::route(&netlist, &placement, process);
+            xtalk_layout::extract::extract(&netlist, &routes, process)
+        }
+    };
+    Ok((netlist, parasitics))
+}
+
+fn cmd_load(shared: &Shared, request: &Json) -> Json {
+    let Some(design) = request.str_field("design") else {
+        return error_response("load needs a `design` session name", None);
+    };
+    let Some(netlist_path) = request.str_field("netlist") else {
+        return error_response("load needs a `netlist` file path", None);
+    };
+    let spef = request.str_field("spef");
+    let (netlist, parasitics) = match load_design(netlist_path, spef) {
+        Ok(pair) => pair,
+        Err(msg) => return error_response(&msg, None),
+    };
+    let (process, library) = {
+        let t = tech();
+        (&t.0, &t.1)
+    };
+    let sta = match IncrementalSta::with_config(
+        netlist,
+        library,
+        process,
+        parasitics,
+        shared.exec.clone(),
+    ) {
+        Ok(sta) => sta,
+        Err(e) => return error_response(&e.to_string(), None),
+    };
+    let mut replayed = 0u64;
+    let mut corrupt = 0u64;
+    if let Some(store) = &shared.store {
+        let cache = sta.executor().cache();
+        cache.enable_journal();
+        match store.replay(cache) {
+            Ok((r, c)) => {
+                replayed = r;
+                corrupt = c;
+            }
+            Err(e) => {
+                // A vanished store file costs warmth, not the load.
+                let _ = e;
+            }
+        }
+    }
+    let gates = sta.netlist().gate_count();
+    let nets = sta.netlist().net_count();
+    let couplings = sta.parasitics().coupling_count() / 2;
+    let session = Session {
+        sta,
+        netlist_path: netlist_path.to_string(),
+    };
+    let replaced = lock_sessions(shared)
+        .insert(design.to_string(), Arc::new(Mutex::new(session)))
+        .is_some();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("design", Json::str(design)),
+        ("gates", Json::num(gates as f64)),
+        ("nets", Json::num(nets as f64)),
+        ("coupling_caps", Json::num(couplings as f64)),
+        ("store_replayed", Json::num(replayed as f64)),
+        ("store_corrupt_skipped", Json::num(corrupt as f64)),
+        ("replaced", Json::Bool(replaced)),
+        ("exit_code", Json::num(0.0)),
+    ])
+}
+
+/// Looks up the session named in `request`, or an error response.
+fn session_for(shared: &Shared, request: &Json) -> Result<Arc<Mutex<Session>>, Json> {
+    let Some(design) = request.str_field("design") else {
+        return Err(error_response(
+            "request needs a `design` session name",
+            None,
+        ));
+    };
+    lock_sessions(shared)
+        .get(design)
+        .cloned()
+        .ok_or_else(|| error_response(&format!("no session `{design}` (load it first)"), None))
+}
+
+/// The requested analysis mode (default: iterative without Esperance).
+fn mode_for(request: &Json) -> Result<AnalysisMode, Json> {
+    match request.str_field("mode") {
+        None => Ok(AnalysisMode::Iterative { esperance: false }),
+        Some(token) => proto::parse_mode(token)
+            .ok_or_else(|| error_response(&format!("unknown mode `{token}`"), None)),
+    }
+}
+
+/// The shared success payload of an analysis: delay (decimal and
+/// bit-exact), work counters, and the diagnostics/severity/exit-code
+/// block mirroring the batch CLI.
+fn report_fields(report: &ModeReport) -> Vec<(&'static str, Json)> {
+    let severity = report.worst_severity();
+    let mut fields = vec![
+        ("mode", Json::str(mode_token(report.mode))),
+        ("delay_ns", Json::num(report.longest_delay * 1e9)),
+        ("delay_bits", Json::str(f64_bits_hex(report.longest_delay))),
+        ("passes", Json::num(report.passes as f64)),
+        ("stage_solves", Json::num(report.stage_solves as f64)),
+        ("newton_solves", Json::num(report.newton_solves as f64)),
+        ("newton_iters", Json::num(report.newton_iters as f64)),
+        ("cache_hits", Json::num(report.cache_hits as f64)),
+        ("warm_hits", Json::num(report.warm_hits as f64)),
+        ("runtime_s", Json::num(report.runtime.as_secs_f64())),
+    ];
+    if !report.diagnostics.is_empty() {
+        fields.push((
+            "diagnostics",
+            Json::Arr(
+                report
+                    .diagnostics
+                    .iter()
+                    .map(|d| Json::str(d.to_string()))
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(s) = severity {
+        fields.push(("severity", Json::str(severity_token(s))));
+    }
+    fields.push(("exit_code", Json::num(exit_code_for(severity) as f64)));
+    fields
+}
+
+fn cmd_analyze(shared: &Shared, request: &Json) -> Json {
+    let session = match session_for(shared, request) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let mode = match mode_for(request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let mut guard = session
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let report = match guard.sta.analyze(mode) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e.to_string(), Some(Severity::Error)),
+    };
+    let stats = guard.sta.last_stats();
+    let endpoint = report
+        .endpoint_net
+        .map(|net| guard.sta.netlist().net(net).name.clone());
+    drop(guard);
+    let mut fields = vec![("ok", Json::Bool(true))];
+    fields.extend(report_fields(&report));
+    fields.push(("full", Json::Bool(stats.full)));
+    fields.push(("stages_evaluated", Json::num(stats.stages_evaluated as f64)));
+    if let Some(name) = endpoint {
+        fields.push(("endpoint", Json::str(name)));
+    }
+    Json::obj(fields)
+}
+
+/// Parses the request's `edits` array into typed edits (1-based line
+/// numbers for error messages, matching the script grammar).
+fn edits_for(request: &Json) -> Result<Vec<Edit>, Json> {
+    let Some(lines) = request.get("edits").and_then(Json::as_arr) else {
+        return Err(error_response("request needs an `edits` array", None));
+    };
+    let mut edits = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        let Some(text) = line.as_str() else {
+            return Err(error_response("`edits` must hold strings", None));
+        };
+        match Edit::parse_line(text, i + 1) {
+            Ok(edit) => edits.push(edit),
+            Err(e) => return Err(error_response(&e.to_string(), None)),
+        }
+    }
+    Ok(edits)
+}
+
+fn cmd_eco(shared: &Shared, request: &Json) -> Json {
+    let session = match session_for(shared, request) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let edits = match edits_for(request) {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    let mut guard = session
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut applied = 0usize;
+    let mut new_gates = 0usize;
+    for edit in &edits {
+        match guard.sta.apply(edit) {
+            Ok(outcome) => {
+                applied += 1;
+                new_gates += usize::from(outcome.new_gate.is_some());
+            }
+            Err(e) => {
+                // Mirror the batch CLI's script semantics: stop at the
+                // first failing edit, earlier ones stay applied.
+                return error_response(
+                    &format!("edit {} failed after {applied} applied: {e}", applied + 1),
+                    None,
+                );
+            }
+        }
+    }
+    let total = guard.sta.edits_applied();
+    drop(guard);
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("applied", Json::num(applied as f64)),
+        ("new_gates", Json::num(new_gates as f64)),
+        ("edits_total", Json::num(total as f64)),
+        ("exit_code", Json::num(0.0)),
+    ])
+}
+
+fn cmd_what_if(shared: &Shared, request: &Json) -> Json {
+    let session = match session_for(shared, request) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let edits = match edits_for(request) {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    let mode = match mode_for(request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let mut guard = session
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let checkpoint = guard.sta.checkpoint();
+    for (i, edit) in edits.iter().enumerate() {
+        if let Err(e) = guard.sta.apply(edit) {
+            let msg = format!("what-if edit {} rejected: {e}", i + 1);
+            return match guard.sta.rollback(checkpoint) {
+                Ok(()) => error_response(&msg, None),
+                Err(r) => error_response(
+                    &format!("{msg}; rollback also failed: {r}"),
+                    Some(Severity::Error),
+                ),
+            };
+        }
+    }
+    let result = guard.sta.analyze(mode);
+    let rollback = guard.sta.rollback(checkpoint);
+    drop(guard);
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => return error_response(&e.to_string(), Some(Severity::Error)),
+    };
+    if let Err(e) = rollback {
+        return error_response(
+            &format!("what-if analysis done but rollback failed: {e}"),
+            Some(Severity::Error),
+        );
+    }
+    let mut fields = vec![("ok", Json::Bool(true))];
+    fields.extend(report_fields(&report));
+    fields.push(("edits", Json::num(edits.len() as f64)));
+    fields.push(("rolled_back", Json::Bool(true)));
+    Json::obj(fields)
+}
+
+fn cmd_query(shared: &Shared, request: &Json) -> Json {
+    let session = match session_for(shared, request) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let Some(net_name) = request.str_field("net") else {
+        return error_response("query needs a `net` endpoint name", None);
+    };
+    let mode = match mode_for(request) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let period = request.get("period_ns").and_then(Json::as_f64);
+    let mut guard = session
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // A warm session replays this from its arrival caches (zero stage
+    // evaluations), so per-endpoint queries are cheap after the first.
+    let report = match guard.sta.analyze(mode) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e.to_string(), Some(Severity::Error)),
+    };
+    let endpoint = report
+        .endpoints
+        .iter()
+        .find(|e| guard.sta.netlist().net(e.net).name == net_name)
+        .copied();
+    drop(guard);
+    let Some(endpoint) = endpoint else {
+        return error_response(
+            &format!("`{net_name}` is not an endpoint of this design"),
+            None,
+        );
+    };
+    let severity = report.worst_severity();
+    let latest = endpoint.latest();
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("net", Json::str(net_name)),
+        ("mode", Json::str(mode_token(mode))),
+        ("arrival_ns", Json::num(latest * 1e9)),
+        ("arrival_bits", Json::str(f64_bits_hex(latest))),
+    ];
+    if let Some(rise) = endpoint.rise {
+        fields.push(("rise_ns", Json::num(rise * 1e9)));
+    }
+    if let Some(fall) = endpoint.fall {
+        fields.push(("fall_ns", Json::num(fall * 1e9)));
+    }
+    if let Some(period_ns) = period {
+        let slack_ns = period_ns - latest * 1e9;
+        fields.push(("slack_ns", Json::num(slack_ns)));
+        fields.push(("violated", Json::Bool(slack_ns < 0.0)));
+    }
+    fields.push(("diagnostics_n", Json::num(report.diagnostics.len() as f64)));
+    if let Some(s) = severity {
+        fields.push(("severity", Json::str(severity_token(s))));
+    }
+    fields.push(("exit_code", Json::num(exit_code_for(severity) as f64)));
+    Json::obj(fields)
+}
+
+fn cmd_stats(shared: &Shared) -> Json {
+    let sessions: Vec<(String, Arc<Mutex<Session>>)> = lock_sessions(shared)
+        .iter()
+        .map(|(k, v)| (k.clone(), Arc::clone(v)))
+        .collect();
+    let mut rows = Vec::with_capacity(sessions.len());
+    for (name, session) in sessions {
+        let guard = session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cache = guard.sta.cache_stats();
+        rows.push(Json::obj(vec![
+            ("design", Json::str(name)),
+            ("netlist", Json::str(guard.netlist_path.clone())),
+            ("gates", Json::num(guard.sta.netlist().gate_count() as f64)),
+            ("edits", Json::num(guard.sta.edits_applied() as f64)),
+            ("cache_hits", Json::num(cache.hits as f64)),
+            ("cache_misses", Json::num(cache.misses as f64)),
+            ("cache_admitted", Json::num(cache.admitted as f64)),
+            ("cache_skipped", Json::num(cache.skipped as f64)),
+        ]));
+    }
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        (
+            "requests",
+            Json::num(shared.requests.load(Ordering::Acquire) as f64),
+        ),
+        ("sessions", Json::Arr(rows)),
+    ];
+    if let Some(store) = &shared.store {
+        let s = store.stats();
+        fields.push((
+            "store",
+            Json::obj(vec![
+                ("path", Json::str(store.path().display().to_string())),
+                ("replayed", Json::num(s.replayed as f64)),
+                ("corrupt_skipped", Json::num(s.corrupt_skipped as f64)),
+                ("appended", Json::num(s.appended as f64)),
+                ("deduped", Json::num(s.deduped as f64)),
+            ]),
+        ));
+    }
+    fields.push(("exit_code", Json::num(0.0)));
+    Json::obj(fields)
+}

@@ -1,0 +1,489 @@
+//! A minimal JSON value type with a strict parser and writer.
+//!
+//! The serve protocol ([`crate::serve::proto`]) frames JSON documents over
+//! a Unix-domain socket. The workspace builds fully offline with no
+//! third-party dependencies, so this module provides the small JSON subset
+//! the protocol needs: objects, arrays, strings (with escapes), finite
+//! numbers, booleans and null. Two deliberate choices:
+//!
+//! - **Objects preserve insertion order** (a `Vec` of pairs, not a map):
+//!   responses render deterministically, which the tests and the CI smoke
+//!   script rely on. Duplicate keys are rejected at parse time.
+//! - **Numbers are `f64`** — every counter the protocol carries fits in
+//!   the 53-bit exact-integer range. Values that must cross the wire
+//!   bit-exactly (waveform arrivals) travel as hex strings of their
+//!   IEEE-754 bits instead, never as JSON numbers.
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; pairs keep insertion order and keys are unique.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON parse failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number value from anything convertible to `f64`.
+    #[must_use]
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, when it is an exact non-negative
+    /// integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the string at object field `key`.
+    #[must_use]
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Json::as_str)
+    }
+
+    /// Parses a JSON document. The whole input must be one value (plus
+    /// surrounding whitespace).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the byte offset of the first violation.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err_at(pos, "trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Serializes the document to compact JSON text.
+    #[must_use]
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.write())
+    }
+}
+
+fn err_at(offset: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err_at(*pos, "unexpected end of input")),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err_at(*pos, format!("expected `{lit}`")))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| err_at(start, "invalid number bytes"))?;
+    let n: f64 = text
+        .parse()
+        .map_err(|_| err_at(start, format!("invalid number `{text}`")))?;
+    if !n.is_finite() {
+        return Err(err_at(start, "non-finite numbers are not JSON"));
+    }
+    Ok(Json::Num(n))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err_at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let unit = parse_hex4(bytes, pos)?;
+                        // Combine a surrogate pair when one follows;
+                        // otherwise accept the unit (lone surrogates map to
+                        // the replacement character).
+                        let ch = if (0xd800..0xdc00).contains(&unit)
+                            && bytes.get(*pos + 1) == Some(&b'\\')
+                            && bytes.get(*pos + 2) == Some(&b'u')
+                        {
+                            let save = *pos;
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if (0xdc00..0xe000).contains(&low) {
+                                let c = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(c).unwrap_or('\u{fffd}')
+                            } else {
+                                *pos = save;
+                                '\u{fffd}'
+                            }
+                        } else {
+                            char::from_u32(unit).unwrap_or('\u{fffd}')
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(err_at(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => return Err(err_at(*pos, "raw control character in string")),
+            Some(_) => {
+                // Copy one UTF-8 scalar (input is a &str, so boundaries are
+                // valid by construction).
+                let rest = &bytes[*pos..];
+                let text = std::str::from_utf8(rest).map_err(|_| err_at(*pos, "invalid utf-8"))?;
+                let ch = text.chars().next().ok_or_else(|| err_at(*pos, "empty"))?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parses the `XXXX` of a `\uXXXX` escape; `pos` is left on the last hex
+/// digit (the caller's shared `+= 1` steps past it).
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let start = *pos + 1;
+    let hex = bytes
+        .get(start..start + 4)
+        .ok_or_else(|| err_at(start, "truncated \\u escape"))?;
+    let text = std::str::from_utf8(hex).map_err(|_| err_at(start, "invalid \\u escape bytes"))?;
+    let unit = u32::from_str_radix(text, 16).map_err(|_| err_at(start, "invalid \\u escape"))?;
+    *pos += 4;
+    Ok(unit)
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // consume '{'
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err_at(*pos, "expected object key string"));
+        }
+        let key_at = *pos;
+        let key = parse_string(bytes, pos)?;
+        if pairs.iter().any(|(k, _)| *k == key) {
+            return Err(err_at(key_at, format!("duplicate key `{key}`")));
+        }
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err_at(*pos, "expected `:`"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(err_at(*pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err_at(*pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+fn write_value(value: &Json, out: &mut String) {
+    use std::fmt::Write as _;
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => {
+            // Integers in the exact range print without a fraction.
+            if n.fract() == 0.0 && n.abs() < 9.1e15 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_protocol_shapes() {
+        let doc = Json::obj(vec![
+            ("cmd", Json::str("analyze")),
+            ("design", Json::str("s38417")),
+            ("threads", Json::num(4.0)),
+            ("ok", Json::Bool(true)),
+            ("spef", Json::Null),
+            (
+                "edits",
+                Json::Arr(vec![Json::str("resize u42 INVX4"), Json::str("buffer n3")]),
+            ),
+        ]);
+        let text = doc.write();
+        let back = Json::parse(&text).expect("round trip");
+        assert_eq!(back, doc);
+        assert_eq!(back.str_field("cmd"), Some("analyze"));
+        assert_eq!(back.get("threads").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            back.get("edits").and_then(Json::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn escapes_survive_round_trips() {
+        let nasty = "quote \" backslash \\ newline \n tab \t control \u{1} unicode \u{e9}";
+        let doc = Json::obj(vec![("s", Json::str(nasty))]);
+        let back = Json::parse(&doc.write()).expect("round trip");
+        assert_eq!(back.str_field("s"), Some(nasty));
+        // Standard escapes parse too.
+        let parsed = Json::parse(r#"{"s": "aéA\/b"}"#).expect("escapes");
+        assert_eq!(parsed.str_field("s"), Some("a\u{e9}A/b"));
+        // Surrogate pairs combine into one scalar.
+        let pair = Json::parse(r#""😀""#).expect("surrogate pair");
+        assert_eq!(pair.as_str(), Some("\u{1f600}"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "[1, 2",
+            "tru",
+            "{\"a\": 1} junk",
+            "\"unterminated",
+            "{\"a\": 1, \"a\": 2}",
+            "nan",
+            "1e999",
+            "\"bad \u{7}\"",
+        ] {
+            let e = Json::parse(bad).expect_err(bad);
+            assert!(e.offset <= bad.len(), "{bad}: offset out of range");
+        }
+    }
+
+    #[test]
+    fn numbers_preserve_exact_integers() {
+        let doc = Json::parse("[0, -3, 9007199254740992, 1.5, 2e3]").expect("numbers");
+        let items = doc.as_arr().expect("array");
+        assert_eq!(items[0].as_u64(), Some(0));
+        assert_eq!(items[1].as_f64(), Some(-3.0));
+        assert_eq!(items[2].as_u64(), Some(9_007_199_254_740_992));
+        assert_eq!(items[3].as_u64(), None, "fractions are not u64s");
+        assert_eq!(items[4].as_f64(), Some(2000.0));
+        assert_eq!(Json::Num(42.0).write(), "42");
+    }
+}

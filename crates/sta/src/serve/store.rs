@@ -1,0 +1,545 @@
+//! The persistent cross-process solve store: a checksummed append-only
+//! log of stage-solve cache entries.
+//!
+//! The daemon writes solved (key, waveform) pairs behind each request; on
+//! startup the log is replayed into every fresh session's stage-solve
+//! cache, so the first analysis after a daemon restart begins warm and
+//! performs strictly fewer Newton integrations than a cold batch run.
+//! Because the cache is exact-match on the solver's full bit-canonical
+//! inputs, a replayed entry can change *work*, never *results* — disk-warm
+//! analyses are bit-identical to cold ones.
+//!
+//! # Format
+//!
+//! ```text
+//! [magic: 17 bytes "XTALKSOLVESTORE1\n"]
+//! record*:
+//!   [len: u32 LE]          payload length
+//!   [checksum: u64 LE]     FNV-1a over the payload bytes
+//!   [payload: len bytes]   one (SolveKey, Waveform) pair, see below
+//! ```
+//!
+//! Payload layout (all integers little-endian):
+//!
+//! ```text
+//! u16 cell_len, cell bytes            — library cell name
+//! u32 stage, u32 slot, u8 flags      — stage identity within the cell
+//! u32 n, n × (u64, u64)              — input waveform canonical bit pairs
+//! u64 cground                        — grounded load, canonical bits
+//! u32 m, m × (u64, u8)               — coupling caps (bits, mode byte)
+//! u32 k, k × (u64, u64)              — result waveform raw f64 bits
+//! ```
+//!
+//! # Corruption policy
+//!
+//! The store is written behind a live daemon, so a crash can leave a torn
+//! tail, and disks flip bits. Replay therefore trusts nothing:
+//!
+//! - a record whose checksum does not match its payload is **skipped** and
+//!   counted — the frame structure is still intact, so replay continues
+//!   with the next record;
+//! - an implausible length word (zero, over [`MAX_RECORD`], or pointing
+//!   past EOF) means the framing itself is gone; replay **stops** there,
+//!   dropping the unreadable tail;
+//! - a payload that fails structural parsing or waveform validation is
+//!   skipped like a checksum mismatch.
+//!
+//! In every case the store loads fewer entries, never a wrong one: a
+//! corrupt entry can cost warmth, not correctness.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use xtalk_wave::signature::StableHasher;
+use xtalk_wave::Waveform;
+
+use crate::exec::cache::{SolveCache, SolveKey};
+
+/// Leading magic of a store file (version-bumped on format changes).
+pub const MAGIC: &[u8] = b"XTALKSOLVESTORE1\n";
+
+/// Upper bound on one record's payload; length words above this are
+/// treated as framing corruption.
+pub const MAX_RECORD: usize = 1 << 20;
+
+/// Counters describing a store's lifetime (replay + appends).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Entries successfully replayed into session caches.
+    pub replayed: u64,
+    /// Corrupt records skipped during replay (checksum, parse or waveform
+    /// failures), plus one for a truncated/unframed tail if hit.
+    pub corrupt_skipped: u64,
+    /// Records appended by this process (after dedup).
+    pub appended: u64,
+    /// Journal entries dropped as duplicates of already-stored records.
+    pub deduped: u64,
+}
+
+/// The append-only on-disk solve store. All methods take `&self`; the
+/// writer and dedup set are internally locked, so the daemon's connection
+/// threads share one instance.
+pub struct SolveStore {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    /// Payload hashes of every record on disk (loaded + appended), for
+    /// write-behind dedup across daemon restarts.
+    seen: Mutex<HashSet<u64>>,
+    stats: Mutex<StoreStats>,
+}
+
+impl std::fmt::Debug for SolveStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveStore")
+            .field("path", &self.path)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolveStore {
+    /// Opens (creating if absent) the store file at `path`. A new file gets
+    /// the magic header; an existing one keeps its records for
+    /// `replay`. The parent directory must exist.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from open/create; `InvalidData` when an existing file
+    /// does not start with the store magic (wrong file — refusing to
+    /// append garbage to it).
+    pub fn open(path: &Path) -> std::io::Result<SolveStore> {
+        let mut seen = HashSet::new();
+        // An empty existing file (a crash between create and header write)
+        // counts as fresh and gets its magic (re)written.
+        let fresh = !path.exists() || std::fs::metadata(path)?.len() == 0;
+        if !fresh {
+            // Pre-scan the intact prefix so appends dedup against it.
+            let bytes = std::fs::read(path)?;
+            if !bytes.starts_with(MAGIC) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{} is not a solve store (bad magic)", path.display()),
+                ));
+            }
+            let mut cursor = MAGIC.len();
+            while let Some((payload, next)) = next_record(&bytes, cursor) {
+                if let Some(payload) = payload {
+                    seen.insert(payload_hash(payload));
+                }
+                cursor = next;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut writer = BufWriter::new(file);
+        if fresh {
+            writer.write_all(MAGIC)?;
+            writer.flush()?;
+        }
+        Ok(SolveStore {
+            path: path.to_path_buf(),
+            writer: Mutex::new(writer),
+            seen: Mutex::new(seen),
+            stats: Mutex::new(StoreStats::default()),
+        })
+    }
+
+    /// The store file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lifetime counters so far.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        *lock(&self.stats)
+    }
+
+    /// Replays every intact record into `cache` (via
+    /// [`SolveCache::preload`]), skipping corrupt ones per the module-level
+    /// policy. Returns `(replayed, corrupt_skipped)` for this call; the
+    /// lifetime totals accumulate in [`stats`](Self::stats).
+    ///
+    /// # Errors
+    ///
+    /// Only on failing to read the file itself; corruption inside the file
+    /// is never an error.
+    pub(crate) fn replay(&self, cache: &SolveCache) -> std::io::Result<(u64, u64)> {
+        // Take the writer lock across the read so a concurrent append
+        // cannot interleave a half-written record into our view.
+        let mut writer = lock(&self.writer);
+        writer.flush()?;
+        let bytes = std::fs::read(&self.path)?;
+        drop(writer);
+        let mut replayed = 0u64;
+        let mut corrupt = 0u64;
+        if !bytes.starts_with(MAGIC) {
+            // The header itself was damaged after open(): everything below
+            // it is unreadable. Start cold.
+            let mut stats = lock(&self.stats);
+            stats.corrupt_skipped += 1;
+            return Ok((0, 1));
+        }
+        let mut cursor = MAGIC.len();
+        loop {
+            match next_record(&bytes, cursor) {
+                None if cursor == bytes.len() => break, // clean end
+                None => {
+                    // Truncated or unframed tail: stop, count once.
+                    corrupt += 1;
+                    break;
+                }
+                Some((payload, next)) => {
+                    match payload.and_then(decode_payload) {
+                        Some((key, wave)) => {
+                            cache.preload(key, wave);
+                            replayed += 1;
+                        }
+                        None => corrupt += 1,
+                    }
+                    cursor = next;
+                }
+            }
+        }
+        let mut stats = lock(&self.stats);
+        stats.replayed += replayed;
+        stats.corrupt_skipped += corrupt;
+        Ok((replayed, corrupt))
+    }
+
+    /// Appends journal entries (deduplicating against everything already on
+    /// disk) and flushes. Returns how many records were actually written.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying file.
+    pub(crate) fn append(&self, entries: &[(SolveKey, Waveform)]) -> std::io::Result<u64> {
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let mut written = 0u64;
+        let mut deduped = 0u64;
+        let mut writer = lock(&self.writer);
+        let mut seen = lock(&self.seen);
+        for (key, wave) in entries {
+            let payload = encode_payload(key, wave);
+            let hash = payload_hash(&payload);
+            if !seen.insert(hash) {
+                deduped += 1;
+                continue;
+            }
+            let mut h = StableHasher::new();
+            h.write_bytes(&payload);
+            writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+            writer.write_all(&h.finish().to_le_bytes())?;
+            writer.write_all(&payload)?;
+            written += 1;
+        }
+        writer.flush()?;
+        drop(writer);
+        drop(seen);
+        let mut stats = lock(&self.stats);
+        stats.appended += written;
+        stats.deduped += deduped;
+        Ok(written)
+    }
+}
+
+/// Poison-tolerant lock: the store must keep serving after a panicked
+/// connection thread.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// FNV over a payload, as the dedup identity of a record.
+fn payload_hash(payload: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(payload);
+    h.finish()
+}
+
+/// Walks one record starting at `cursor`. Returns `None` when the framing
+/// is unusable from here on (truncated header/payload or implausible
+/// length — including the clean-EOF case, which the caller distinguishes
+/// by `cursor == bytes.len()`). Otherwise returns the payload —
+/// `Some(bytes)` if its checksum matched, `None` if not — and the offset
+/// of the next record.
+#[allow(clippy::type_complexity)]
+fn next_record(bytes: &[u8], cursor: usize) -> Option<(Option<&[u8]>, usize)> {
+    let head = bytes.get(cursor..cursor + 12)?;
+    let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    if len == 0 || len > MAX_RECORD {
+        return None;
+    }
+    let checksum = u64::from_le_bytes([
+        head[4], head[5], head[6], head[7], head[8], head[9], head[10], head[11],
+    ]);
+    let start = cursor + 12;
+    let payload = bytes.get(start..start + len)?;
+    let mut h = StableHasher::new();
+    h.write_bytes(payload);
+    let ok = h.finish() == checksum;
+    Some((ok.then_some(payload), start + len))
+}
+
+fn encode_payload(key: &SolveKey, wave: &Waveform) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        2 + key.cell.len()
+            + 9
+            + 4
+            + key.wave.len() * 16
+            + 8
+            + 4
+            + key.couplings.len() * 9
+            + 4
+            + wave.points().len() * 16,
+    );
+    out.extend_from_slice(&(key.cell.len() as u16).to_le_bytes());
+    out.extend_from_slice(key.cell.as_bytes());
+    out.extend_from_slice(&key.stage.to_le_bytes());
+    out.extend_from_slice(&key.slot.to_le_bytes());
+    out.push(key.flags);
+    out.extend_from_slice(&(key.wave.len() as u32).to_le_bytes());
+    for &(t, v) in &key.wave {
+        out.extend_from_slice(&t.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&key.cground.to_le_bytes());
+    out.extend_from_slice(&(key.couplings.len() as u32).to_le_bytes());
+    for &(c, mode) in &key.couplings {
+        out.extend_from_slice(&c.to_le_bytes());
+        out.push(mode);
+    }
+    let points = wave.points();
+    out.extend_from_slice(&(points.len() as u32).to_le_bytes());
+    for &(t, v) in points {
+        out.extend_from_slice(&t.to_bits().to_le_bytes());
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes one payload back into a cache entry. `None` on any structural
+/// violation or when the stored waveform fails validation — a checksum
+/// collision over a damaged record must not preload garbage.
+fn decode_payload(payload: &[u8]) -> Option<(SolveKey, Waveform)> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let cell_len = r.u16()? as usize;
+    let cell = String::from_utf8(r.take(cell_len)?.to_vec()).ok()?;
+    let stage = r.u32()?;
+    let slot = r.u32()?;
+    let flags = r.u8()?;
+    let n = r.u32()? as usize;
+    if n > MAX_RECORD / 16 {
+        return None;
+    }
+    let mut wave = Vec::with_capacity(n);
+    for _ in 0..n {
+        wave.push((r.u64()?, r.u64()?));
+    }
+    let cground = r.u64()?;
+    let m = r.u32()? as usize;
+    if m > MAX_RECORD / 9 {
+        return None;
+    }
+    let mut couplings = Vec::with_capacity(m);
+    for _ in 0..m {
+        couplings.push((r.u64()?, r.u8()?));
+    }
+    let k = r.u32()? as usize;
+    if k > MAX_RECORD / 16 {
+        return None;
+    }
+    let mut points = Vec::with_capacity(k);
+    for _ in 0..k {
+        points.push((f64::from_bits(r.u64()?), f64::from_bits(r.u64()?)));
+    }
+    if r.pos != payload.len() {
+        return None; // trailing bytes: not a record we wrote
+    }
+    let result = Waveform::new(points).ok()?;
+    Some((
+        SolveKey::from_parts(cell, stage, slot, flags, wave, cground, couplings),
+        result,
+    ))
+}
+
+/// A bounds-checked little-endian cursor over a payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::CacheAdmission;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xtalk_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn entry(tag: u32) -> (SolveKey, Waveform) {
+        let key = SolveKey::from_parts(
+            "INVX1".into(),
+            0,
+            tag,
+            1,
+            vec![(1, 2), (3, u64::from(tag))],
+            42,
+            vec![(7, 1)],
+        );
+        let wave = Waveform::new(vec![(0.0, 0.0), (1e-9 * f64::from(tag + 1), 3.3)])
+            .expect("valid waveform");
+        (key, wave)
+    }
+
+    fn cache() -> SolveCache {
+        SolveCache::new(true, 1 << 12, CacheAdmission::All)
+    }
+
+    #[test]
+    fn round_trips_entries_across_reopen() {
+        let path = tmp("roundtrip.log");
+        let _ = std::fs::remove_file(&path);
+        let store = SolveStore::open(&path).expect("open");
+        let entries: Vec<_> = (0..5).map(entry).collect();
+        assert_eq!(store.append(&entries).expect("append"), 5);
+        drop(store);
+
+        let store = SolveStore::open(&path).expect("reopen");
+        let c = cache();
+        let (replayed, corrupt) = store.replay(&c).expect("replay");
+        assert_eq!((replayed, corrupt), (5, 0));
+        assert_eq!(c.len(), 5);
+        // Reopen deduplicates: appending the same entries writes nothing.
+        assert_eq!(store.append(&entries).expect("re-append"), 0);
+        assert_eq!(store.stats().deduped, 5);
+    }
+
+    #[test]
+    fn duplicate_entries_are_written_once() {
+        let path = tmp("dedup.log");
+        let _ = std::fs::remove_file(&path);
+        let store = SolveStore::open(&path).expect("open");
+        let e = entry(1);
+        let twice = vec![e.clone(), e];
+        assert_eq!(store.append(&twice).expect("append"), 1);
+        assert_eq!(store.stats().deduped, 1);
+    }
+
+    #[test]
+    fn checksum_corruption_skips_one_record_and_continues() {
+        let path = tmp("corrupt_mid.log");
+        let _ = std::fs::remove_file(&path);
+        let store = SolveStore::open(&path).expect("open");
+        store
+            .append(&(0..3).map(entry).collect::<Vec<_>>())
+            .expect("append");
+        drop(store);
+
+        // Flip one payload byte inside the *second* record.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let first_len =
+            u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().expect("len"))
+                as usize;
+        let second_payload_at = MAGIC.len() + 12 + first_len + 12 + 3;
+        bytes[second_payload_at] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("write corrupted");
+
+        let store = SolveStore::open(&path).expect("reopen");
+        let c = cache();
+        let (replayed, corrupt) = store.replay(&c).expect("replay");
+        assert_eq!(corrupt, 1, "exactly the damaged record is skipped");
+        assert_eq!(replayed, 2, "records before and after it survive");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn truncated_tail_stops_replay_without_error() {
+        let path = tmp("truncated.log");
+        let _ = std::fs::remove_file(&path);
+        let store = SolveStore::open(&path).expect("open");
+        store
+            .append(&(0..2).map(entry).collect::<Vec<_>>())
+            .expect("append");
+        drop(store);
+
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncate");
+
+        let store = SolveStore::open(&path).expect("reopen");
+        let c = cache();
+        let (replayed, corrupt) = store.replay(&c).expect("replay");
+        assert_eq!(replayed, 1, "the intact first record loads");
+        assert_eq!(corrupt, 1, "the torn tail counts once");
+    }
+
+    #[test]
+    fn implausible_length_word_stops_replay() {
+        let path = tmp("badlen.log");
+        let _ = std::fs::remove_file(&path);
+        let store = SolveStore::open(&path).expect("open");
+        store
+            .append(&(0..2).map(entry).collect::<Vec<_>>())
+            .expect("append");
+        drop(store);
+
+        // Smash the second record's length word to a huge value.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let first_len =
+            u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().expect("len"))
+                as usize;
+        let second_at = MAGIC.len() + 12 + first_len;
+        bytes[second_at..second_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+
+        let store = SolveStore::open(&path).expect("reopen");
+        let c = cache();
+        let (replayed, corrupt) = store.replay(&c).expect("replay");
+        assert_eq!(replayed, 1);
+        assert_eq!(corrupt, 1);
+    }
+
+    #[test]
+    fn non_store_file_is_rejected_at_open() {
+        let path = tmp("notastore.log");
+        std::fs::write(&path, b"hello world, definitely not a store").expect("write");
+        let e = SolveStore::open(&path).expect_err("bad magic must be rejected");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -11,6 +11,8 @@
 //! xtalk liberty <output.lib> [--cells A,B,...]
 //! xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE] [--threads N]
 //! xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check] [--threads N]
+//! xtalk serve --socket PATH [--store FILE] [--threads N]
+//! xtalk client --socket PATH <load|analyze|eco|what-if|query|stats|shutdown> ...
 //! ```
 //!
 //! Modes: `best`, `doubled`, `worst`, `onestep`, `iterative` (default),
@@ -70,13 +72,23 @@ pub const USAGE: &str = "\
 xtalk — crosstalk-aware static timing analysis (DATE 2000 reproduction)
 
 USAGE:
-  xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch] [--threads N] [--strict]
+  xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch] [--bits] [--threads N] [--strict]
   xtalk flow <netlist.(bench|v)> --out DIR
   xtalk convert <input.(bench|v)> <output.(bench|v)>
   xtalk generate --preset small|medium|s35932|s38417|s38584 [--seed N] <output.(bench|v)>
   xtalk liberty <output.lib> [--cells A,B,...]
   xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE] [--threads N] [--strict]
   xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check] [--threads N] [--strict]
+  xtalk serve --socket PATH [--store FILE] [--threads N] [--cache-admission=all|cost] [--strict]
+  xtalk client --socket PATH <action>
+
+CLIENT ACTIONS (against a running `xtalk serve`):
+  load <design> <netlist.(bench|v)> [--spef FILE]
+  analyze <design> [--mode MODE]
+  eco <design> <edits.eco>
+  what-if <design> <edits.eco> [--mode MODE]
+  query <design> <net> [--mode MODE] [--period NS]
+  stats | shutdown
 
 MODES: best | doubled | worst | onestep | iterative (default) | esperance | min
 
@@ -146,6 +158,8 @@ pub fn run_with_code(args: &[String]) -> Result<CliOutcome, CliError> {
         Some("liberty") => (cmd_liberty(&args[1..])?, None),
         Some("sdf") => (cmd_sdf(&args[1..])?, None),
         Some("eco") => cmd_eco(&args[1..])?,
+        Some("serve") => (cmd_serve(&args[1..])?, None),
+        Some("client") => cmd_client(&args[1..])?,
         Some("help") | None => (USAGE.to_string(), None),
         Some(other) => return Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
     };
@@ -243,7 +257,7 @@ fn flag<'a>(flags: &[(&'a str, Option<&'a str>)], name: &str) -> Option<Option<&
 /// Builds the execution config from the environment, letting `--threads`
 /// override `XTALK_THREADS` and `--strict` force fail-fast mode.
 fn exec_config(flags: &[(&str, Option<&str>)]) -> Result<ExecConfig, CliError> {
-    let mut config = ExecConfig::from_env();
+    let mut config = ExecConfig::from_env().map_err(|e| err(e.to_string()))?;
     if let Some(threads) = flag(flags, "threads") {
         let threads: usize = threads
             .and_then(|t| t.parse().ok())
@@ -414,6 +428,12 @@ fn cmd_report(args: &[String]) -> Result<(String, Option<Severity>), CliError> {
         report.runtime.as_secs_f64()
     );
     let _ = writeln!(out, "{}", solver_summary(&report));
+    let _ = write!(out, "{}", xtalk_sta::report::solver_table(&report));
+    if flag(&flags, "bits").is_some() {
+        // Bit-exact transport of the delay for cross-process identity
+        // checks (decimal ns rounds; the IEEE-754 bits do not).
+        let _ = writeln!(out, "delay bits: {:016x}", report.longest_delay.to_bits());
+    }
     let _ = write!(out, "{}", diagnostics_block(&report));
     let _ = writeln!(out, "critical path:");
     for step in &report.critical_path {
@@ -636,6 +656,7 @@ fn cmd_eco(args: &[String]) -> Result<(String, Option<Severity>), CliError> {
         cache.admitted,
         cache.skipped
     );
+    let _ = write!(out, "{}", xtalk_sta::report::solver_table(&report));
     let _ = write!(out, "{}", diagnostics_block(&report));
 
     if flag(&flags, "check").is_some() {
@@ -655,6 +676,227 @@ fn cmd_eco(args: &[String]) -> Result<(String, Option<Severity>), CliError> {
         let _ = writeln!(out, "check: incremental result matches batch re-analysis");
     }
     Ok((out, report.worst_severity()))
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    use xtalk_sta::serve::{Daemon, ServeConfig};
+    let (pos, flags) = split_flags(args);
+    if !pos.is_empty() {
+        return Err(err(format!("serve takes only flags\n\n{USAGE}")));
+    }
+    let socket = flag(&flags, "socket")
+        .flatten()
+        .ok_or_else(|| err("serve requires --socket PATH"))?;
+    let store = flag(&flags, "store")
+        .flatten()
+        .map(std::path::PathBuf::from);
+    let config = ServeConfig {
+        socket: std::path::PathBuf::from(socket),
+        store,
+        exec: exec_config(&flags)?,
+    };
+    let daemon = Daemon::bind(config).map_err(|e| err(format!("serve: {e}")))?;
+    // The ready signal goes to stderr immediately — stdout text is only
+    // returned once the daemon exits.
+    eprintln!("xtalk serve: listening on {socket}");
+    let summary = daemon.run().map_err(|e| err(format!("serve: {e}")))?;
+    Ok(format!(
+        "served {} requests, {} sessions resident at shutdown\n",
+        summary.requests, summary.sessions
+    ))
+}
+
+/// The worst severity a client action's response reported, mapped back
+/// from the protocol token so `xtalk client` exits like the batch CLI.
+fn client_severity(resp: &xtalk_sta::serve::Json) -> Option<Severity> {
+    match resp.str_field("severity") {
+        Some("warning") => Some(Severity::Warning),
+        Some("error") => Some(Severity::Error),
+        _ => None,
+    }
+}
+
+fn cmd_client(args: &[String]) -> Result<(String, Option<Severity>), CliError> {
+    use xtalk_sta::serve::{Client, Json};
+    let (pos, flags) = split_flags(args);
+    let socket = flag(&flags, "socket")
+        .flatten()
+        .ok_or_else(|| err("client requires --socket PATH"))?;
+    let mut client = Client::connect(std::path::Path::new(socket))
+        .map_err(|e| err(format!("client: cannot reach daemon at {socket}: {e}")))?;
+    let mode = flag(&flags, "mode").flatten();
+    if let Some(m) = mode {
+        // Validate locally for a friendly error before shipping it.
+        parse_mode(m)?;
+    }
+    let io = |e: std::io::Error| err(format!("client: {e}"));
+    let resp = match pos.as_slice() {
+        ["load", design, netlist] => client
+            .load(design, netlist, flag(&flags, "spef").flatten())
+            .map_err(io)?,
+        ["analyze", design] => client.analyze(design, mode).map_err(io)?,
+        ["eco", design, script] | ["what-if", design, script] => {
+            let text = std::fs::read_to_string(script)?;
+            let lines: Vec<&str> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .collect();
+            if pos[0] == "eco" {
+                client.eco(design, &lines).map_err(io)?
+            } else {
+                client.what_if(design, &lines, mode).map_err(io)?
+            }
+        }
+        ["query", design, net] => {
+            let period = flag(&flags, "period")
+                .flatten()
+                .map(|p| {
+                    p.parse::<f64>()
+                        .map_err(|_| err("--period expects a number (ns)"))
+                })
+                .transpose()?;
+            client.query(design, net, mode, period).map_err(io)?
+        }
+        ["stats"] => client.stats().map_err(io)?,
+        ["shutdown"] => client.shutdown().map_err(io)?,
+        _ => return Err(err(format!("unknown client action\n\n{USAGE}"))),
+    };
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        let message = resp
+            .str_field("error")
+            .unwrap_or("malformed daemon response");
+        return Err(err(format!("daemon: {message}")));
+    }
+    let severity = client_severity(&resp);
+    Ok((render_client_response(pos[0], &resp), severity))
+}
+
+/// Renders a successful client response as human-readable text. Every
+/// analysis-like action also prints the bit-exact `delay bits` line so
+/// scripts can assert identity against `xtalk report --bits`.
+fn render_client_response(action: &str, resp: &xtalk_sta::serve::Json) -> String {
+    use xtalk_sta::serve::Json;
+    let mut out = String::new();
+    let num = |key: &str| resp.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let fnum = |key: &str| resp.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    match action {
+        "load" => {
+            let _ = writeln!(
+                out,
+                "loaded: {} gates, {} nets, {} coupling caps \
+                 (store: {} replayed, {} corrupt skipped)",
+                num("gates"),
+                num("nets"),
+                num("coupling_caps"),
+                num("store_replayed"),
+                num("store_corrupt_skipped")
+            );
+        }
+        "analyze" | "what-if" => {
+            let _ = writeln!(
+                out,
+                "{}{}: delay {:.3} ns ({} passes, {} stage solves, \
+                 {} newton solves, {} newton iters, {} cache hits, {:.2} s)",
+                resp.str_field("mode").unwrap_or("?"),
+                if action == "what-if" {
+                    " what-if (rolled back)"
+                } else {
+                    ""
+                },
+                fnum("delay_ns"),
+                num("passes"),
+                num("stage_solves"),
+                num("newton_solves"),
+                num("newton_iters"),
+                num("cache_hits"),
+                fnum("runtime_s")
+            );
+            let _ = writeln!(
+                out,
+                "delay bits: {}",
+                resp.str_field("delay_bits").unwrap_or("?")
+            );
+            if let Some(endpoint) = resp.str_field("endpoint") {
+                let _ = writeln!(out, "endpoint: {endpoint}");
+            }
+            if let Some(diags) = resp.get("diagnostics").and_then(Json::as_arr) {
+                let _ = writeln!(out, "diagnostics: {} fault(s) contained", diags.len());
+                for d in diags {
+                    let _ = writeln!(out, "  {}", d.as_str().unwrap_or("?"));
+                }
+            }
+        }
+        "eco" => {
+            let _ = writeln!(
+                out,
+                "applied {} edits ({} new gates, {} total on session)",
+                num("applied"),
+                num("new_gates"),
+                num("edits_total")
+            );
+        }
+        "query" => {
+            let _ = writeln!(
+                out,
+                "{} ({}): arrival {:.3} ns [bits {}]",
+                resp.str_field("net").unwrap_or("?"),
+                resp.str_field("mode").unwrap_or("?"),
+                fnum("arrival_ns"),
+                resp.str_field("arrival_bits").unwrap_or("?")
+            );
+            if let Some(slack) = resp.get("slack_ns").and_then(Json::as_f64) {
+                let _ = writeln!(
+                    out,
+                    "slack: {slack:.3} ns{}",
+                    if resp.get("violated").and_then(Json::as_bool) == Some(true) {
+                        "  VIOLATED"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+        "stats" => {
+            let _ = writeln!(out, "requests: {}", num("requests"));
+            if let Some(sessions) = resp.get("sessions").and_then(Json::as_arr) {
+                for s in sessions {
+                    let n = |key: &str| s.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    let _ = writeln!(
+                        out,
+                        "session {}: {} gates, {} edits, cache {} hits / {} misses \
+                         ({} admitted, {} skipped)",
+                        s.str_field("design").unwrap_or("?"),
+                        n("gates"),
+                        n("edits"),
+                        n("cache_hits"),
+                        n("cache_misses"),
+                        n("cache_admitted"),
+                        n("cache_skipped")
+                    );
+                }
+            }
+            if let Some(store) = resp.get("store") {
+                let n = |key: &str| store.get(key).and_then(Json::as_u64).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "store {}: {} replayed, {} corrupt skipped, {} appended, {} deduped",
+                    store.str_field("path").unwrap_or("?"),
+                    n("replayed"),
+                    n("corrupt_skipped"),
+                    n("appended"),
+                    n("deduped")
+                );
+            }
+        }
+        "shutdown" => {
+            let _ = writeln!(out, "daemon shutting down");
+        }
+        _ => {
+            let _ = writeln!(out, "{resp}");
+        }
+    }
+    out
 }
 
 #[cfg(test)]

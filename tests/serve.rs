@@ -1,0 +1,389 @@
+//! End-to-end tests of the timing-service daemon and its on-disk solve
+//! store: protocol round-trips, concurrent-client bit-identity against
+//! the batch CLI, daemon-restart warm starts, corrupt-store replay, and
+//! what-if rollback.
+//!
+//! Every daemon here runs with a serial [`ExecConfig`] — concurrency under
+//! test is *between* sessions and clients, not inside the solver — and on
+//! a socket/store under a per-process temp directory.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use xtalk::cli;
+use xtalk::prelude::*;
+use xtalk::sta::serve::{Client, Daemon, Json, ServeConfig, ServeSummary};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtalk_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Generates a small coupled design and writes it as a `.bench` file.
+fn make_bench(name: &str, seed: u64) -> PathBuf {
+    let path = tmp(name);
+    let out = cli::run(&[
+        "generate".into(),
+        "--preset".into(),
+        "small".into(),
+        "--seed".into(),
+        seed.to_string(),
+        path.to_string_lossy().into_owned(),
+    ])
+    .expect("generate");
+    assert!(out.contains("generated"));
+    path
+}
+
+/// Binds a daemon (so clients cannot race the bind) and runs it on a
+/// background thread until a client sends `shutdown`.
+fn start_daemon(socket: &Path, store: Option<&Path>) -> std::thread::JoinHandle<ServeSummary> {
+    let daemon = Daemon::bind(ServeConfig {
+        socket: socket.to_path_buf(),
+        store: store.map(Path::to_path_buf),
+        exec: ExecConfig::serial(),
+    })
+    .expect("bind daemon");
+    std::thread::spawn(move || daemon.run().expect("daemon run"))
+}
+
+fn connect(socket: &Path) -> Client {
+    Client::connect_retry(socket, Duration::from_secs(5)).expect("connect")
+}
+
+fn ok(resp: &Json) -> &Json {
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {resp}"
+    );
+    resp
+}
+
+fn delay_bits(resp: &Json) -> String {
+    resp.str_field("delay_bits")
+        .expect("delay_bits")
+        .to_string()
+}
+
+fn newton_iters(resp: &Json) -> u64 {
+    resp.get("newton_iters")
+        .and_then(Json::as_u64)
+        .expect("newton_iters")
+}
+
+/// The batch CLI's bit-exact delay for `netlist` under `mode`, via
+/// `xtalk report --bits`.
+fn batch_bits(netlist: &Path, mode: &str) -> String {
+    let out = cli::run(&[
+        "report".into(),
+        netlist.to_string_lossy().into_owned(),
+        "--mode".into(),
+        mode.into(),
+        "--bits".into(),
+        "--threads".into(),
+        "1".into(),
+    ])
+    .expect("batch report");
+    out.lines()
+        .find_map(|l| l.strip_prefix("delay bits: "))
+        .expect("--bits line")
+        .to_string()
+}
+
+/// A net that is driven, loaded and coupled — a worthwhile edit target.
+fn busy_net(bench_path: &Path) -> String {
+    let process = Process::c05um();
+    let library = Library::c05um(&process);
+    let text = std::fs::read_to_string(bench_path).expect("bench");
+    let netlist = xtalk::netlist::bench::parse(&text, &library).expect("parse");
+    let placement = xtalk::layout::place::place(&netlist, &library, &process);
+    let routes = xtalk::layout::route::route(&netlist, &placement, &process);
+    let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
+    netlist
+        .nets()
+        .iter()
+        .enumerate()
+        .find(|(ni, net)| {
+            net.driver.is_some()
+                && !net.loads.is_empty()
+                && !parasitics.nets[*ni].couplings.is_empty()
+        })
+        .map(|(_, net)| net.name.clone())
+        .expect("a coupled net")
+}
+
+#[test]
+fn concurrent_clients_are_bit_identical_to_the_batch_cli() {
+    let bench = make_bench("conc.bench", 21);
+    let socket = tmp("conc.sock");
+    let daemon = start_daemon(&socket, None);
+    let reference = batch_bits(&bench, "onestep");
+
+    let mut threads = Vec::new();
+    for i in 0..3 {
+        let socket = socket.clone();
+        let bench = bench.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = connect(&socket);
+            let design = format!("conc{i}");
+            let path = bench.to_string_lossy().into_owned();
+            ok(&client.load(&design, &path, None).expect("load"));
+            let resp = client.analyze(&design, Some("onestep")).expect("analyze");
+            delay_bits(ok(&resp))
+        }));
+    }
+    for t in threads {
+        let bits = t.join().expect("client thread");
+        assert_eq!(
+            bits, reference,
+            "a concurrent client's delay diverged from the serial batch CLI"
+        );
+    }
+
+    let mut client = connect(&socket);
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        ok(&stats)
+            .get("sessions")
+            .and_then(Json::as_arr)
+            .map(<[_]>::len),
+        Some(3),
+        "three resident sessions: {stats}"
+    );
+    ok(&client.shutdown().expect("shutdown"));
+    let summary = daemon.join().expect("daemon thread");
+    assert!(summary.requests >= 8, "all requests counted: {summary:?}");
+    assert!(!socket.exists(), "socket file removed on clean shutdown");
+}
+
+#[test]
+fn restarted_daemon_starts_warm_from_the_store_and_stays_bit_identical() {
+    let bench = make_bench("warm.bench", 22);
+    let store = tmp("warm.store");
+    let _ = std::fs::remove_file(&store);
+    let socket = tmp("warm.sock");
+    let path = bench.to_string_lossy().into_owned();
+
+    // Generation 1: a cold daemon populates the store.
+    let daemon = start_daemon(&socket, Some(&store));
+    let mut client = connect(&socket);
+    let load = client.load("d", &path, None).expect("load");
+    assert_eq!(
+        ok(&load).get("store_replayed").and_then(Json::as_u64),
+        Some(0),
+        "an empty store replays nothing: {load}"
+    );
+    let cold = client.analyze("d", Some("onestep")).expect("cold analyze");
+    let cold_bits = delay_bits(ok(&cold));
+    let cold_iters = newton_iters(&cold);
+    assert!(cold_iters > 0, "a cold analysis integrates: {cold}");
+    ok(&client.shutdown().expect("shutdown"));
+    daemon.join().expect("daemon 1");
+    assert!(store.exists(), "write-behind populated the store");
+
+    // Generation 2: a fresh daemon on the populated store.
+    let daemon = start_daemon(&socket, Some(&store));
+    let mut client = connect(&socket);
+    let load = client.load("d", &path, None).expect("reload");
+    let replayed = ok(&load)
+        .get("store_replayed")
+        .and_then(Json::as_u64)
+        .expect("replayed");
+    assert!(
+        replayed > 0,
+        "the store replays into the fresh session: {load}"
+    );
+    let warm = client.analyze("d", Some("onestep")).expect("warm analyze");
+    let warm_bits = delay_bits(ok(&warm));
+    let warm_iters = newton_iters(&warm);
+    ok(&client.shutdown().expect("shutdown"));
+    daemon.join().expect("daemon 2");
+
+    assert_eq!(
+        warm_bits, cold_bits,
+        "disk-warm analysis must be bit-identical to the cold one"
+    );
+    assert_eq!(
+        warm_bits,
+        batch_bits(&bench, "onestep"),
+        "disk-warm analysis must be bit-identical to the batch CLI"
+    );
+    assert!(
+        warm_iters < cold_iters,
+        "a disk-warm start must solve strictly fewer Newton iterations \
+         ({warm_iters} vs {cold_iters})"
+    );
+}
+
+#[test]
+fn corrupt_store_entries_are_skipped_never_served() {
+    let bench = make_bench("corrupt.bench", 23);
+    let store = tmp("corrupt.store");
+    let _ = std::fs::remove_file(&store);
+    let socket = tmp("corrupt.sock");
+    let path = bench.to_string_lossy().into_owned();
+
+    // Populate the store, then flip a byte inside the first record's
+    // payload (magic 17 bytes, then [len u32][checksum u64][payload]).
+    let daemon = start_daemon(&socket, Some(&store));
+    let mut client = connect(&socket);
+    ok(&client.load("d", &path, None).expect("load"));
+    let bits = delay_bits(ok(&client.analyze("d", Some("best")).expect("analyze")));
+    ok(&client.shutdown().expect("shutdown"));
+    daemon.join().expect("daemon 1");
+
+    let mut bytes = std::fs::read(&store).expect("store bytes");
+    let magic = b"XTALKSOLVESTORE1\n".len();
+    bytes[magic + 12 + 5] ^= 0x40;
+    std::fs::write(&store, &bytes).expect("corrupt store");
+
+    let daemon = start_daemon(&socket, Some(&store));
+    let mut client = connect(&socket);
+    let load = client.load("d", &path, None).expect("reload");
+    let skipped = ok(&load)
+        .get("store_corrupt_skipped")
+        .and_then(Json::as_u64)
+        .expect("corrupt_skipped");
+    assert_eq!(skipped, 1, "exactly the damaged record is skipped: {load}");
+    assert!(
+        load.get("store_replayed").and_then(Json::as_u64) > Some(0),
+        "records after the damaged one still replay: {load}"
+    );
+    // The surviving entries serve correct values: still bit-identical.
+    let after = delay_bits(ok(&client.analyze("d", Some("best")).expect("analyze")));
+    assert_eq!(after, bits, "corruption may cost warmth, never correctness");
+    // The skip surfaces as a diagnostic counter in `stats` too.
+    let stats = client.stats().expect("stats");
+    let store_stats = ok(&stats).get("store").expect("store stats");
+    assert_eq!(
+        store_stats.get("corrupt_skipped").and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+    ok(&client.shutdown().expect("shutdown"));
+    daemon.join().expect("daemon 2");
+}
+
+#[test]
+fn what_if_rolls_back_to_baseline_bits_and_matches_a_committed_eco() {
+    let bench = make_bench("whatif.bench", 24);
+    let socket = tmp("whatif.sock");
+    let net = busy_net(&bench);
+    let edit = format!("reroute {net} 2.5");
+    let path = bench.to_string_lossy().into_owned();
+
+    let daemon = start_daemon(&socket, None);
+    let mut client = connect(&socket);
+    // Session A evaluates the edit hypothetically; session B commits it.
+    ok(&client.load("a", &path, None).expect("load a"));
+    ok(&client.load("b", &path, None).expect("load b"));
+    let baseline = delay_bits(ok(&client.analyze("a", Some("onestep")).expect("baseline")));
+
+    let what_if = client
+        .what_if("a", &[edit.as_str()], Some("onestep"))
+        .expect("what-if");
+    assert_eq!(
+        ok(&what_if).get("rolled_back").and_then(Json::as_bool),
+        Some(true)
+    );
+    let hypothetical = delay_bits(&what_if);
+    assert_ne!(
+        hypothetical, baseline,
+        "a 2.5x reroute of a coupled net must move the delay"
+    );
+
+    // The rollback restored session A exactly: same bits as before.
+    let after = delay_bits(ok(&client.analyze("a", Some("onestep")).expect("after")));
+    assert_eq!(after, baseline, "what-if must leave the session untouched");
+
+    // Committing the same edit on session B reproduces the what-if bits.
+    let eco = client.eco("b", &[edit.as_str()]).expect("eco");
+    assert_eq!(ok(&eco).get("applied").and_then(Json::as_u64), Some(1));
+    let committed = delay_bits(ok(&client
+        .analyze("b", Some("onestep"))
+        .expect("committed")));
+    assert_eq!(
+        committed, hypothetical,
+        "what-if and committed-eco timings must agree"
+    );
+    ok(&client.shutdown().expect("shutdown"));
+    daemon.join().expect("daemon");
+}
+
+#[test]
+fn protocol_errors_are_typed_responses_not_hangups() {
+    let bench = make_bench("errors.bench", 25);
+    let socket = tmp("errors.sock");
+    let path = bench.to_string_lossy().into_owned();
+    let daemon = start_daemon(&socket, None);
+    let mut client = connect(&socket);
+
+    // Unknown command.
+    let resp = client
+        .request(&Json::obj(vec![("cmd", Json::str("frobnicate"))]))
+        .expect("request");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(resp
+        .str_field("error")
+        .expect("error")
+        .contains("unknown command"));
+
+    // Missing cmd field.
+    let resp = client
+        .request(&Json::obj(vec![("design", Json::str("d"))]))
+        .expect("request");
+    assert!(resp.str_field("error").expect("error").contains("no `cmd`"));
+
+    // Analysis against a session that was never loaded.
+    let resp = client.analyze("ghost", None).expect("request");
+    assert!(resp
+        .str_field("error")
+        .expect("error")
+        .contains("no session"));
+
+    // Unknown mode and bad netlist path are rejected per-request; the
+    // connection stays usable throughout.
+    ok(&client.load("d", &path, None).expect("load"));
+    let resp = client.analyze("d", Some("warp")).expect("request");
+    assert!(resp
+        .str_field("error")
+        .expect("error")
+        .contains("unknown mode"));
+    let resp = client
+        .load("x", "/nonexistent.bench", None)
+        .expect("request");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+
+    // A failing ECO edit reports which edit died and how many applied.
+    let resp = client
+        .eco("d", &["resize no_such_gate INVX4"])
+        .expect("request");
+    assert!(resp
+        .str_field("error")
+        .expect("error")
+        .contains("unknown gate"));
+
+    // Clean requests still carry exit_code 0; a query on a real endpoint
+    // works after all those failures.
+    let analyze = client.analyze("d", Some("best")).expect("analyze");
+    assert_eq!(
+        ok(&analyze).get("exit_code").and_then(Json::as_u64),
+        Some(0)
+    );
+    let endpoint = analyze.str_field("endpoint").expect("endpoint").to_string();
+    let query = client
+        .query("d", &endpoint, Some("best"), Some(1000.0))
+        .expect("query");
+    assert!(
+        ok(&query)
+            .get("slack_ns")
+            .and_then(Json::as_f64)
+            .expect("slack")
+            > 0.0,
+        "a 1000 ns period leaves positive slack: {query}"
+    );
+    ok(&client.shutdown().expect("shutdown"));
+    daemon.join().expect("daemon");
+}
