@@ -156,6 +156,12 @@ impl<'a> Sta<'a> {
         config: ExecConfig,
     ) -> Result<Self, StaError> {
         let graph = TimingGraph::build(netlist, library, process, parasitics)?;
+        // Characterize the macromodel tables up front (a no-op when the
+        // process-global store already holds this library): build time, not
+        // solve time, so the fast path never blocks a pass mid-flight.
+        if !config.signoff {
+            xtalk_wave::macromodel::prewarm_library(process, library, config.threads);
+        }
         Ok(Sta {
             netlist,
             library,

@@ -107,6 +107,10 @@ pub struct ExecConfig {
     /// Fail fast on the first recoverable fault instead of degrading to a
     /// conservative bound with a [`crate::diag::Diagnostic`].
     pub strict: bool,
+    /// Signoff mode: disable the characterized-macromodel fast path so
+    /// every stage solve runs the full transistor-level Newton iteration,
+    /// reproducing the pre-macromodel results bit for bit.
+    pub signoff: bool,
 }
 
 impl Default for ExecConfig {
@@ -120,6 +124,7 @@ impl Default for ExecConfig {
             cache_capacity: 1 << 20,
             cache_admission: CacheAdmission::default(),
             strict: false,
+            signoff: false,
         }
     }
 }
@@ -129,7 +134,8 @@ impl ExecConfig {
     /// `XTALK_THREADS` (integer; `1` = serial, `0`/unset = auto),
     /// `XTALK_CACHE` (on/off switch for the stage-solve cache),
     /// `XTALK_CACHE_CAPACITY` (entry count), `XTALK_CACHE_ADMISSION`
-    /// (`all` | `cost`) and `XTALK_STRICT` (on/off switch).
+    /// (`all` | `cost`), `XTALK_STRICT` (on/off switch) and
+    /// `XTALK_SIGNOFF` (on/off switch for the bit-exact full-solver mode).
     ///
     /// # Errors
     ///
@@ -185,6 +191,9 @@ impl ExecConfig {
         if let Some(strict) = get("XTALK_STRICT") {
             config.strict = parse_switch("XTALK_STRICT", strict.trim())?;
         }
+        if let Some(signoff) = get("XTALK_SIGNOFF") {
+            config.signoff = parse_switch("XTALK_SIGNOFF", signoff.trim())?;
+        }
         Ok(config)
     }
 
@@ -229,6 +238,13 @@ impl ExecConfig {
     #[must_use]
     pub fn with_strict(mut self, strict: bool) -> Self {
         self.strict = strict;
+        self
+    }
+
+    /// Enables or disables signoff mode (macromodel fast path off).
+    #[must_use]
+    pub fn with_signoff(mut self, signoff: bool) -> Self {
+        self.signoff = signoff;
         self
     }
 }
@@ -374,6 +390,7 @@ mod tests {
             ("XTALK_CACHE_CAPACITY", "4096"),
             ("XTALK_CACHE_ADMISSION", "all"),
             ("XTALK_STRICT", "1"),
+            ("XTALK_SIGNOFF", "on"),
         ]))
         .expect("valid overrides");
         assert_eq!(c.threads, 3);
@@ -381,6 +398,8 @@ mod tests {
         assert_eq!(c.cache_capacity, 4096);
         assert_eq!(c.cache_admission, CacheAdmission::All);
         assert!(c.strict);
+        assert!(c.signoff);
+        assert!(!ExecConfig::default().signoff, "fast path is the default");
         // 0 threads keeps the auto default; unset vars keep every default.
         let auto = ExecConfig::from_lookup(lookup(&[("XTALK_THREADS", "0")])).expect("auto");
         assert_eq!(auto.threads, ExecConfig::default().threads);
@@ -418,6 +437,7 @@ mod tests {
     fn junk_switches_and_admission_are_rejected() {
         assert!(ExecConfig::from_lookup(lookup(&[("XTALK_CACHE", "maybe")])).is_err());
         assert!(ExecConfig::from_lookup(lookup(&[("XTALK_STRICT", "2")])).is_err());
+        assert!(ExecConfig::from_lookup(lookup(&[("XTALK_SIGNOFF", "sorta")])).is_err());
         assert!(ExecConfig::from_lookup(lookup(&[("XTALK_CACHE_ADMISSION", "some")])).is_err());
         let on = ExecConfig::from_lookup(lookup(&[("XTALK_CACHE", "yes")])).expect("switch");
         assert!(on.cache);

@@ -180,6 +180,12 @@ impl<'a> IncrementalSta<'a> {
         config: ExecConfig,
     ) -> Result<Self, StaError> {
         let graph = TimingGraph::build(&netlist, library, process, &parasitics)?;
+        // Same build-time characterization as the batch engine, so ECO
+        // reanalysis and a fresh batch run stay bit-identical (both answer
+        // the same queries from the same store).
+        if !config.signoff {
+            xtalk_wave::macromodel::prewarm_library(process, library, config.threads);
+        }
         Ok(Self {
             library,
             process,
@@ -465,6 +471,9 @@ impl<'a> IncrementalSta<'a> {
             warm_hits: counters.memo_hits,
             newton_iters: counters.iters,
             iter_hist: counters.hist,
+            table_hits: counters.table_hits,
+            table_fallbacks: counters.table_fallbacks,
+            table_residual: counters.table_residual,
         };
 
         match mode {

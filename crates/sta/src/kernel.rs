@@ -31,7 +31,7 @@
 //!   the incremental sweep's exact early termination sound).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
@@ -39,6 +39,7 @@ use xtalk_layout::Parasitics;
 use xtalk_netlist::Netlist;
 use xtalk_tech::cell::{Stage, StageSignal};
 use xtalk_tech::{Library, Process};
+use xtalk_wave::macromodel;
 use xtalk_wave::pwl::Waveform;
 use xtalk_wave::stage::{Load, SolvedWave, StageError, StageScratch, StageSolver};
 
@@ -151,6 +152,16 @@ pub struct SolveCounters {
     /// took `< 64` iterations, then doubling bands (`< 128`, `< 256`, ...)
     /// to the `>= 4096` tail in bucket 7.
     pub hist: [usize; 8],
+    /// Subset of `hits` answered by the characterized macromodel tables
+    /// (DESIGN.md D12) instead of a Newton integration or a cached wave.
+    pub table_hits: usize,
+    /// Calls where a usable macromodel existed but declined the query
+    /// (out-of-grid, unclassifiable input shape, unfoldable load) and the
+    /// solve fell through to the ordinary Newton path.
+    pub table_fallbacks: usize,
+    /// Largest certified interpolation-error bound among the table hits,
+    /// seconds — the worst-case pessimism the macromodel may have added.
+    pub table_residual: f64,
 }
 
 impl SolveCounters {
@@ -164,6 +175,9 @@ impl SolveCounters {
         for (mine, theirs) in self.hist.iter_mut().zip(other.hist) {
             *mine += theirs;
         }
+        self.table_hits += other.table_hits;
+        self.table_fallbacks += other.table_fallbacks;
+        self.table_residual = self.table_residual.max(other.table_residual);
     }
 
     /// Accounts one performed Newton integration of `newton_iters` total
@@ -365,6 +379,9 @@ impl PropagationCore<'_> {
             warm_hits: out.counters.memo_hits,
             newton_iters: out.counters.iters,
             iter_hist: out.counters.hist,
+            table_hits: out.counters.table_hits,
+            table_fallbacks: out.counters.table_fallbacks,
+            table_residual: out.counters.table_residual,
         }
     }
 
@@ -420,6 +437,12 @@ impl PropagationCore<'_> {
             cache_hits: pass_stats.iter().map(|p| p.cache_hits).sum(),
             warm_hits: pass_stats.iter().map(|p| p.warm_hits).sum(),
             newton_iters: pass_stats.iter().map(|p| p.newton_iters).sum(),
+            table_hits: pass_stats.iter().map(|p| p.table_hits).sum(),
+            table_fallbacks: pass_stats.iter().map(|p| p.table_fallbacks).sum(),
+            table_residual: pass_stats
+                .iter()
+                .map(|p| p.table_residual)
+                .fold(0.0, f64::max),
             pass_stats,
             diagnostics,
             runtime: started.elapsed(),
@@ -631,6 +654,11 @@ impl PropagationCore<'_> {
         let memo_hits = AtomicUsize::new(0);
         let newton_iters = AtomicUsize::new(0);
         let hist: [AtomicUsize; 8] = Default::default();
+        let table_hits = AtomicUsize::new(0);
+        let table_fallbacks = AtomicUsize::new(0);
+        // f64 max via bit-pattern fetch_max: valid because the residual is
+        // always >= 0 and non-negative IEEE754 doubles order like their bits.
+        let table_residual_bits = AtomicU64::new(0);
         let failed = AtomicBool::new(false);
         let first_error: Mutex<Option<(usize, StaError)>> = Mutex::new(None);
         let view = StateView::Cells(&cells);
@@ -653,6 +681,12 @@ impl PropagationCore<'_> {
                         if *n > 0 {
                             hist[bucket].fetch_add(*n, Ordering::Relaxed);
                         }
+                    }
+                    table_hits.fetch_add(ev.counters.table_hits, Ordering::Relaxed);
+                    table_fallbacks.fetch_add(ev.counters.table_fallbacks, Ordering::Relaxed);
+                    if ev.counters.table_residual > 0.0 {
+                        table_residual_bits
+                            .fetch_max(ev.counters.table_residual.to_bits(), Ordering::Relaxed);
                     }
                     let mut out = NodeState::default();
                     for (out_rising, info) in ev.merges {
@@ -692,6 +726,9 @@ impl PropagationCore<'_> {
                 memo_hits: memo_hits.into_inner(),
                 iters: newton_iters.into_inner(),
                 hist: hist.map(AtomicUsize::into_inner),
+                table_hits: table_hits.into_inner(),
+                table_fallbacks: table_fallbacks.into_inner(),
+                table_residual: f64::from_bits(table_residual_bits.into_inner()),
             },
         })
     }
@@ -844,6 +881,26 @@ impl PropagationCore<'_> {
                     in_wave = mirror(&in_wave, vdd);
                 }
 
+                // The arc's characterized macromodel, when the fast path
+                // applies. Signoff forces the full solver; min-delay tables
+                // are not characterized (a pessimistic table would be
+                // *optimistic* for earliest-arrival merging); launch arcs
+                // and fault-injected stages always take the ordinary path.
+                let model =
+                    if self.exec.config().signoff || earliest || launch || inject.skips_memo() {
+                        None
+                    } else {
+                        let key = macromodel::arc_key(
+                            process,
+                            &gate.cell,
+                            stage_inst.stage,
+                            slot,
+                            out_rising,
+                            side,
+                        );
+                        macromodel::model_for(key).filter(|m| m.usable())
+                    };
+
                 // Coupling treatment is the policy's call; the kernel owns
                 // the solver choke point behind the callback. A failed
                 // solve degrades to the conservative fallback waveform
@@ -879,6 +936,7 @@ impl PropagationCore<'_> {
                             load,
                             out_rising,
                             earliest,
+                            model.as_deref(),
                             counters,
                             &inject,
                         )
@@ -1068,6 +1126,10 @@ impl PropagationCore<'_> {
     /// cache) pays the Newton integration, through the thread-local scratch
     /// ([`solve_lean`]). Reuse is layered cheapest-first (DESIGN.md D10):
     ///
+    /// 0. the arc's characterized macromodel tables, when the caller
+    ///    resolved one (`model`) — interpolation plus certified pessimistic
+    ///    padding instead of an exact answer, which is why signoff mode and
+    ///    min-delay analyses never resolve a model (DESIGN.md D12);
     /// 1. the per-stage memo (`exec::memo`) — a borrowed bitwise compare
     ///    with no key allocation, which is what makes refinement re-solves
     ///    of unchanged arcs nearly free;
@@ -1077,8 +1139,9 @@ impl PropagationCore<'_> {
     /// 3. the solve itself, whose measured Newton-iteration cost then
     ///    feeds the adaptive admission threshold.
     ///
-    /// Every layer matches exact inputs bitwise, so a hit at any depth is
-    /// bit-identical to the solve it replaces.
+    /// Layers 1–3 match exact inputs bitwise, so a hit there is
+    /// bit-identical to the solve it replaces; only layer 0 substitutes a
+    /// (bounded, conservative) approximation.
     ///
     /// This is the engine's solver choke point, so it also hosts the fault
     /// harness (`inject`) and the cache guardrails: a load that refuses a
@@ -1101,6 +1164,7 @@ impl PropagationCore<'_> {
         load: Load,
         out_rising: bool,
         earliest: bool,
+        model: Option<&macromodel::ArcModel>,
         counters: &mut SolveCounters,
         inject: &Inject,
     ) -> Result<Waveform, StageError> {
@@ -1109,6 +1173,24 @@ impl PropagationCore<'_> {
             return Err(e);
         }
         let load = inject.doctor_load(load);
+        // The macromodel fast path: answer from the arc's characterized
+        // tables when the query folds into the grid (DESIGN.md D12). The
+        // synthesized waveform carries the cell's certified pessimistic
+        // padding, so a table answer is conservative, never optimistic; a
+        // declined query (and every signoff-mode solve, which arrives here
+        // with `model == None`) falls through to the exact layers below.
+        if let Some(model) = model {
+            if let Some(wave) = model.lookup(in_wave, &load, out_rising) {
+                counters.hits += 1;
+                counters.table_hits += 1;
+                counters.table_residual =
+                    counters.table_residual.max(model.certified_delay_bound());
+                macromodel::note_hit();
+                return Ok(wave);
+            }
+            counters.table_fallbacks += 1;
+            macromodel::note_fallback();
+        }
         let cache = self.exec.cache();
         if !cache.enabled() {
             let solved = solve_lean(solver, stage, slot, in_wave, side, &load)?;

@@ -77,6 +77,9 @@ pub(crate) fn refine(
         warm_hits: counters.memo_hits,
         newton_iters: counters.iters,
         iter_hist: counters.hist,
+        table_hits: counters.table_hits,
+        table_fallbacks: counters.table_fallbacks,
+        table_residual: counters.table_residual,
     };
 
     // Pass 1: the plain one-step analysis.

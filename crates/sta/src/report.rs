@@ -82,6 +82,15 @@ pub struct PassStat {
     /// Per-solve Newton-iteration histogram: bucket 0 holds solves under 64
     /// iterations, then doubling bands to the `>= 4096` tail in bucket 7.
     pub iter_hist: [usize; 8],
+    /// Subset of `cache_hits` answered by the characterized macromodel
+    /// tables (DESIGN.md D12).
+    pub table_hits: usize,
+    /// Calls where a usable macromodel declined the query (out-of-grid,
+    /// unfoldable load) and the solve fell back to the Newton path.
+    pub table_fallbacks: usize,
+    /// Largest certified interpolation-error bound among the pass's table
+    /// hits, seconds (0 when no table answered).
+    pub table_residual: f64,
 }
 
 impl PassStat {
@@ -134,6 +143,16 @@ pub struct ModeReport {
     pub warm_hits: usize,
     /// Total Newton iterations consumed across all passes.
     pub newton_iters: usize,
+    /// Solver calls answered by the characterized macromodel tables across
+    /// all passes (0 in signoff mode).
+    pub table_hits: usize,
+    /// Calls where a usable macromodel declined the query and the solve
+    /// fell back to the Newton path, across all passes.
+    pub table_fallbacks: usize,
+    /// Largest certified interpolation-error bound among all table hits,
+    /// seconds — the worst-case pessimism the macromodel may have added to
+    /// any reported arrival.
+    pub table_residual: f64,
     /// Per-pass work breakdown (delay, solver calls, Newton solves, cache
     /// hits, warm hits, iteration histogram), in pass order.
     pub pass_stats: Vec<PassStat>,
@@ -181,6 +200,17 @@ impl fmt::Display for ModeReport {
                 self.cache_hits,
                 self.warm_hits,
                 ratio * 100.0
+            )?;
+        }
+        // Only runs that actually used the macromodel mention it: signoff
+        // output stays byte-identical to the pre-macromodel engine.
+        if self.table_hits > 0 {
+            write!(
+                f,
+                "   [{} table, {} fallback, residual <= {:.1} ps]",
+                self.table_hits,
+                self.table_fallbacks,
+                self.table_residual * 1e12
             )?;
         }
         // Only a degraded run mentions diagnostics: clean output stays
@@ -356,8 +386,8 @@ pub fn solver_table(report: &ModeReport) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{:>5} {:>8} {:>8} {:>9} {:>5} {:>6}",
-        "pass", "calls", "newton", "iters", "hit%", "warm"
+        "{:>5} {:>8} {:>8} {:>9} {:>5} {:>6} {:>7}",
+        "pass", "calls", "newton", "iters", "hit%", "warm", "table"
     );
     for label in ITER_HIST_LABELS {
         let _ = write!(out, " {label:>5}");
@@ -366,13 +396,14 @@ pub fn solver_table(report: &ModeReport) -> String {
     let mut row = |tag: &str, s: &PassStat| {
         let _ = write!(
             out,
-            "{:>5} {:>8} {:>8} {:>9} {:>4.0}% {:>6}",
+            "{:>5} {:>8} {:>8} {:>9} {:>4.0}% {:>6} {:>7}",
             tag,
             s.solver_calls,
             s.newton_solves,
             s.newton_iters,
             100.0 * s.hit_ratio(),
-            s.warm_hits
+            s.warm_hits,
+            s.table_hits
         );
         for count in s.iter_hist {
             let _ = write!(out, " {count:>5}");
@@ -387,6 +418,9 @@ pub fn solver_table(report: &ModeReport) -> String {
         total.cache_hits += s.cache_hits;
         total.warm_hits += s.warm_hits;
         total.newton_iters += s.newton_iters;
+        total.table_hits += s.table_hits;
+        total.table_fallbacks += s.table_fallbacks;
+        total.table_residual = total.table_residual.max(s.table_residual);
         for (t, c) in total.iter_hist.iter_mut().zip(s.iter_hist) {
             *t += c;
         }
@@ -487,6 +521,9 @@ mod tests {
             warm_hits: hits / 2,
             newton_iters: iters,
             iter_hist: [calls - hits, 0, 0, 0, 0, 0, 0, 1],
+            table_hits: hits / 4,
+            table_fallbacks: 1,
+            table_residual: 2.5e-12,
         };
         let report = ModeReport {
             mode: AnalysisMode::Iterative { esperance: false },
@@ -503,6 +540,9 @@ mod tests {
             cache_hits: 70,
             warm_hits: 35,
             newton_iters: 9000,
+            table_hits: 17,
+            table_fallbacks: 2,
+            table_residual: 2.5e-12,
             pass_stats: vec![pass(200, 20, 6000), pass(100, 50, 3000)],
             diagnostics: Vec::new(),
             runtime: Duration::from_millis(5),
@@ -547,6 +587,9 @@ mod tests {
             cache_hits: 23,
             warm_hits: 7,
             newton_iters: 4200,
+            table_hits: 0,
+            table_fallbacks: 0,
+            table_residual: 0.0,
             pass_stats: vec![PassStat {
                 delay: 10.5e-9,
                 solver_calls: 123,
@@ -555,6 +598,9 @@ mod tests {
                 warm_hits: 7,
                 newton_iters: 4200,
                 iter_hist: [100, 0, 0, 0, 0, 0, 0, 0],
+                table_hits: 0,
+                table_fallbacks: 0,
+                table_residual: 0.0,
             }],
             diagnostics: Vec::new(),
             runtime: Duration::from_millis(12),

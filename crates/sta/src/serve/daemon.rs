@@ -695,6 +695,15 @@ fn cmd_stats(shared: &Shared) -> Json {
             Json::num(shared.requests.load(Ordering::Acquire) as f64),
         ),
         ("sessions", Json::Arr(rows)),
+        ("macromodel", {
+            let m = xtalk_wave::macromodel::stats();
+            Json::obj(vec![
+                ("models", Json::num(m.models as f64)),
+                ("usable", Json::num(m.usable as f64)),
+                ("table_hits", Json::num(m.table_hits as f64)),
+                ("table_fallbacks", Json::num(m.table_fallbacks as f64)),
+            ])
+        }),
     ];
     if let Some(store) = &shared.store {
         let s = store.stats();

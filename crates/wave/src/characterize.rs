@@ -12,9 +12,26 @@ use xtalk_tech::cell::{Cell, StageSignal};
 use xtalk_tech::Process;
 
 use crate::pwl::Waveform;
-use crate::stage::{Load, StageError, StageSolver};
+use crate::stage::{Coupling, CouplingMode, Load, StageError, StageSolver};
+
+/// Splits a total output capacitance into a grounded part and, when a
+/// ratio is given, an active coupling of `ratio` times the total.
+fn coupled_load(total: f64, ratio: Option<f64>) -> Load {
+    match ratio {
+        None => Load::grounded(total),
+        Some(r) => Load {
+            cground: total * (1.0 - r),
+            couplings: vec![Coupling::new(total * r, CouplingMode::Active)],
+        },
+    }
+}
 
 /// Characterized tables of one timing arc.
+///
+/// The quiet (grounded-aggressor) tables are always present; the coupled
+/// tables add a third, coupling-state dimension — the fraction of the
+/// output load that is an *active* (opposing) coupling capacitance — and
+/// are empty when characterization was run without ratios.
 #[derive(Debug, Clone)]
 pub struct ArcTable {
     /// Input pin index.
@@ -25,10 +42,18 @@ pub struct ArcTable {
     pub slews: Vec<f64>,
     /// Output load capacitances, farads.
     pub loads: Vec<f64>,
+    /// Active-coupling ratios (`c_active / ctot`) of the coupled tables;
+    /// empty when only the quiet slice was characterized.
+    pub ratios: Vec<f64>,
     /// `delay[i][j]`: Vdd/2-to-Vdd/2 delay at `slews[i]`, `loads[j]`.
     pub delay: Vec<Vec<f64>>,
     /// `out_slew[i][j]`: output 10–90% transition time.
     pub out_slew: Vec<Vec<f64>>,
+    /// `coupled_delay[r][i][j]`: delay with an active coupling of
+    /// `ratios[r]` times the total load fighting the transition.
+    pub coupled_delay: Vec<Vec<Vec<f64>>>,
+    /// `coupled_out_slew[r][i][j]`: output slew under the same coupling.
+    pub coupled_out_slew: Vec<Vec<Vec<f64>>>,
 }
 
 /// All characterized arcs of one cell.
@@ -53,6 +78,26 @@ pub fn characterize_cell(
     cell: &Cell,
     slews: &[f64],
     loads: &[f64],
+) -> Result<CellTables, StageError> {
+    characterize_cell_coupled(process, cell, slews, loads, &[])
+}
+
+/// Characterizes one combinational cell over slew × load × coupling-state
+/// grids: the quiet tables plus, for each ratio in `ratios`, a table with
+/// that fraction of the final-stage load replaced by an active (opposing)
+/// coupling capacitance. With an empty `ratios` this is exactly
+/// [`characterize_cell`], so the Liberty writer and the macromodel fast
+/// path can share one characterization pass.
+///
+/// # Errors
+///
+/// Propagates [`StageError`] from the underlying stage solutions.
+pub fn characterize_cell_coupled(
+    process: &Process,
+    cell: &Cell,
+    slews: &[f64],
+    loads: &[f64],
+    ratios: &[f64],
 ) -> Result<CellTables, StageError> {
     let vdd = process.vdd;
     let th = process.delay_threshold();
@@ -83,18 +128,36 @@ pub fn characterize_cell(
             };
             let mut delay = vec![vec![0.0; loads.len()]; slews.len()];
             let mut out_slew = vec![vec![0.0; loads.len()]; slews.len()];
+            let mut coupled_delay = vec![vec![vec![0.0; loads.len()]; slews.len()]; ratios.len()];
+            let mut coupled_out_slew =
+                vec![vec![vec![0.0; loads.len()]; slews.len()]; ratios.len()];
             for (i, &slew) in slews.iter().enumerate() {
                 for (j, &cload) in loads.iter().enumerate() {
                     let (v0, v1) = if input_rising { (0.0, vdd) } else { (vdd, 0.0) };
                     let input = Waveform::ramp(0.0, slew.max(1e-12), v0, v1)
                         .expect("characterization ramps are valid");
-                    let out = propagate(&solver, process, cell, pin, &sides, &input, cload)?;
-                    let d = out
-                        .crossing(th)
-                        .and_then(|tc| input.crossing(th).map(|ti| tc - ti))
-                        .unwrap_or(f64::NAN);
-                    delay[i][j] = d;
-                    out_slew[i][j] = out.slew(slo, shi).unwrap_or(f64::NAN);
+                    for (slice, ratio) in std::iter::once(None)
+                        .chain(ratios.iter().copied().map(Some))
+                        .enumerate()
+                    {
+                        let out =
+                            propagate(&solver, process, cell, pin, &sides, &input, cload, ratio)?;
+                        let d = out
+                            .crossing(th)
+                            .and_then(|tc| input.crossing(th).map(|ti| tc - ti))
+                            .unwrap_or(f64::NAN);
+                        let s = out.slew(slo, shi).unwrap_or(f64::NAN);
+                        match slice.checked_sub(1) {
+                            None => {
+                                delay[i][j] = d;
+                                out_slew[i][j] = s;
+                            }
+                            Some(r) => {
+                                coupled_delay[r][i][j] = d;
+                                coupled_out_slew[r][i][j] = s;
+                            }
+                        }
+                    }
                 }
             }
             arcs.push(ArcTable {
@@ -102,8 +165,11 @@ pub fn characterize_cell(
                 output_rising,
                 slews: slews.to_vec(),
                 loads: loads.to_vec(),
+                ratios: ratios.to_vec(),
                 delay,
                 out_slew,
+                coupled_delay,
+                coupled_out_slew,
             });
         }
     }
@@ -114,7 +180,10 @@ pub fn characterize_cell(
 }
 
 /// Propagates `input` on `pin` through the cell's stage chain to the output
-/// pin, with the final stage driving `cload`.
+/// pin, with the final stage driving `cload` — split, when `ratio` is
+/// given, into a grounded part and an active coupling of `ratio` times the
+/// total (the same exact load folding the macromodel fast path uses).
+#[allow(clippy::too_many_arguments)]
 fn propagate(
     solver: &StageSolver<'_>,
     process: &Process,
@@ -123,6 +192,7 @@ fn propagate(
     side_voltages: &[f64],
     input: &Waveform,
     cload: f64,
+    ratio: Option<f64>,
 ) -> Result<Waveform, StageError> {
     let vdd = process.vdd;
     // DC logic values of the cell pins with the switching pin at its
@@ -234,11 +304,13 @@ fn propagate(
                 side_local[*other_slot] = if final_high { vdd } else { 0.0 };
             }
             let load = match stage.output {
-                StageSignal::Pin(_) => Load::grounded(stage.output_diffusion_cap(process) + cload),
+                StageSignal::Pin(_) => {
+                    coupled_load(stage.output_diffusion_cap(process) + cload, ratio)
+                }
                 StageSignal::Internal(k) => {
                     Load::grounded(stage.output_diffusion_cap(process) + internal_load[k])
                 }
-                StageSignal::Launch => Load::grounded(cload),
+                StageSignal::Launch => coupled_load(cload, ratio),
             };
             let r = solver.solve(stage, *slot, wave, &side_local, load)?;
             let th = process.delay_threshold();
@@ -342,6 +414,33 @@ mod tests {
             for d in arc.delay.iter().flatten() {
                 assert!(d.is_finite() && *d > 0.0, "XOR delay {d}");
             }
+        }
+    }
+
+    #[test]
+    fn coupled_tables_add_delay_over_quiet() {
+        let (p, l) = setup();
+        let inv = l.cell("INVX1").expect("inv");
+        let ratios = [0.1, 0.3];
+        let t = characterize_cell_coupled(&p, inv, &SLEWS, &LOADS, &ratios).expect("characterize");
+        for arc in &t.arcs {
+            assert_eq!(arc.ratios, ratios);
+            assert_eq!(arc.coupled_delay.len(), ratios.len());
+            for (r, table) in arc.coupled_delay.iter().enumerate() {
+                for (i, row) in table.iter().enumerate() {
+                    for (j, &d) in row.iter().enumerate() {
+                        assert!(
+                            d > arc.delay[i][j],
+                            "active coupling must slow the arc: ratio {} slew {} load {}",
+                            ratios[r],
+                            SLEWS[i],
+                            LOADS[j]
+                        );
+                    }
+                }
+            }
+            // More opposing coupling, more delay.
+            assert!(arc.coupled_delay[1][1][1] > arc.coupled_delay[0][1][1]);
         }
     }
 

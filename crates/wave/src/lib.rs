@@ -53,6 +53,7 @@
 
 pub mod characterize;
 pub mod liberty;
+pub mod macromodel;
 pub mod network;
 pub mod newton;
 pub mod pwl;

@@ -72,14 +72,14 @@ pub const USAGE: &str = "\
 xtalk — crosstalk-aware static timing analysis (DATE 2000 reproduction)
 
 USAGE:
-  xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch] [--bits] [--threads N] [--strict]
+  xtalk report <netlist.(bench|v)> [--spef FILE] [--mode MODE] [--period NS] [--glitch] [--bits] [--threads N] [--strict] [--signoff]
   xtalk flow <netlist.(bench|v)> --out DIR
   xtalk convert <input.(bench|v)> <output.(bench|v)>
   xtalk generate --preset small|medium|s35932|s38417|s38584 [--seed N] <output.(bench|v)>
   xtalk liberty <output.lib> [--cells A,B,...]
-  xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE] [--threads N] [--strict]
-  xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check] [--threads N] [--strict]
-  xtalk serve --socket PATH [--store FILE] [--threads N] [--cache-admission=all|cost] [--strict]
+  xtalk sdf <netlist.(bench|v)> <output.sdf> [--mode MODE] [--spef FILE] [--threads N] [--strict] [--signoff]
+  xtalk eco <netlist.(bench|v)> <edits.eco> [--mode MODE] [--spef FILE] [--check] [--threads N] [--strict] [--signoff]
+  xtalk serve --socket PATH [--store FILE] [--threads N] [--cache-admission=all|cost] [--strict] [--signoff]
   xtalk client --socket PATH <action>
 
 CLIENT ACTIONS (against a running `xtalk serve`):
@@ -101,6 +101,12 @@ whose measured Newton-iteration cost clears an adaptive floor, keeping the
 cache out of the way of cheap shallow stages; `all` caches every solve.
 Either way, results are bit-identical — admission changes what is reused,
 never what is computed.
+
+FAST PATH: stage solves whose query falls inside the characterized
+macromodel grid are answered by table interpolation with a certified,
+conservative error bound (DESIGN.md D12). --signoff (or XTALK_SIGNOFF=1)
+disables the tables so every solve runs the full transistor-level Newton
+iteration, bit-identical to the pre-macromodel engine.
 
 ROBUSTNESS: recoverable solver faults degrade the affected node to a
 conservative bound and are listed as diagnostics; the exit code is 0 for a
@@ -276,6 +282,9 @@ fn exec_config(flags: &[(&str, Option<&str>)]) -> Result<ExecConfig, CliError> {
     if flag(flags, "strict").is_some() {
         config = config.with_strict(true);
     }
+    if flag(flags, "signoff").is_some() {
+        config = config.with_signoff(true);
+    }
     Ok(config)
 }
 
@@ -342,6 +351,15 @@ fn solver_summary(report: &ModeReport) -> String {
             line,
             ", {} cache hits ({ratio:.0}%, {} warm)",
             report.cache_hits, report.warm_hits
+        );
+    }
+    if report.table_hits > 0 {
+        let _ = write!(
+            line,
+            ", {} table hits ({} fallbacks, residual <= {:.1} ps)",
+            report.table_hits,
+            report.table_fallbacks,
+            report.table_residual * 1e12
         );
     }
     line
@@ -559,8 +577,13 @@ fn cmd_liberty(args: &[String]) -> Result<String, CliError> {
     let wanted: Option<Vec<&str>> = flag(&flags, "cells")
         .flatten()
         .map(|s| s.split(',').collect());
-    let slews = [0.05e-9, 0.15e-9, 0.4e-9, 1.0e-9];
-    let loads = [5e-15, 20e-15, 60e-15, 200e-15];
+    // One characterization pass on the macromodel fast path's grid
+    // (DESIGN.md D12): the `.lib` writer consumes the quiet slice and the
+    // coupled (active-aggressor) tables ride along for crosstalk-aware
+    // consumers, instead of sweeping a second, private grid.
+    let slews = xtalk_wave::macromodel::GRID_SLEWS;
+    let loads = xtalk_wave::macromodel::GRID_LOADS;
+    let ratios = xtalk_wave::macromodel::GRID_RATIOS;
     let mut tables = Vec::new();
     for cell in &library {
         if let Some(w) = &wanted {
@@ -569,8 +592,10 @@ fn cmd_liberty(args: &[String]) -> Result<String, CliError> {
             }
         }
         tables.push(
-            xtalk_wave::characterize::characterize_cell(&process, cell, &slews, &loads)
-                .map_err(|e| err(format!("{}: {e}", cell.name)))?,
+            xtalk_wave::characterize::characterize_cell_coupled(
+                &process, cell, &slews, &loads, &ratios,
+            )
+            .map_err(|e| err(format!("{}: {e}", cell.name)))?,
         );
     }
     let lib_text = xtalk_wave::liberty::write(&process, &library, &tables);
@@ -875,6 +900,17 @@ fn render_client_response(action: &str, resp: &xtalk_sta::serve::Json) -> String
                         n("cache_skipped")
                     );
                 }
+            }
+            if let Some(mm) = resp.get("macromodel") {
+                let n = |key: &str| mm.get(key).and_then(Json::as_u64).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "macromodel: {} models ({} usable), {} table hits, {} fallbacks",
+                    n("models"),
+                    n("usable"),
+                    n("table_hits"),
+                    n("table_fallbacks")
+                );
             }
             if let Some(store) = resp.get("store") {
                 let n = |key: &str| store.get(key).and_then(Json::as_u64).unwrap_or(0);

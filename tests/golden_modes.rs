@@ -10,6 +10,12 @@
 //! The snapshot was recorded before the layered-engine refactor (CSR graph
 //! + kernel/policy split) and must survive it unchanged.
 //!
+//! Since the macromodel fast path landed, the snapshot is taken under
+//! *signoff* configuration (`ExecConfig::with_signoff(true)`, the same
+//! switch `--signoff` / `XTALK_SIGNOFF` flips): every stage solve runs the
+//! full transistor-level Newton iteration, so the output must stay
+//! bit-identical to the pre-macromodel engine — serial and threaded alike.
+//!
 //! Regenerate (only when an *intentional* numerical change lands) with:
 //!
 //! ```text
@@ -48,7 +54,7 @@ fn bits(v: Option<f64>) -> String {
     }
 }
 
-fn snapshot() -> String {
+fn snapshot(config: ExecConfig) -> String {
     let process = Process::c05um();
     let library = Library::c05um(&process);
     let netlist = xtalk::netlist::generator::generate(&GeneratorConfig::small(97), &library)
@@ -56,7 +62,7 @@ fn snapshot() -> String {
     let placement = xtalk::layout::place::place(&netlist, &library, &process);
     let routes = xtalk::layout::route::route(&netlist, &placement, &process);
     let parasitics = xtalk::layout::extract::extract(&netlist, &routes, &process);
-    let sta = Sta::new(&netlist, &library, &process, &parasitics).expect("sta");
+    let sta = Sta::with_config(&netlist, &library, &process, &parasitics, config).expect("sta");
 
     let mut out = String::new();
     let _ = writeln!(
@@ -116,13 +122,29 @@ fn snapshot() -> String {
     out
 }
 
+/// Fails with the first diverging line rather than one giant string diff.
+fn assert_matches_golden(golden: &str, current: &str, label: &str) {
+    if golden == current {
+        return;
+    }
+    for (i, (g, c)) in golden.lines().zip(current.lines()).enumerate() {
+        assert_eq!(g, c, "[{label}] golden snapshot diverged at line {}", i + 1);
+    }
+    assert_eq!(
+        golden.lines().count(),
+        current.lines().count(),
+        "[{label}] golden snapshot line count diverged"
+    );
+    panic!("[{label}] golden snapshot diverged");
+}
+
 #[test]
 fn mode_reports_match_golden_snapshot() {
-    let current = snapshot();
+    let serial = snapshot(ExecConfig::serial().with_signoff(true));
     let path = golden_path();
     if std::env::var("XTALK_BLESS").as_deref() == Ok("1") {
         std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
-        std::fs::write(&path, &current).expect("write golden");
+        std::fs::write(&path, &serial).expect("write golden");
         eprintln!("blessed {}", path.display());
         return;
     }
@@ -132,16 +154,15 @@ fn mode_reports_match_golden_snapshot() {
             path.display()
         )
     });
-    if golden != current {
-        // Locate the first diverging line for a readable failure.
-        for (i, (g, c)) in golden.lines().zip(current.lines()).enumerate() {
-            assert_eq!(g, c, "golden snapshot diverged at line {}", i + 1);
-        }
-        assert_eq!(
-            golden.lines().count(),
-            current.lines().count(),
-            "golden snapshot line count diverged"
-        );
-        panic!("golden snapshot diverged");
-    }
+    assert_matches_golden(&golden, &serial, "signoff serial");
+
+    // Threaded signoff must reproduce the same bits: the wavefront schedule
+    // changes the order stage solves land in, never their values.
+    let threaded = snapshot(
+        ExecConfig::serial()
+            .with_signoff(true)
+            .with_threads(4)
+            .with_serial_cutoff(0),
+    );
+    assert_matches_golden(&golden, &threaded, "signoff threaded");
 }

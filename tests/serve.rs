@@ -39,10 +39,18 @@ fn make_bench(name: &str, seed: u64) -> PathBuf {
 /// Binds a daemon (so clients cannot race the bind) and runs it on a
 /// background thread until a client sends `shutdown`.
 fn start_daemon(socket: &Path, store: Option<&Path>) -> std::thread::JoinHandle<ServeSummary> {
+    start_daemon_with(socket, store, ExecConfig::serial())
+}
+
+fn start_daemon_with(
+    socket: &Path,
+    store: Option<&Path>,
+    exec: ExecConfig,
+) -> std::thread::JoinHandle<ServeSummary> {
     let daemon = Daemon::bind(ServeConfig {
         socket: socket.to_path_buf(),
         store: store.map(Path::to_path_buf),
-        exec: ExecConfig::serial(),
+        exec,
     })
     .expect("bind daemon");
     std::thread::spawn(move || daemon.run().expect("daemon run"))
@@ -274,7 +282,12 @@ fn what_if_rolls_back_to_baseline_bits_and_matches_a_committed_eco() {
     let edit = format!("reroute {net} 2.5");
     let path = bench.to_string_lossy().into_owned();
 
-    let daemon = start_daemon(&socket, None);
+    // Signoff: the premise below — rerouting one coupled net must move the
+    // *longest* delay — holds for the exact engine, but the macromodel's
+    // padded tables can promote an unrelated path to the maximum in both
+    // runs and mask the edit. The what-if/rollback/eco equivalence under
+    // test is engine-independent.
+    let daemon = start_daemon_with(&socket, None, ExecConfig::serial().with_signoff(true));
     let mut client = connect(&socket);
     // Session A evaluates the edit hypothetically; session B commits it.
     ok(&client.load("a", &path, None).expect("load a"));

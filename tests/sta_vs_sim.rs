@@ -118,7 +118,18 @@ fn to_spec(setup: &Setup, report: &Report, n_aggressors: usize) -> (PathSpec, f6
 #[test]
 fn quiet_simulation_matches_best_case_sta() {
     let s = comb_setup(900);
-    let sta = Sta::new(&s.netlist, &s.library, &s.process, &s.parasitics).expect("sta");
+    // Signoff: this suite validates the *exact* transistor-level solver
+    // against transient simulation (the paper's accuracy claim). The
+    // macromodel fast path adds certified pessimism that is bounded
+    // separately in `tests/macromodel.rs`.
+    let sta = Sta::with_config(
+        &s.netlist,
+        &s.library,
+        &s.process,
+        &s.parasitics,
+        ExecConfig::serial().with_signoff(true),
+    )
+    .expect("sta");
     let best = sta.analyze(AnalysisMode::BestCase).expect("best");
     let (mut spec, sta_delay, _) = to_spec(&s, &best, 0);
     spec.aggressors.clear();
@@ -146,7 +157,15 @@ fn quiet_simulation_matches_best_case_sta() {
 #[test]
 fn aligned_simulation_respects_safe_bounds() {
     let s = comb_setup(901);
-    let sta = Sta::new(&s.netlist, &s.library, &s.process, &s.parasitics).expect("sta");
+    // Signoff for the same reason as above: compare the exact engine.
+    let sta = Sta::with_config(
+        &s.netlist,
+        &s.library,
+        &s.process,
+        &s.parasitics,
+        ExecConfig::serial().with_signoff(true),
+    )
+    .expect("sta");
     let iter = sta
         .analyze(AnalysisMode::Iterative { esperance: false })
         .expect("iterative");
